@@ -1,0 +1,71 @@
+"""Figure 13: inter-continental wired-path throughput.
+
+CUBIC, BBR, PR(L), PR(H) and PR(max) over wired bottlenecks with the
+RTTs of the paper's AWS endpoints (sender in Singapore).  Expected
+shape: CUBIC highest, BBR generally below CUBIC, PR(L) within ~30% of
+CUBIC, PR(H) slightly below BBR/CUBIC, and PR(max) — t̄_buff grown to
+about RTT/2 — close to CUBIC.
+"""
+
+from repro.core.proprate import PropRate
+from repro.experiments.scenarios import wired_path
+from repro.traces.presets import WIRED_PATHS
+
+from _report import emit
+
+DURATION = 12.0
+
+
+def _algorithms(rtt):
+    from repro.tcp.congestion import Bbr, Cubic
+
+    # On high-BDP wired paths the buffer-emptied regime is ruinous: each
+    # deliberate idle period wastes a full feedback lag (~RTT >> T̄) of a
+    # fat pipe.  The latency budgets are therefore chosen to place every
+    # configuration in the buffer-full regime (L_max − RTT = 2·t̄_buff,
+    # exactly the Eq. 6 crossover), which is consistent with the paper's
+    # wired results — PR(L) within ~30% of CUBIC — and with §5.4 leaving
+    # wired target selection as future work.
+    return {
+        "CUBIC": Cubic,
+        "BBR": Bbr,
+        "PR(L)": lambda: PropRate(0.020, lmax=rtt + 0.040),
+        "PR(H)": lambda: PropRate(0.080, lmax=rtt + 0.160),
+        # §5.4: throughput keeps rising with the target until ~RTT/2.
+        "PR(max)": lambda: PropRate(max(0.020, rtt / 2.0), lmax=2.0 * rtt),
+    }
+
+
+def _run():
+    table = {}
+    for region, (rate, rtt, _buf) in WIRED_PATHS.items():
+        table[region] = {
+            name: wired_path(factory, region=region, duration=DURATION,
+                             measure_start=4.0)
+            for name, factory in _algorithms(rtt).items()
+        }
+    return table
+
+
+def test_fig13_wired_paths(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+    names = ["CUBIC", "BBR", "PR(L)", "PR(H)", "PR(max)"]
+    lines = ["Region " + " ".join(f"{n:>10s}" for n in names) + "   (MB/s)"]
+    for region, row in table.items():
+        lines.append(
+            f"{region:6s} "
+            + " ".join(f"{row[n].throughput / 1e6:10.2f}" for n in names)
+        )
+    emit("fig13_wired", lines)
+
+    for region, row in table.items():
+        cubic = row["CUBIC"].throughput
+        # CUBIC effectively saturates a wired bottleneck.
+        rate = WIRED_PATHS[region][0]
+        assert cubic > 0.7 * rate, region
+        # PR(L) sacrifices throughput but stays within a modest gap.
+        assert row["PR(L)"].throughput > 0.45 * cubic, region
+        # PR(max) approaches CUBIC.
+        assert row["PR(max)"].throughput > 0.6 * cubic, region
+        # The PropRate knob still orders throughput on wired paths.
+        assert row["PR(max)"].throughput >= row["PR(L)"].throughput * 0.9, region

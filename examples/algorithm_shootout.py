@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""The Figure-7 shootout: every algorithm over one cellular trace.
+
+Runs the paper's full line-up (Table 3 plus PR(L)/PR(M)/PR(H)) over a
+chosen trace and prints the throughput-vs-delay table those figures
+scatter-plot.
+
+Usage::
+
+    python examples/algorithm_shootout.py [stationary|mobile|sprint]
+"""
+
+import sys
+
+from repro.experiments.algorithms import paper_algorithms
+from repro.experiments.runner import run_single_flow
+from repro.traces.presets import isp_trace, sprint_like_trace
+
+DURATION = 25.0
+WARMUP = 4.0
+
+
+def _traces(kind: str):
+    if kind == "sprint":
+        return sprint_like_trace(duration=120.0), None
+    return (
+        isp_trace("A", kind, duration=60.0),
+        isp_trace("A", kind, duration=60.0, direction="uplink"),
+    )
+
+
+def main() -> None:
+    kind = sys.argv[1] if len(sys.argv) > 1 else "stationary"
+    if kind not in ("stationary", "mobile", "sprint"):
+        raise SystemExit(f"unknown trace kind {kind!r}")
+    downlink, uplink = _traces(kind)
+    print(f"Trace: {downlink.name} "
+          f"({downlink.mean_throughput() / 1000:.0f} KB/s capacity)\n")
+
+    print(f"{'Algorithm':10s} {'Throughput':>12s} {'Mean delay':>11s} "
+          f"{'95% delay':>10s} {'Drops':>6s} {'RTOs':>5s}")
+    rows = []
+    for name, factory in paper_algorithms().items():
+        result = run_single_flow(
+            factory, downlink, uplink, duration=DURATION, measure_start=WARMUP
+        )
+        rows.append((name, result))
+        print(
+            f"{name:10s} {result.throughput_kbps:9.1f} KB/s "
+            f"{result.delay.mean_ms:8.1f} ms {result.delay.p95_ms:7.1f} ms "
+            f"{result.bottleneck_drops:6d} {result.rto_count:5d}"
+        )
+
+    best_delay = min(
+        (r for _, r in rows if r.delay.count), key=lambda r: r.delay.mean
+    )
+    best_tput = max((r for _, r in rows), key=lambda r: r.throughput)
+    print(
+        f"\nLowest mean delay: {best_delay.delay.mean_ms:.1f} ms; "
+        f"highest throughput: {best_tput.throughput_kbps:.1f} KB/s."
+        "\nPropRate's three configurations trace the efficient frontier"
+        "\nbetween those corners (paper Figures 7 and 10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Figure 10: sweep t̄_buff and draw PropRate's performance frontier.
+
+Runs PropRate across a grid of target buffer delays on the mobile trace
+and renders the resulting throughput/latency frontier as an ASCII
+scatter, with CUBIC, BBR and Sprout as fixed reference points.
+
+Usage::
+
+    python examples/frontier_sweep.py
+"""
+
+from repro.experiments.frontier import sweep_frontier
+from repro.experiments.runner import run_single_flow
+from repro.tcp.congestion import Bbr, Cubic, Sprout
+from repro.traces.presets import isp_trace
+
+TARGETS_MS = list(range(12, 31, 3)) + list(range(36, 121, 12))
+DURATION = 20.0
+WARMUP = 4.0
+
+
+def _ascii_scatter(points, references, width=68, height=18):
+    xs = [p.mean_delay_ms for p in points] + [r.delay.mean_ms for r in references.values()]
+    ys = [p.throughput_kbps for p in points] + [r.throughput_kbps for r in references.values()]
+    x_max = max(xs) * 1.05
+    y_max = max(ys) * 1.05
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(x, y, char):
+        col = min(width - 1, int(x / x_max * (width - 1)))
+        row = min(height - 1, int(y / y_max * (height - 1)))
+        grid[height - 1 - row][col] = char
+
+    for p in points:
+        plot(p.mean_delay_ms, p.throughput_kbps, "o")
+    for label, r in references.items():
+        plot(r.delay.mean_ms, r.throughput_kbps, label[0])
+
+    lines = [f"{y_max:7.0f} KB/s"]
+    lines += ["".join(row) for row in grid]
+    lines.append(f"{'0':>7s} " + "-" * (width - 8))
+    lines.append(f"{'':7s}0 … {x_max:.0f} ms mean one-way delay")
+    lines.append("        o=PropRate sweep, C=CUBIC, B=BBR, S=Sprout")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    downlink = isp_trace("A", "mobile", duration=60.0)
+    uplink = isp_trace("A", "mobile", duration=60.0, direction="uplink")
+
+    print("Sweeping PropRate t̄_buff over "
+          f"{len(TARGETS_MS)} targets ({TARGETS_MS[0]}-{TARGETS_MS[-1]} ms)…\n")
+    points = sweep_frontier(
+        downlink, uplink,
+        targets=[t / 1000.0 for t in TARGETS_MS],
+        duration=DURATION, measure_start=WARMUP,
+    )
+    references = {
+        name: run_single_flow(factory, downlink, uplink,
+                              duration=DURATION, measure_start=WARMUP)
+        for name, factory in (("CUBIC", Cubic), ("BBR", Bbr), ("Sprout", Sprout))
+    }
+
+    print(f"{'target ms':>9s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
+    for p in points:
+        print(f"{p.target_tbuff * 1000:9.0f} {p.throughput_kbps:10.1f} "
+              f"{p.mean_delay_ms:8.1f} {p.p95_delay_ms:8.1f}")
+    print()
+    print(_ascii_scatter(points, references))
+
+
+if __name__ == "__main__":
+    main()

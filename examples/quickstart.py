@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: one PropRate flow over a synthetic cellular trace.
+
+Runs a 30-second bulk transfer with PropRate's PR(M) configuration
+(t̄_buff = 40 ms) over the ISP-A stationary trace, then prints the
+throughput/latency outcome next to TCP CUBIC on the same trace — the
+paper's headline comparison in miniature.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import PropRate, isp_trace, run_single_flow
+from repro.tcp.congestion import Cubic
+
+DURATION = 30.0
+WARMUP = 4.0
+
+
+def main() -> None:
+    downlink = isp_trace("A", "stationary", duration=60.0)
+    uplink = isp_trace("A", "stationary", duration=60.0, direction="uplink")
+    print(f"Trace: {downlink.name}, capacity "
+          f"{downlink.mean_throughput() / 1000:.0f} KB/s\n")
+
+    print(f"{'Algorithm':12s} {'Throughput':>12s} {'Mean delay':>11s} "
+          f"{'95% delay':>10s} {'Losses':>7s}")
+    for name, factory in (
+        ("PropRate(M)", lambda: PropRate(target_buffer_delay=0.040)),
+        ("CUBIC", Cubic),
+    ):
+        result = run_single_flow(
+            factory, downlink, uplink, duration=DURATION, measure_start=WARMUP
+        )
+        print(
+            f"{name:12s} {result.throughput_kbps:9.1f} KB/s "
+            f"{result.delay.mean_ms:8.1f} ms {result.delay.p95_ms:7.1f} ms "
+            f"{result.bottleneck_drops:7d}"
+        )
+
+    print(
+        "\nPropRate holds the bottleneck buffer at its 40 ms target while"
+        "\nCUBIC fills the whole 2,000-packet buffer: comparable throughput,"
+        "\nan order of magnitude less latency."
+    )
+
+
+if __name__ == "__main__":
+    main()

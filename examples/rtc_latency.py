@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""A real-time-communication workload with a latency budget.
+
+The paper's motivation is RTC — video calls and gaming, where "end-to-end
+latency is often the dominant component of the overall response time"
+and budgets are ~100 ms.  This example runs a 1 Mbit/s CBR media stream
+(instead of a bulk transfer) over a volatile mobile trace, once under
+PropRate with a matching latency budget and once under CUBIC, and
+reports the fraction of media segments that met the budget.
+
+Usage::
+
+    python examples/rtc_latency.py
+"""
+
+from repro.experiments.runner import FlowSpec, cellular_path_config, run_experiment
+from repro.core.proprate import PropRate
+from repro.tcp.application import ConstantBitrateApplication
+from repro.tcp.congestion import Cubic
+from repro.traces.presets import isp_trace
+
+DURATION = 30.0
+WARMUP = 4.0
+MEDIA_RATE = 125_000.0          # 1 Mbit/s media stream
+ONE_WAY_BUDGET = 0.080          # seconds, ~RTC-grade
+
+
+def main() -> None:
+    downlink = isp_trace("A", "mobile", duration=60.0)
+    uplink = isp_trace("A", "mobile", duration=60.0, direction="uplink")
+    config = cellular_path_config(downlink, uplink)
+
+    print(
+        f"Media: {MEDIA_RATE * 8 / 1e6:.1f} Mbit/s CBR, one-way budget "
+        f"{ONE_WAY_BUDGET * 1000:.0f} ms, trace {downlink.name}.\n"
+    )
+    print(f"{'Transport':14s} {'in-budget':>10s} {'mean delay':>11s} "
+          f"{'p95 delay':>10s}")
+
+    for name, factory in (
+        ("PropRate", lambda: PropRate(target_buffer_delay=0.030)),
+        ("CUBIC", Cubic),
+    ):
+        # A *competing* bulk download shares the path, as real RTC must
+        # survive next to other traffic on the same device.
+        flows = [
+            FlowSpec(
+                cc_factory=factory,
+                name="media",
+                application=ConstantBitrateApplication(rate=MEDIA_RATE),
+                measure_start=WARMUP,
+            ),
+            FlowSpec(cc_factory=factory, name="bulk", measure_start=WARMUP),
+        ]
+        results = run_experiment(config, flows, duration=DURATION)
+        media = next(r for r in results if r.name == "media")
+        delays = media.collector.delays(WARMUP, DURATION)
+        in_budget = float((delays <= ONE_WAY_BUDGET).mean()) if delays.size else 0.0
+        print(
+            f"{name:14s} {in_budget:9.0%} {media.delay.mean_ms:8.1f} ms "
+            f"{media.delay.p95_ms:7.1f} ms"
+        )
+
+    print(
+        "\nUnder CUBIC the co-located bulk flow fills the bottleneck buffer"
+        "\nand the media stream inherits seconds of queueing; PropRate keeps"
+        "\nthe shared buffer at its target and most segments meet the budget."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Set a target latency and achieve it — the paper's unique capability.
+
+PropRate is, per the paper, the first TCP algorithm that lets an
+application *choose* its average latency (when network conditions allow).
+This example emulates a real-time-communication app with a latency
+budget: it sets L_max, lets the negative-feedback loop converge, and
+reports the achieved one-way delay against the target for a range of
+operating points on a volatile mobile trace.
+
+Usage::
+
+    python examples/target_latency.py
+"""
+
+from repro import PropRate, isp_trace, run_single_flow
+
+DURATION = 30.0
+WARMUP = 4.0
+PROPAGATION_MS = 20.0
+
+
+def main() -> None:
+    downlink = isp_trace("A", "mobile", duration=60.0)
+    uplink = isp_trace("A", "mobile", duration=60.0, direction="uplink")
+    print(f"Trace: {downlink.name} (volatile, driving around campus)\n")
+
+    print(f"{'Target buffer':>14s} {'Achieved':>9s} {'Error':>7s} "
+          f"{'Throughput':>11s}")
+    for target_ms in (20, 40, 60, 80, 100, 120):
+        result = run_single_flow(
+            lambda t=target_ms: PropRate(target_buffer_delay=t / 1000.0),
+            downlink,
+            uplink,
+            duration=DURATION,
+            measure_start=WARMUP,
+        )
+        achieved_ms = result.delay.mean_ms - PROPAGATION_MS
+        print(
+            f"{target_ms:11d} ms {achieved_ms:6.1f} ms "
+            f"{achieved_ms - target_ms:+6.1f} {result.throughput_kbps:8.1f} KB/s"
+        )
+
+    print(
+        "\nEach row is one flow with a different t̄_buff: the negative-"
+        "\nfeedback loop (paper §3.2) steers the switching threshold until"
+        "\nthe achieved average buffer delay sits on the target diagonal,"
+        "\nwhile throughput rises with the allowed delay (Figure 9/10)."
+    )
+
+
+if __name__ == "__main__":
+    main()

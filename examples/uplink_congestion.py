@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Figure 14: downloading while a concurrent upload saturates the uplink.
+
+Cellular uplinks are narrow; a single upload fills the device-side
+buffer and delays every returning ACK by seconds.  An ACK-clocked
+(cwnd-based) download starves because it may only send when ACKs
+arrive; PropRate's timer-clocked pacing — driven by the receiver's
+one-way timestamps, which do not traverse the congested uplink clock —
+keeps the downlink busy.
+
+Usage::
+
+    python examples/uplink_congestion.py
+"""
+
+from repro.core.proprate import PropRate
+from repro.experiments.scenarios import uplink_congestion
+from repro.tcp.congestion import Bbr, Cubic, Rre
+from repro.traces.presets import isp_trace
+
+DURATION = 25.0
+WARMUP = 4.0
+
+
+def main() -> None:
+    downlink = isp_trace("A", "stationary", duration=60.0)
+    uplink = isp_trace("A", "stationary", duration=60.0, direction="uplink")
+    print(
+        f"Downlink {downlink.mean_throughput() / 1000:.0f} KB/s, uplink "
+        f"{uplink.mean_throughput() / 1000:.0f} KB/s, with a CUBIC upload "
+        "running throughout.\n"
+    )
+
+    print(f"{'Download CC':12s} {'Download':>12s} {'Down delay':>11s} "
+          f"{'Upload got':>12s}")
+    for name, factory in (
+        ("PropRate(H)", lambda: PropRate(0.080)),
+        ("RRE", Rre),
+        ("CUBIC", Cubic),
+        ("BBR", Bbr),
+    ):
+        flows = uplink_congestion(
+            factory, downlink, uplink,
+            duration=DURATION, measure_start=WARMUP, name="down",
+        )
+        down, upload = flows["down"], flows["cubic-upload"]
+        print(
+            f"{name:12s} {down.throughput_kbps:9.1f} KB/s "
+            f"{down.delay.mean_ms:8.1f} ms {upload.throughput_kbps:9.1f} KB/s"
+        )
+
+    print(
+        "\nThe rate-based senders (PropRate, RRE) sustain the download"
+        "\nacross the saturated return path; the ACK-clocked ones collapse"
+        "\nto a crawl — the paper's Figure 14 and §6 'Link Asymmetry'."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` needs bdist_wheel, which this
+offline environment lacks; `python setup.py develop` (or the .pth
+fallback below) provides the same editable install.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""PropRate reproduction: rate-based TCP congestion control beyond the
+bandwidth-delay product for mobile cellular networks (CoNEXT 2017).
+
+Quickstart::
+
+    from repro import PropRate, isp_trace, run_single_flow
+
+    trace = isp_trace("A", "mobile")
+    result = run_single_flow(
+        lambda: PropRate(target_buffer_delay=0.040),
+        downlink_trace=trace,
+        uplink_trace=isp_trace("A", "mobile", direction="uplink"),
+    )
+    print(result.throughput_kbps, result.delay.mean_ms)
+
+Package map (details in DESIGN.md):
+
+* :mod:`repro.core` -- PropRate and its analytical model.
+* :mod:`repro.sim` -- the discrete-event network substrate (Cellsim).
+* :mod:`repro.tcp` -- TCP endpoints and all baseline algorithms.
+* :mod:`repro.traces` -- synthetic cellular traces (Table 2 presets).
+* :mod:`repro.metrics` -- delivery records and summary statistics.
+* :mod:`repro.experiments` -- scenario harnesses for every figure/table.
+"""
+
+from repro.core.adaptive import AdaptivePropRate
+from repro.core.proprate import PropRate
+from repro.tcp.application import (
+    BulkApplication,
+    ConstantBitrateApplication,
+    OnOffApplication,
+)
+from repro.experiments.runner import (
+    FlowResult,
+    FlowSpec,
+    cellular_path_config,
+    run_experiment,
+    run_single_flow,
+)
+from repro.traces.presets import isp_trace, lte_validation_trace, sprint_like_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptivePropRate",
+    "BulkApplication",
+    "ConstantBitrateApplication",
+    "FlowResult",
+    "FlowSpec",
+    "OnOffApplication",
+    "PropRate",
+    "cellular_path_config",
+    "isp_trace",
+    "lte_validation_trace",
+    "run_experiment",
+    "run_single_flow",
+    "sprint_like_trace",
+    "__version__",
+]

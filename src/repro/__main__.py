@@ -1,0 +1,175 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run``        one flow of a chosen algorithm over a chosen trace
+``shootout``   the full Figure-7 line-up over a chosen trace
+``frontier``   sweep PropRate's target buffer delay (Figure 10)
+``traces``     print Table-2 statistics for the synthetic traces
+``experiments`` list the paper-artifact → benchmark registry
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.core.adaptive import AdaptivePropRate
+from repro.core.proprate import PropRate
+from repro.experiments.algorithms import paper_algorithms
+from repro.experiments.frontier import sweep_frontier
+from repro.experiments.registry import describe_all
+from repro.experiments.runner import run_single_flow
+from repro.traces.presets import (
+    TABLE2_TARGETS,
+    isp_trace,
+    lte_validation_trace,
+    sprint_like_trace,
+)
+
+TRACE_CHOICES = [
+    f"{isp}-{mode}" for isp, mode in sorted(TABLE2_TARGETS)
+] + ["sprint", "lte-validation"]
+
+
+def _load_traces(label: str):
+    if label == "sprint":
+        return sprint_like_trace(duration=120.0), None
+    if label == "lte-validation":
+        return (
+            lte_validation_trace(duration=60.0),
+            lte_validation_trace(duration=60.0, direction="uplink"),
+        )
+    isp, mode = label.split("-", 1)
+    return (
+        isp_trace(isp, mode, duration=60.0),
+        isp_trace(isp, mode, duration=60.0, direction="uplink"),
+    )
+
+
+def _algorithm_factory(name: str, target_ms: Optional[float]):
+    if name.lower() == "proprate":
+        target = (target_ms or 40.0) / 1000.0
+        return lambda: PropRate(target_buffer_delay=target)
+    if name.lower() in ("proprate-a", "adaptive"):
+        target = (target_ms or 40.0) / 1000.0
+        return lambda: AdaptivePropRate(target_buffer_delay=target)
+    algorithms = paper_algorithms()
+    if name in algorithms:
+        return algorithms[name]
+    raise SystemExit(
+        f"unknown algorithm {name!r}; choose one of "
+        f"{sorted(algorithms)} or 'PropRate [--target MS]'"
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> None:
+    downlink, uplink = _load_traces(args.trace)
+    factory = _algorithm_factory(args.algorithm, args.target)
+    result = run_single_flow(
+        factory, downlink, uplink,
+        duration=args.duration, measure_start=args.warmup,
+    )
+    print(
+        f"{args.algorithm} on {args.trace}: "
+        f"{result.throughput_kbps:.1f} KB/s, "
+        f"mean {result.delay.mean_ms:.1f} ms, "
+        f"p95 {result.delay.p95_ms:.1f} ms, "
+        f"{result.bottleneck_drops} drops, {result.rto_count} RTOs"
+    )
+
+
+def _cmd_shootout(args: argparse.Namespace) -> None:
+    downlink, uplink = _load_traces(args.trace)
+    print(f"{'Algorithm':10s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
+    for name, factory in paper_algorithms().items():
+        result = run_single_flow(
+            factory, downlink, uplink,
+            duration=args.duration, measure_start=args.warmup,
+        )
+        print(
+            f"{name:10s} {result.throughput_kbps:10.1f} "
+            f"{result.delay.mean_ms:8.1f} {result.delay.p95_ms:8.1f}"
+        )
+
+
+def _cmd_frontier(args: argparse.Namespace) -> None:
+    downlink, uplink = _load_traces(args.trace)
+    targets = [t / 1000.0 for t in range(args.low, args.high + 1, args.step)]
+    points = sweep_frontier(
+        downlink, uplink, targets=targets,
+        duration=args.duration, measure_start=args.warmup,
+    )
+    print(f"{'target ms':>9s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
+    for p in points:
+        print(
+            f"{p.target_tbuff * 1000:9.0f} {p.throughput_kbps:10.1f} "
+            f"{p.mean_delay_ms:8.1f} {p.p95_delay_ms:8.1f}"
+        )
+
+
+def _cmd_traces(args: argparse.Namespace) -> None:
+    print(f"{'Trace':22s} {'mean KB/s':>10s} {'target':>8s} {'std KB/s':>9s} {'target':>8s}")
+    for (isp, mode), (mean_t, std_t) in sorted(TABLE2_TARGETS.items()):
+        stats = isp_trace(isp, mode, duration=120.0).stats()
+        print(
+            f"ISP {isp}-{mode:11s} {stats.mean_kbps:10.1f} {mean_t:8.1f} "
+            f"{stats.std_kbps:9.1f} {std_t:8.1f}"
+        )
+    sprint = sprint_like_trace(duration=120.0).stats()
+    print(
+        f"{'Sprint-like':22s} {sprint.mean_kbps:10.1f} {'—':>8s} "
+        f"{sprint.std_kbps:9.1f} {'—':>8s}  (outage {sprint.outage_fraction:.0%})"
+    )
+
+
+def _cmd_experiments(args: argparse.Namespace) -> None:
+    print(describe_all())
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PropRate (CoNEXT 2017) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def _common(p):
+        p.add_argument("--trace", choices=TRACE_CHOICES, default="A-stationary")
+        p.add_argument("--duration", type=float, default=30.0)
+        p.add_argument("--warmup", type=float, default=4.0)
+
+    p_run = sub.add_parser("run", help="run one flow")
+    _common(p_run)
+    p_run.add_argument("algorithm", help="PropRate, CUBIC, BBR, Sprout, ...")
+    p_run.add_argument("--target", type=float, default=None,
+                       help="PropRate target buffer delay (ms)")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_shoot = sub.add_parser("shootout", help="Figure-7 line-up")
+    _common(p_shoot)
+    p_shoot.set_defaults(func=_cmd_shootout)
+
+    p_front = sub.add_parser("frontier", help="Figure-10 sweep")
+    _common(p_front)
+    p_front.add_argument("--low", type=int, default=12, help="lowest target (ms)")
+    p_front.add_argument("--high", type=int, default=120, help="highest target (ms)")
+    p_front.add_argument("--step", type=int, default=12, help="grid step (ms)")
+    p_front.set_defaults(func=_cmd_frontier)
+
+    p_traces = sub.add_parser("traces", help="Table-2 trace statistics")
+    p_traces.set_defaults(func=_cmd_traces)
+
+    p_exp = sub.add_parser("experiments", help="paper-artifact registry")
+    p_exp.set_defaults(func=_cmd_experiments)
+    return parser
+
+
+def main(argv=None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

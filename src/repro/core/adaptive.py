@@ -1,0 +1,122 @@
+"""Adaptive target-delay PropRate (the paper's §6 work-in-progress).
+
+The discussion section notes a PropRate shortcoming under *shallow*
+buffers: if the configured target buffer delay exceeds what the buffer
+can hold, the flow behaves like BBR — persistent overflow losses — and
+proposes "dynamic adjustment of the target buffer delay and reacting to
+consecutive packet losses" as future work.  This module implements that
+extension:
+
+* every loss (fast-retransmit) episode within a short memory window
+  counts as evidence the operating point overflows the buffer; after
+  ``LOSS_EPISODES_TO_SHRINK`` consecutive episodes the *effective*
+  target is cut multiplicatively (floored at ``min_target``);
+* after a sustained loss-free period the effective target recovers
+  additively toward the configured target.
+
+The result keeps the configured latency budget as a ceiling while
+automatically de-tuning aggressiveness to the actual buffer depth — the
+tunability-vs-BBR argument of §6 made automatic.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.proprate import PropRate
+from repro.tcp.congestion.base import AckSample
+
+#: Consecutive loss episodes (within MEMORY of each other) that trigger
+#: a target cut.
+LOSS_EPISODES_TO_SHRINK = 2
+
+#: Two loss episodes further apart than this are unrelated.
+EPISODE_MEMORY = 2.0
+
+#: Multiplicative target decrease per trigger.
+SHRINK_FACTOR = 0.7
+
+#: Loss-free time before the target starts recovering.
+RECOVERY_QUIET_TIME = 5.0
+
+#: Additive recovery per quiet interval (seconds of target delay).
+RECOVERY_STEP = 0.005
+
+
+class AdaptivePropRate(PropRate):
+    """PropRate with loss-driven dynamic adjustment of t̄_buff.
+
+    Parameters are those of :class:`~repro.core.proprate.PropRate` plus
+    ``min_target``, the floor the adaptive logic may shrink to.
+    """
+
+    name = "PropRate-A"
+
+    def __init__(
+        self,
+        target_buffer_delay: float = 0.040,
+        min_target: float = 0.005,
+        **kwargs,
+    ) -> None:
+        super().__init__(target_buffer_delay=target_buffer_delay, **kwargs)
+        if not 0 < min_target <= target_buffer_delay:
+            raise ValueError("min_target must be in (0, target]")
+        self.configured_target = target_buffer_delay
+        self.min_target = min_target
+        self._consecutive_episodes = 0
+        self._last_episode_at: Optional[float] = None
+        self._last_loss_at: Optional[float] = None
+        self._last_recovery_at: Optional[float] = None
+        self.target_adjustments = 0
+
+    # ------------------------------------------------------------------
+    def _apply_target(self, new_target: float) -> None:
+        new_target = min(self.configured_target, max(self.min_target, new_target))
+        if abs(new_target - self.target_buffer_delay) < 1e-9:
+            return
+        self.target_buffer_delay = new_target
+        self.target_adjustments += 1
+        # Re-centre the feedback loop on the new target.
+        self.feedback.target = new_target
+        self.feedback.min_threshold = max(0.005, new_target / 2.0)
+        self.feedback.max_threshold = min(1.0, new_target * 1.5)
+        self.feedback.threshold = min(
+            max(self.feedback.threshold, self.feedback.min_threshold),
+            self.feedback.max_threshold,
+        )
+
+    def on_congestion(self, sample: AckSample) -> None:
+        super().on_congestion(sample)
+        now = sample.now
+        self._last_loss_at = now
+        if (
+            self._last_episode_at is not None
+            and now - self._last_episode_at <= EPISODE_MEMORY
+        ):
+            self._consecutive_episodes += 1
+        else:
+            self._consecutive_episodes = 1
+        self._last_episode_at = now
+        if self._consecutive_episodes >= LOSS_EPISODES_TO_SHRINK:
+            self._consecutive_episodes = 0
+            self._apply_target(self.target_buffer_delay * SHRINK_FACTOR)
+
+    def on_rto(self) -> None:
+        super().on_rto()
+        # A timeout is the strongest overflow signal of all.
+        self._apply_target(self.target_buffer_delay * SHRINK_FACTOR)
+
+    def on_ack(self, sample: AckSample) -> None:
+        super().on_ack(sample)
+        now = sample.now
+        quiet_since = self._last_loss_at if self._last_loss_at is not None else 0.0
+        if now - quiet_since < RECOVERY_QUIET_TIME:
+            return
+        if self.target_buffer_delay >= self.configured_target:
+            return
+        if (
+            self._last_recovery_at is None
+            or now - self._last_recovery_at >= RECOVERY_QUIET_TIME
+        ):
+            self._last_recovery_at = now
+            self._apply_target(self.target_buffer_delay + RECOVERY_STEP)

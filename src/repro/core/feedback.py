@@ -1,0 +1,120 @@
+"""The negative-feedback loop that converges T to the target (§3.2).
+
+The analytical model assumes a steady network; under real volatility the
+buffer delay that a given threshold T produces drifts away from the
+target t̄_buff.  The paper's fix (Figure 4) treats buffer regulation as a
+black box mapping T → t_actual and wraps it in an outer loop:
+
+* every BDP-window of ACKed packets, sample the instantaneous buffer
+  delay ``t_sample`` and fold it into ``t_actual`` with
+  ``t_actual ← 7/8·t_actual + 1/8·t_sample`` (Eq. 9);
+* nudge T by a *log-scaled* step of the error ``|t_actual − t̄_buff|`` —
+  the log keeps a volatility spike from slewing T violently.
+
+The sign of the nudge is the negative-feedback direction: achieved delay
+above target lowers T (drain sooner), below target raises it.  The paper
+describes gating the two directions on the Buffer Fill / Buffer Drain
+states; with that literal gating the loop deadlocks (e.g. a flow stuck
+in Drain with achieved > target can never be corrected), so the update
+is applied on every window sample.  The state is still reported for
+telemetry.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.util.windows import Ewma
+
+#: Eq. 9 EWMA gain.
+T_ACTUAL_ALPHA = 1.0 / 8.0
+
+#: The log step operates in milliseconds (a sub-millisecond error should
+#: produce a vanishing step, not a negative one).
+_MS = 1000.0
+
+
+class ThresholdFeedbackLoop:
+    """Adjust the switching threshold T so t_actual converges to target.
+
+    Parameters
+    ----------
+    target:
+        The application's target average buffer delay t̄_buff (seconds).
+    initial_threshold:
+        Starting T (the §3.1 derivation sets T = t̄_buff).
+    min_threshold / max_threshold:
+        Clamp range for T.  Callers should keep this a band around the
+        target: the loop corrects measurement bias and volatility, it is
+        not meant to replace the §3.1 derivation wholesale.
+    min_update_interval:
+        Minimum time between threshold moves (seconds).  BDP windows can
+        be only a few milliseconds while the rate estimate ramps up;
+        without a floor on the update cadence the loop slews T far from
+        the target before the first queue has even formed.
+    enabled:
+        When False the loop still tracks ``t_actual`` (for reporting) but
+        never moves T — the "w/o NFL" configuration of Figure 9.
+    """
+
+    def __init__(
+        self,
+        target: float,
+        initial_threshold: Optional[float] = None,
+        min_threshold: float = 0.005,
+        max_threshold: float = 1.0,
+        min_update_interval: float = 0.1,
+        enabled: bool = True,
+    ) -> None:
+        if target <= 0:
+            raise ValueError("target buffer delay must be positive")
+        self.target = target
+        self.threshold = initial_threshold if initial_threshold is not None else target
+        self.min_threshold = min_threshold
+        self.max_threshold = max_threshold
+        self.min_update_interval = min_update_interval
+        self.enabled = enabled
+        self._t_actual = Ewma(T_ACTUAL_ALPHA)
+        self._last_update = float("-inf")
+        self.updates = 0
+
+    @property
+    def t_actual(self) -> Optional[float]:
+        """The smoothed achieved buffer delay (Eq. 9)."""
+        return self._t_actual.value
+
+    def on_window_sample(
+        self,
+        t_sample: float,
+        state_is_fill: bool = True,
+        now: Optional[float] = None,
+    ) -> float:
+        """Fold one BDP-window sample and adjust T.
+
+        Returns the (possibly updated) threshold.  ``state_is_fill`` is
+        accepted for telemetry/compatibility but does not gate the
+        update (see the module docstring).
+        """
+        t_actual = self._t_actual.update(max(0.0, t_sample))
+        if not self.enabled:
+            return self.threshold
+        if now is not None:
+            if now - self._last_update < self.min_update_interval:
+                return self.threshold
+            self._last_update = now
+
+        error = t_actual - self.target
+        step = math.log1p(abs(error) * _MS) / _MS  # seconds
+        if error > 0:
+            self.threshold -= step
+            self.updates += 1
+        elif error < 0:
+            self.threshold += step
+            self.updates += 1
+        self.threshold = max(self.min_threshold, min(self.max_threshold, self.threshold))
+        return self.threshold
+
+    def reset(self) -> None:
+        """Forget achieved-latency history (after an RTO / Slow Start)."""
+        self._t_actual.reset()

@@ -1,0 +1,232 @@
+"""The PropRate analytical model (paper §3, Equations 1–8).
+
+PropRate oscillates the sending rate around the receive rate ρ, filling
+the bottleneck buffer at σ_f = k_f·ρ and draining it at σ_d = k_d·ρ,
+switching states when the measured buffer delay crosses a threshold T.
+Because the measurement is delayed by roughly RTT + t_buff, the buffer
+delay traces a sawtooth between D_max and D_min.
+
+Two operating regimes exist (Figures 1 and 2):
+
+* **buffer full** — the buffer never empties; utilisation U = 1 and the
+  average buffer delay is (D_max + D_min)/2 (Eq. 2, first case);
+* **buffer emptied** — the buffer periodically drains to zero for t_e
+  per cycle; U = (t_f + t_d)/(t_f + t_d + t_e) < 1 and the average buffer
+  delay is (D_max/2)·U (Eq. 2, second case).
+
+Given an application latency budget L_max and a target average buffer
+delay t̄_buff, §3.1 derives the regime and the (T, k_f, k_d) that produce
+it.  This module implements those closed forms; the fluid simulation in
+:mod:`repro.core.fluid` cross-validates them.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+#: Default gap between the latency budget and the base RTT when the
+#: application does not specify L_max explicitly.  The paper's PR(M)
+#: configuration (t̄_buff = 40 ms) sits "approximately at the crossover
+#: point between the 2 regimes", which by Eq. 6 places the crossover at
+#: (L_max − RTT)/2 = 40 ms, i.e. L_max − RTT = 80 ms.
+DEFAULT_LMAX_HEADROOM = 0.080
+
+#: Clamps keeping the control loop sane when estimates are degenerate.
+KF_MIN, KF_MAX = 1.01, 4.0
+KD_MIN, KD_MAX = 0.10, 0.99
+
+
+class Regime(enum.Enum):
+    """Which of the two waveform regimes the configuration operates in."""
+
+    BUFFER_FULL = "buffer_full"
+    BUFFER_EMPTIED = "buffer_emptied"
+
+
+@dataclass(frozen=True)
+class PropRateParams:
+    """Operating parameters derived from (t̄_buff, RTT, L_max).
+
+    All delays in seconds.  ``predicted_dmax``/``predicted_dmin`` are the
+    steady-state sawtooth peak and trough the model predicts;
+    ``utilization`` is U (1.0 in the buffer-full regime).
+    """
+
+    regime: Regime
+    threshold: float          # T: the state-switch threshold
+    kf: float                 # Buffer Fill rate multiplier (> 1)
+    kd: float                 # Buffer Drain rate multiplier (< 1)
+    utilization: float        # U
+    predicted_dmax: float
+    predicted_dmin: float
+    target_tbuff: float
+    rtt: float
+    lmax: float
+
+    @property
+    def predicted_avg_tbuff(self) -> float:
+        """Eq. 2 applied to the predicted waveform."""
+        return average_buffer_delay(
+            self.predicted_dmax, self.predicted_dmin, self.utilization, self.regime
+        )
+
+
+def utilization(tf: float, td: float, te: float) -> float:
+    """Eq. 1: link utilisation from the per-cycle phase durations.
+
+    ``tf`` is the time in Buffer Fill, ``td`` the time draining a
+    non-empty buffer, and ``te`` the time the buffer sits empty.
+    """
+    if min(tf, td, te) < 0:
+        raise ValueError("phase durations must be non-negative")
+    total = tf + td + te
+    if total <= 0:
+        raise ValueError("at least one phase must have positive duration")
+    return (tf + td) / total
+
+
+def average_buffer_delay(
+    dmax: float, dmin: float, u: float, regime: Regime
+) -> float:
+    """Eq. 2: average buffer delay of the sawtooth waveform."""
+    if regime is Regime.BUFFER_FULL:
+        return (dmax + dmin) / 2.0
+    return (dmax / 2.0) * u
+
+
+def crossover_buffer_delay(lmax: float, rtt: float) -> float:
+    """Eq. 6 boundary: targets below (L_max − RTT)/2 need the emptied regime."""
+    if lmax <= rtt:
+        raise ValueError("L_max must exceed the base RTT")
+    return (lmax - rtt) / 2.0
+
+
+def emptied_regime_utilization(threshold: float, lmax: float, rtt: float) -> float:
+    """Eq. 8 first line: U = (2T / (L_max − RTT))^(1/4), clipped to 1."""
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    headroom = lmax - rtt
+    if headroom <= 0:
+        raise ValueError("L_max must exceed the base RTT")
+    return min(1.0, (2.0 * threshold / headroom) ** 0.25)
+
+
+def max_buffer_delay(u: float, lmax: float, rtt: float) -> float:
+    """Eq. 4: D_max = U³ (L_max − RTT) — the peak shrinks faster than U."""
+    if not 0 <= u <= 1:
+        raise ValueError("utilisation must be in [0, 1]")
+    return (u ** 3) * (lmax - rtt)
+
+
+def _clamp(value: float, lo: float, hi: float) -> float:
+    return max(lo, min(hi, value))
+
+
+def derive_parameters(
+    target_tbuff: float,
+    rtt: float,
+    lmax: Optional[float] = None,
+) -> PropRateParams:
+    """§3.1: derive (regime, T, k_f, k_d) from the application's target.
+
+    Parameters
+    ----------
+    target_tbuff:
+        Target average buffer delay t̄_buff (seconds).
+    rtt:
+        Round-trip time *excluding* buffer delay (propagation RTT).
+    lmax:
+        Application latency budget.  Defaults to
+        ``rtt + DEFAULT_LMAX_HEADROOM``, which reproduces the paper's
+        regime split for PR(L)/PR(M)/PR(H).
+    """
+    if target_tbuff <= 0:
+        raise ValueError("target buffer delay must be positive")
+    if rtt <= 0:
+        raise ValueError("RTT must be positive")
+    if lmax is None:
+        lmax = rtt + DEFAULT_LMAX_HEADROOM
+    if lmax <= rtt:
+        raise ValueError("L_max must exceed the base RTT")
+
+    headroom = lmax - rtt
+    # The target is infeasible beyond the headroom; cap it (§3.1 expects
+    # t̄_buff <= L_max − RTT).
+    target = min(target_tbuff, headroom)
+    threshold = target  # initial T = t̄_buff; the NFL refines it online.
+
+    if target >= crossover_buffer_delay(lmax, rtt):
+        return _buffer_full_params(threshold, rtt, target, lmax)
+    return _buffer_emptied_params(threshold, rtt, target, lmax)
+
+
+def params_for_threshold(
+    threshold: float,
+    rtt: float,
+    target_tbuff: float,
+    lmax: float,
+) -> PropRateParams:
+    """Recompute (k_f, k_d) for an NFL-adjusted threshold T.
+
+    The regime is still chosen by the *target*; the threshold only moves
+    the operating point of the control loop.
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if target_tbuff >= crossover_buffer_delay(lmax, rtt):
+        return _buffer_full_params(threshold, rtt, target_tbuff, lmax)
+    return _buffer_emptied_params(threshold, rtt, target_tbuff, lmax)
+
+
+def _buffer_full_params(
+    threshold: float, rtt: float, target: float, lmax: float
+) -> PropRateParams:
+    """Eq. 7 with the Figure-3(e) waveform: D_max−D_min = t̄, D_min = t̄/2."""
+    t = threshold
+    kf = (1.5 * t + rtt) / (t + rtt)
+    kd = (0.5 * t + rtt) / (t + rtt)
+    return PropRateParams(
+        regime=Regime.BUFFER_FULL,
+        threshold=t,
+        kf=_clamp(kf, KF_MIN, KF_MAX),
+        kd=_clamp(kd, KD_MIN, KD_MAX),
+        utilization=1.0,
+        predicted_dmax=1.5 * t,
+        predicted_dmin=0.5 * t,
+        target_tbuff=target,
+        rtt=rtt,
+        lmax=lmax,
+    )
+
+
+def _buffer_emptied_params(
+    threshold: float, rtt: float, target: float, lmax: float
+) -> PropRateParams:
+    """Eq. 8: the buffer is deliberately emptied each cycle (U < 1)."""
+    t = threshold
+    u = emptied_regime_utilization(t, lmax, rtt)
+    kf = ((2.0 / u) * t + rtt) / (t + rtt)
+    dmax = max_buffer_delay(u, lmax, rtt)
+    kf_c = _clamp(kf, KF_MIN, KF_MAX)
+    tf = dmax / (kf_c - 1.0)
+    skew = (1.0 - u) / u
+    denominator = (1.0 / u) * t + rtt - skew * tf
+    if denominator <= 1e-9:
+        kd = KD_MIN
+    else:
+        kd = (rtt - skew * kf_c * tf) / denominator
+    return PropRateParams(
+        regime=Regime.BUFFER_EMPTIED,
+        threshold=t,
+        kf=kf_c,
+        kd=_clamp(kd, KD_MIN, KD_MAX),
+        utilization=u,
+        predicted_dmax=dmax,
+        predicted_dmin=0.0,
+        target_tbuff=target,
+        rtt=rtt,
+        lmax=lmax,
+    )

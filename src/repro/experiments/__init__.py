@@ -1,0 +1,74 @@
+"""Experiment harness: wiring flows onto paths and sweeping configurations.
+
+* :mod:`repro.experiments.runner` — build a topology, attach flows, run,
+  and reduce to :class:`~repro.experiments.runner.FlowResult` rows.
+* :mod:`repro.experiments.scenarios` — the paper's multi-flow scenarios:
+  contention (Figure 12), congested uplink (Figure 14), wired paths
+  (Figure 13), shallow buffers / AQM (§6).
+* :mod:`repro.experiments.frontier` — t̄_buff sweeps (Figures 9 and 10).
+* :mod:`repro.experiments.algorithms` — the Table-3 algorithm line-up.
+* :mod:`repro.experiments.cpu` — control-cost probes (Table 4).
+* :mod:`repro.experiments.registry` — experiment id → runner index
+  (the per-figure map of DESIGN.md §5).
+"""
+
+from repro.experiments.algorithms import (
+    PR_TARGETS,
+    paper_algorithms,
+    proprate_factory,
+)
+from repro.experiments.cpu import instrument, instrumented_factory
+from repro.experiments.frontier import (
+    ConvergencePoint,
+    FrontierPoint,
+    nfl_convergence,
+    paper_frontier_targets,
+    sweep_frontier,
+)
+from repro.experiments.registry import EXPERIMENTS, Experiment, describe_all
+from repro.experiments.runner import (
+    FlowResult,
+    FlowSpec,
+    cellular_path_config,
+    run_experiment,
+    run_single_flow,
+    wired_path_config,
+)
+from repro.experiments.scenarios import (
+    baseline_shift,
+    contention_vs_cubic,
+    self_contention,
+    shallow_buffer,
+    throughput_share,
+    uplink_congestion,
+    wired_path,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ConvergencePoint",
+    "Experiment",
+    "FlowResult",
+    "FlowSpec",
+    "FrontierPoint",
+    "PR_TARGETS",
+    "baseline_shift",
+    "cellular_path_config",
+    "contention_vs_cubic",
+    "describe_all",
+    "instrument",
+    "instrumented_factory",
+    "nfl_convergence",
+    "paper_algorithms",
+    "paper_frontier_targets",
+    "proprate_factory",
+    "run_experiment",
+    "run_single_flow",
+    "self_contention",
+    "shallow_buffer",
+    "sweep_frontier",
+    "throughput_share",
+    "uplink_congestion",
+    "wired_path",
+    "wired_path_config",
+]

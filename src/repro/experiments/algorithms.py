@@ -1,0 +1,65 @@
+"""The canonical algorithm line-up of the paper's evaluation (§5).
+
+Factories for every algorithm in Table 3, plus the three PropRate
+configurations PR(L)/PR(M)/PR(H) (t̄_buff = 20/40/80 ms) used throughout
+the figures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.core.proprate import PropRate
+from repro.tcp.congestion import (
+    Bbr,
+    Cubic,
+    Ledbat,
+    NewReno,
+    Pcc,
+    Proteus,
+    Rre,
+    Sprout,
+    Vegas,
+    Verus,
+    Westwood,
+)
+from repro.tcp.congestion.base import CongestionControl
+
+CcFactory = Callable[[], CongestionControl]
+
+#: PropRate configurations (paper §5.1).
+PR_TARGETS = {"PR(L)": 0.020, "PR(M)": 0.040, "PR(H)": 0.080}
+
+
+def proprate_factory(target: float, **kwargs) -> CcFactory:
+    """A factory for PropRate at a fixed t̄_buff."""
+    return lambda: PropRate(target_buffer_delay=target, **kwargs)
+
+
+def paper_algorithms(include_proprate: bool = True) -> Dict[str, CcFactory]:
+    """Name → factory for the full Figure-7 line-up, in table order."""
+    algorithms: Dict[str, CcFactory] = {}
+    if include_proprate:
+        for name, target in PR_TARGETS.items():
+            algorithms[name] = proprate_factory(target)
+    algorithms.update(
+        {
+            "CUBIC": Cubic,
+            "NewReno": NewReno,
+            "Vegas": Vegas,
+            "Westwood": Westwood,
+            "LEDBAT": Ledbat,
+            "BBR": Bbr,
+            "Sprout": Sprout,
+            "PCC": Pcc,
+            "Verus": Verus,
+            "PROTEUS": Proteus,
+            "RRE": Rre,
+        }
+    )
+    return algorithms
+
+
+def baseline_names() -> List[str]:
+    """The non-PropRate algorithms, in table order."""
+    return list(paper_algorithms(include_proprate=False))

@@ -1,0 +1,68 @@
+"""Control-computation cost measurement (Table 4 substitute).
+
+The paper measures sender CPU utilisation on three physical CPUs.  In
+simulation the analogous quantity is the wall-clock time each
+congestion-control module spends inside its control callbacks per unit
+of simulated transfer; the relative ordering (forecast/utility-based
+algorithms ≫ simple control loops) is what Table 4 demonstrates.
+
+:func:`instrument` wraps a congestion-control instance's event hooks in
+``perf_counter`` timers, accumulating into ``cc.control_seconds`` — the
+instance keeps its class (so the sender's window/rate dispatch is
+untouched).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.tcp.congestion.base import CongestionControl
+
+#: The event hooks that constitute "control computation".
+_HOOKS = (
+    "on_connection_start",
+    "on_ack",
+    "on_congestion",
+    "on_recovery_exit",
+    "on_rto",
+    "on_packet_sent",
+    "on_tick",
+)
+
+
+def instrument(cc: CongestionControl) -> CongestionControl:
+    """Wrap ``cc``'s hooks with timers; returns the same instance.
+
+    After a run, ``cc.control_seconds`` holds the cumulative wall time
+    spent in control code and ``cc.control_calls`` the invocation count.
+    """
+    cc.control_seconds = 0.0  # type: ignore[attr-defined]
+    cc.control_calls = 0  # type: ignore[attr-defined]
+    for name in _HOOKS:
+        original = getattr(cc, name, None)
+        if original is None:
+            continue
+        setattr(cc, name, _timed(cc, original))
+    return cc
+
+
+def _timed(cc: CongestionControl, fn: Callable) -> Callable:
+    def wrapper(*args, **kwargs):
+        start = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            cc.control_seconds += time.perf_counter() - start  # type: ignore[attr-defined]
+            cc.control_calls += 1  # type: ignore[attr-defined]
+
+    return wrapper
+
+
+def instrumented_factory(factory: Callable[[], CongestionControl]):
+    """Wrap a factory so every produced instance is instrumented."""
+
+    def build() -> CongestionControl:
+        return instrument(factory())
+
+    return build

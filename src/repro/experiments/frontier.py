@@ -1,0 +1,122 @@
+"""Target-buffer-delay sweeps (Figures 9 and 10).
+
+PropRate's distinguishing property is a *tunable* operating point: one
+parameter, the target average buffer delay t̄_buff, moves the flow along
+a smooth throughput/latency frontier.  :func:`sweep_frontier` reproduces
+the Figure-10 grid; :func:`nfl_convergence` reproduces Figure 9's
+target-vs-achieved comparison with and without the negative-feedback
+loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.core.proprate import PropRate
+from repro.experiments.runner import FlowResult, run_single_flow
+from repro.traces.trace import Trace
+
+
+def paper_frontier_targets() -> List[float]:
+    """The Figure-10 grid: 12–30 ms step 1 ms, then 30–120 ms step 4 ms."""
+    fine = [t / 1000.0 for t in range(12, 30)]
+    coarse = [t / 1000.0 for t in range(30, 121, 4)]
+    return fine + coarse
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One sweep point: the configuration and its measured outcome."""
+
+    target_tbuff: float
+    result: FlowResult
+
+    @property
+    def throughput_kbps(self) -> float:
+        return self.result.throughput_kbps
+
+    @property
+    def mean_delay_ms(self) -> float:
+        return self.result.delay.mean_ms
+
+    @property
+    def p95_delay_ms(self) -> float:
+        return self.result.delay.p95_ms
+
+
+def sweep_frontier(
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    targets: Optional[Sequence[float]] = None,
+    duration: float = 30.0,
+    measure_start: float = 4.0,
+    enable_feedback: bool = True,
+) -> List[FrontierPoint]:
+    """Run PropRate across a grid of t̄_buff targets (Figure 10)."""
+    points = []
+    for target in targets if targets is not None else paper_frontier_targets():
+        result = run_single_flow(
+            lambda t=target: PropRate(
+                target_buffer_delay=t, enable_feedback=enable_feedback
+            ),
+            downlink_trace,
+            uplink_trace,
+            duration=duration,
+            measure_start=measure_start,
+            name=f"PR({target * 1000:.0f}ms)",
+        )
+        points.append(FrontierPoint(target_tbuff=target, result=result))
+    return points
+
+
+@dataclass(frozen=True)
+class ConvergencePoint:
+    """One Figure-9 point: target vs achieved average buffer delay."""
+
+    target_tbuff: float
+    achieved_tbuff: float
+    with_feedback: bool
+
+    @property
+    def error(self) -> float:
+        return self.achieved_tbuff - self.target_tbuff
+
+
+def nfl_convergence(
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    targets: Optional[Sequence[float]] = None,
+    duration: float = 30.0,
+    measure_start: float = 4.0,
+    propagation_delay: float = 0.020,
+) -> List[ConvergencePoint]:
+    """Figure 9: achieved vs target buffer delay, with and without NFL.
+
+    The achieved buffer delay is the externally measured mean one-way
+    delay minus the propagation delay — ground truth, not the sender's
+    own estimate.
+    """
+    if targets is None:
+        targets = [t / 1000.0 for t in range(20, 121, 20)]
+    points = []
+    for with_nfl in (True, False):
+        for target in targets:
+            result = run_single_flow(
+                lambda t=target, nfl=with_nfl: PropRate(
+                    target_buffer_delay=t, enable_feedback=nfl
+                ),
+                downlink_trace,
+                uplink_trace,
+                duration=duration,
+                measure_start=measure_start,
+            )
+            achieved = max(0.0, result.delay.mean - propagation_delay)
+            points.append(
+                ConvergencePoint(
+                    target_tbuff=target,
+                    achieved_tbuff=achieved,
+                    with_feedback=with_nfl,
+                )
+            )
+    return points

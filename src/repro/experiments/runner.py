@@ -1,0 +1,265 @@
+"""Run congestion-control flows over simulated paths.
+
+This is the Cellsim-equivalent experiment loop: build a duplex path from
+traces (or wired rates), attach one or more TCP flows, run the event
+loop, and reduce each flow's delivery record to the numbers the paper's
+figures plot — average throughput and mean / 95th-percentile one-way
+packet delay over a measurement window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.metrics.collector import DeliveryCollector
+from repro.tcp.application import Application
+from repro.metrics.stats import DelaySummary, delay_summary
+from repro.sim.engine import Simulator
+from repro.sim.network import DuplexPath, LinkConfig, PathConfig
+from repro.sim.queues import DEFAULT_BUFFER_PACKETS
+from repro.tcp.congestion.base import CongestionControl
+from repro.tcp.receiver import TcpReceiver, DEFAULT_TS_GRANULARITY
+from repro.tcp.sender import TcpSender
+from repro.traces.trace import Trace
+
+CcFactory = Callable[[], CongestionControl]
+
+#: Paper's emulation propagation delay (per direction).
+DEFAULT_PROP_DELAY = 0.020
+
+#: Default wired return path used when no uplink trace is supplied
+#: (bytes/second) — fast enough never to be the bottleneck.
+DEFAULT_UPLINK_RATE = 12.5e6
+
+
+@dataclass
+class FlowSpec:
+    """One flow in an experiment.
+
+    ``direction`` is "down" for a server→mobile transfer (data rides the
+    downlink) or "up" for an upload (data rides the uplink — the
+    Figure-14 scenario).  ``measure_start``/``measure_end`` override the
+    experiment-wide measurement window for this flow.  ``delayed_ack``
+    runs this flow's receiver with RFC 1122 delayed ACKs (robustness
+    ablation).
+    """
+
+    cc_factory: CcFactory
+    name: str = ""
+    start: float = 0.0
+    direction: str = "down"
+    total_segments: Optional[int] = None
+    measure_start: Optional[float] = None
+    measure_end: Optional[float] = None
+    delayed_ack: bool = False
+    application: Optional[Application] = None
+
+    def __post_init__(self) -> None:
+        if self.direction not in ("down", "up"):
+            raise ValueError("direction must be 'down' or 'up'")
+
+
+@dataclass
+class FlowResult:
+    """Reduced outcome of one flow."""
+
+    name: str
+    throughput: float               # bytes/second over the window
+    delay: DelaySummary             # one-way packet delay stats
+    delivered_bytes: int
+    bottleneck_drops: int
+    retransmissions: int
+    rto_count: int
+    measure_start: float
+    measure_end: float
+    collector: DeliveryCollector = field(repr=False, default=None)
+    sender: TcpSender = field(repr=False, default=None)
+    #: Bottleneck capacity (bytes/s) over the measurement window of this
+    #: flow's data direction, when the topology can provide it.
+    capacity: Optional[float] = None
+
+    @property
+    def throughput_kbps(self) -> float:
+        """Throughput in the paper's units (KB/s, K = 1000)."""
+        return self.throughput / 1000.0
+
+    @property
+    def utilization(self) -> Optional[float]:
+        """Goodput as a fraction of the bottleneck capacity, if known.
+
+        Meaningful for a flow alone on its bottleneck; flows sharing a
+        link each report their own fraction of the *total* capacity.
+        """
+        if self.capacity is None or self.capacity <= 0:
+            return None
+        return self.throughput / self.capacity
+
+
+def cellular_path_config(
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    prop_delay: float = DEFAULT_PROP_DELAY,
+    aqm: str = "droptail",
+    uplink_rate: float = DEFAULT_UPLINK_RATE,
+) -> PathConfig:
+    """The paper's emulation topology: trace-driven bottlenecks, 2,000-
+    packet drop-tail buffers, 20 ms propagation per direction."""
+    downlink = LinkConfig(
+        trace=downlink_trace,
+        prop_delay=prop_delay,
+        buffer_packets=buffer_packets,
+        aqm=aqm,
+    )
+    if uplink_trace is not None:
+        uplink = LinkConfig(
+            trace=uplink_trace,
+            prop_delay=prop_delay,
+            buffer_packets=buffer_packets,
+            aqm="droptail",
+        )
+    else:
+        uplink = LinkConfig(
+            rate=uplink_rate,
+            prop_delay=prop_delay,
+            buffer_packets=buffer_packets,
+        )
+    return PathConfig(downlink=downlink, uplink=uplink)
+
+
+def wired_path_config(
+    rate: float,
+    rtt: float,
+    buffer_packets: int = 400,
+) -> PathConfig:
+    """A symmetric wired path with the given bottleneck rate and RTT."""
+    prop = rtt / 2.0
+    return PathConfig(
+        downlink=LinkConfig(rate=rate, prop_delay=prop, buffer_packets=buffer_packets),
+        uplink=LinkConfig(rate=rate, prop_delay=prop, buffer_packets=buffer_packets),
+    )
+
+
+def run_experiment(
+    path_config: PathConfig,
+    flows: List[FlowSpec],
+    duration: float,
+    measure_start: float = 5.0,
+    measure_end: Optional[float] = None,
+    ts_granularity: float = DEFAULT_TS_GRANULARITY,
+) -> List[FlowResult]:
+    """Run ``flows`` over one shared path and reduce the results.
+
+    ``measure_start``/``measure_end`` bound the statistics window
+    (defaults: 5 s warm-up, end of run); per-flow overrides win.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    sim = Simulator()
+    path = DuplexPath(sim, path_config)
+    harnessed = []
+
+    for flow_id, spec in enumerate(flows):
+        name = spec.name or f"flow{flow_id}"
+        collector = DeliveryCollector()
+        cc = spec.cc_factory()
+        if spec.direction == "down":
+            data_sink, ack_sink = path.send_forward, path.send_reverse
+        else:
+            data_sink, ack_sink = path.send_reverse, path.send_forward
+        receiver = TcpReceiver(
+            sim,
+            flow_id,
+            send_ack=ack_sink,
+            ts_granularity=ts_granularity,
+            on_data=collector.on_data,
+            delayed_ack=spec.delayed_ack,
+        )
+        sender = TcpSender(
+            sim,
+            flow_id,
+            cc,
+            send_packet=data_sink,
+            total_segments=spec.total_segments,
+            application=spec.application,
+        )
+        if spec.direction == "down":
+            path.attach_flow(flow_id, receiver.receive, sender.on_ack_packet)
+        else:
+            path.attach_flow(flow_id, sender.on_ack_packet, receiver.receive)
+        sim.schedule_at(spec.start, sender.start)
+        harnessed.append((spec, name, collector, sender))
+
+    sim.run(until=duration)
+
+    results: List[FlowResult] = []
+    for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
+        start = spec.measure_start if spec.measure_start is not None else max(
+            measure_start, spec.start
+        )
+        end = spec.measure_end if spec.measure_end is not None else (
+            measure_end if measure_end is not None else duration
+        )
+        delays = collector.delays(start, end)
+        delivered = collector.delivered_bytes(start, end)
+        window = max(1e-9, end - start)
+        drops: Dict[int, int] = (
+            path.forward_drops if spec.direction == "down" else path.reverse_drops
+        )
+        link_cfg = (
+            path_config.downlink if spec.direction == "down" else path_config.uplink
+        )
+        if end <= start:
+            capacity = None
+        elif link_cfg.trace is not None:
+            capacity = link_cfg.trace.capacity_bytes(start, end) / window
+        else:
+            capacity = link_cfg.rate
+        results.append(
+            FlowResult(
+                name=name,
+                throughput=delivered / window,
+                delay=delay_summary(delays),
+                delivered_bytes=delivered,
+                bottleneck_drops=drops.get(flow_id, 0),
+                retransmissions=sender.retransmissions,
+                rto_count=sender.rto_count,
+                measure_start=start,
+                measure_end=end,
+                collector=collector,
+                sender=sender,
+                capacity=capacity,
+            )
+        )
+    return results
+
+
+def run_single_flow(
+    cc_factory: CcFactory,
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    duration: float = 40.0,
+    measure_start: float = 5.0,
+    name: str = "",
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS,
+    prop_delay: float = DEFAULT_PROP_DELAY,
+    aqm: str = "droptail",
+    ts_granularity: float = DEFAULT_TS_GRANULARITY,
+) -> FlowResult:
+    """Convenience wrapper: one downlink flow over a cellular path."""
+    config = cellular_path_config(
+        downlink_trace,
+        uplink_trace,
+        buffer_packets=buffer_packets,
+        prop_delay=prop_delay,
+        aqm=aqm,
+    )
+    results = run_experiment(
+        config,
+        [FlowSpec(cc_factory=cc_factory, name=name)],
+        duration=duration,
+        measure_start=measure_start,
+        ts_granularity=ts_granularity,
+    )
+    return results[0]

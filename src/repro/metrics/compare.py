@@ -1,0 +1,123 @@
+"""Statistical comparison of experiment outcomes across replications.
+
+The paper repeats every real-network experiment "many times" (§5.3) and
+plots means; this module supplies the statistics for doing the same with
+seeded trace replications: bootstrap confidence intervals for a mean,
+and a rank-based two-sample test for claims like "algorithm A's delay is
+lower than B's across replications".
+
+Everything is deterministic given the ``seed`` arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class MeanCI:
+    """A sample mean with a bootstrap confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+    n: int
+
+    def __contains__(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+
+def bootstrap_mean_ci(
+    samples: Sequence[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    seed: int = 0,
+) -> MeanCI:
+    """Percentile-bootstrap CI for the mean of ``samples``.
+
+    With a single sample the interval degenerates to the point estimate.
+    """
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one sample")
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = float(arr.mean())
+    if arr.size == 1:
+        return MeanCI(mean, mean, mean, confidence, 1)
+    rng = np.random.default_rng(seed)
+    idx = rng.integers(0, arr.size, size=(n_resamples, arr.size))
+    means = arr[idx].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(means, [alpha, 1.0 - alpha])
+    return MeanCI(mean, float(low), float(high), confidence, int(arr.size))
+
+
+def mann_whitney_u(
+    a: Sequence[float], b: Sequence[float]
+) -> Tuple[float, float]:
+    """Two-sided Mann–Whitney U test (normal approximation).
+
+    Returns ``(u_statistic, p_value)``.  Suitable for the small
+    replication counts these experiments use (ties handled by mid-ranks;
+    the normal approximation is conservative below ~8 samples per side).
+    """
+    x = np.asarray(a, dtype=float)
+    y = np.asarray(b, dtype=float)
+    if x.size == 0 or y.size == 0:
+        raise ValueError("both samples must be non-empty")
+    combined = np.concatenate([x, y])
+    order = combined.argsort(kind="mergesort")
+    ranks = np.empty_like(combined)
+    # Mid-ranks for ties.
+    sorted_vals = combined[order]
+    i = 0
+    while i < sorted_vals.size:
+        j = i
+        while j + 1 < sorted_vals.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    r1 = float(ranks[: x.size].sum())
+    n1, n2 = x.size, y.size
+    u1 = r1 - n1 * (n1 + 1) / 2.0
+    u = min(u1, n1 * n2 - u1)
+    mu = n1 * n2 / 2.0
+    sigma = math.sqrt(n1 * n2 * (n1 + n2 + 1) / 12.0)
+    if sigma == 0:
+        return u, 1.0
+    z = (u - mu + 0.5) / sigma  # continuity correction
+    p = 2.0 * _phi(z)
+    return u, min(1.0, max(0.0, p))
+
+
+def _phi(z: float) -> float:
+    """Standard-normal CDF at z (z expected <= 0 here)."""
+    return 0.5 * math.erfc(-z / math.sqrt(2.0))
+
+
+def stochastically_less(
+    a: Sequence[float],
+    b: Sequence[float],
+    alpha: float = 0.05,
+) -> bool:
+    """Is sample ``a`` significantly smaller than ``b``?
+
+    One-sided decision built from the two-sided U test plus a direction
+    check on the medians — the form the shape assertions need ("A's
+    delays are lower than B's across seeds").
+    """
+    _, p_two_sided = mann_whitney_u(a, b)
+    return (
+        float(np.median(a)) < float(np.median(b))
+        and p_two_sided / 2.0 < alpha
+    )

@@ -1,0 +1,78 @@
+"""Summary statistics for experiment results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DelaySummary:
+    """Mean / median / tail statistics of a delay sample (seconds)."""
+
+    count: int
+    mean: float
+    median: float
+    p95: float
+    p99: float
+    maximum: float
+
+    @property
+    def mean_ms(self) -> float:
+        return self.mean * 1000.0
+
+    @property
+    def p95_ms(self) -> float:
+        return self.p95 * 1000.0
+
+
+def delay_summary(delays: Sequence[float]) -> DelaySummary:
+    """Reduce a delay sample to the figures' summary statistics.
+
+    An empty sample yields NaNs (a flow that delivered nothing), which
+    report tables render as missing rather than crashing the sweep.
+    """
+    arr = np.asarray(delays, dtype=float)
+    if arr.size == 0:
+        nan = float("nan")
+        return DelaySummary(0, nan, nan, nan, nan, nan)
+    return DelaySummary(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        median=float(np.percentile(arr, 50)),
+        p95=float(np.percentile(arr, 95)),
+        p99=float(np.percentile(arr, 99)),
+        maximum=float(arr.max()),
+    )
+
+
+def jain_fairness(allocations: Sequence[float]) -> float:
+    """Jain's fairness index: 1 is perfectly fair, 1/n maximally unfair."""
+    arr = np.asarray(allocations, dtype=float)
+    if arr.size == 0:
+        raise ValueError("need at least one allocation")
+    denom = arr.size * float((arr ** 2).sum())
+    if denom == 0:
+        return 1.0
+    return float(arr.sum()) ** 2 / denom
+
+
+def throughput_timeseries(
+    times: Sequence[float],
+    sizes: Sequence[float],
+    window: float = 0.1,
+    duration: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Windowed throughput (bytes/s) from per-delivery (time, size) pairs."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    t = np.asarray(times, dtype=float)
+    s = np.asarray(sizes, dtype=float)
+    if t.size == 0:
+        return np.empty(0), np.empty(0)
+    horizon = duration if duration > 0 else float(t.max()) + window
+    edges = np.arange(0.0, horizon + window, window)
+    sums, _ = np.histogram(t, bins=edges, weights=s)
+    return edges[:-1], sums / window

@@ -1,0 +1,15 @@
+"""Result export: CSV tables and gnuplot scripts for the figures."""
+
+from repro.report.export import (
+    flow_results_to_csv,
+    frontier_to_csv,
+    gnuplot_scatter_script,
+    timeseries_to_csv,
+)
+
+__all__ = [
+    "flow_results_to_csv",
+    "frontier_to_csv",
+    "gnuplot_scatter_script",
+    "timeseries_to_csv",
+]

@@ -1,0 +1,128 @@
+"""Export experiment outcomes to CSV and gnuplot.
+
+The benchmarks print and persist plain-text tables; this module produces
+machine-readable artifacts for anyone who wants to re-plot the figures —
+a CSV per figure plus a ready-to-run gnuplot script reproducing the
+paper's scatter layout (throughput on y, delay on x, one point per
+algorithm, mean and 95th percentile as separate series).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, Sequence, Union
+
+PathLike = Union[str, Path]
+
+
+def flow_results_to_csv(
+    results: Dict[str, "FlowResult"],
+    path: PathLike,
+) -> Path:
+    """One row per algorithm: the Figure-7-style scatter data."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            [
+                "algorithm",
+                "throughput_kbps",
+                "mean_delay_ms",
+                "p95_delay_ms",
+                "p99_delay_ms",
+                "drops",
+                "retransmissions",
+                "rtos",
+            ]
+        )
+        for name, result in results.items():
+            writer.writerow(
+                [
+                    name,
+                    f"{result.throughput_kbps:.2f}",
+                    f"{result.delay.mean_ms:.2f}",
+                    f"{result.delay.p95_ms:.2f}",
+                    f"{result.delay.p99 * 1000:.2f}",
+                    result.bottleneck_drops,
+                    result.retransmissions,
+                    result.rto_count,
+                ]
+            )
+    return path
+
+
+def frontier_to_csv(points: Sequence["FrontierPoint"], path: PathLike) -> Path:
+    """One row per sweep target: the Figure-10 frontier data."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["target_tbuff_ms", "throughput_kbps", "mean_delay_ms", "p95_delay_ms"]
+        )
+        for point in points:
+            writer.writerow(
+                [
+                    f"{point.target_tbuff * 1000:.1f}",
+                    f"{point.throughput_kbps:.2f}",
+                    f"{point.mean_delay_ms:.2f}",
+                    f"{point.p95_delay_ms:.2f}",
+                ]
+            )
+    return path
+
+
+def timeseries_to_csv(
+    times: Iterable[float],
+    values: Iterable[float],
+    path: PathLike,
+    value_label: str = "value",
+) -> Path:
+    """A (time, value) series, e.g. windowed throughput or queue delay."""
+    path = Path(path)
+    with open(path, "w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["time_s", value_label])
+        for t, v in zip(times, values):
+            writer.writerow([f"{t:.4f}", f"{v:.4f}"])
+    return path
+
+
+def gnuplot_scatter_script(
+    csv_path: PathLike,
+    output_path: PathLike,
+    title: str = "Throughput vs one-way delay",
+    png_path: PathLike = "figure.png",
+) -> Path:
+    """Write a gnuplot script plotting a flow-results CSV.
+
+    The layout mirrors the paper's Figure 7: delay on a linear x axis,
+    throughput on y, each algorithm a labelled point, mean and p95 delay
+    joined by a horizontal segment.
+    """
+    csv_path = Path(csv_path)
+    output_path = Path(output_path)
+    script = io.StringIO()
+    script.write(
+        "\n".join(
+            [
+                "set datafile separator ','",
+                f"set output '{png_path}'",
+                "set terminal pngcairo size 900,600",
+                f"set title '{title}'",
+                "set xlabel 'Delay (ms)'",
+                "set ylabel 'Throughput (KB/s)'",
+                "set key outside right",
+                "set grid",
+                # mean->p95 segment per algorithm, then labelled points
+                f"plot '{csv_path.name}' using 3:2:($4-$3):(0) skip 1 "
+                "with vectors nohead lc rgb 'gray' notitle, \\",
+                f"     '{csv_path.name}' using 3:2:1 skip 1 "
+                "with labels point pt 7 offset char 1,0.5 notitle",
+                "",
+            ]
+        )
+    )
+    output_path.write_text(script.getvalue(), encoding="ascii")
+    return output_path

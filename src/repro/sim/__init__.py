@@ -1,0 +1,28 @@
+"""Discrete-event network simulation substrate (Cellsim equivalent).
+
+This subpackage provides the network substrate the paper's evaluation runs
+on: an event loop (:mod:`repro.sim.engine`), packets with TCP options
+(:mod:`repro.sim.packet`), finite drop-tail and CoDel queues
+(:mod:`repro.sim.queues`), trace-driven cellular links and constant-rate
+wired links (:mod:`repro.sim.link`), and duplex path wiring
+(:mod:`repro.sim.network`).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.link import CellularLink, WiredLink
+from repro.sim.network import DuplexPath, PathConfig
+from repro.sim.packet import Packet, SackBlock
+from repro.sim.queues import CoDelQueue, DropTailQueue
+
+__all__ = [
+    "CellularLink",
+    "CoDelQueue",
+    "DropTailQueue",
+    "DuplexPath",
+    "Event",
+    "Packet",
+    "PathConfig",
+    "SackBlock",
+    "Simulator",
+    "WiredLink",
+]

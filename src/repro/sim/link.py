@@ -1,0 +1,212 @@
+"""Link models: trace-driven cellular links and constant-rate wired links.
+
+:class:`CellularLink` is the Cellsim substrate: it replays a
+:class:`~repro.traces.trace.Trace` of delivery opportunities through a
+finite queue.  Each opportunity can carry up to 1500 bytes; several small
+packets (e.g. ACKs) may share one opportunity, and an opportunity that
+finds the queue empty is wasted — exactly the semantics of the emulator
+used in the paper.
+
+:class:`WiredLink` is a conventional store-and-forward link with a fixed
+service rate, used for the Figure-13 inter-continental experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.packet import Packet
+from repro.sim.queues import DropTailQueue
+from repro.traces.trace import OPPORTUNITY_BYTES, Trace
+
+DeliverCallback = Callable[[Packet], None]
+
+
+class Link:
+    """Common interface: ``enqueue`` a packet, ``on_deliver`` fires later."""
+
+    def enqueue(self, packet: Packet) -> bool:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class CellularLink(Link):
+    """A trace-driven bottleneck: finite queue drained by trace opportunities.
+
+    Parameters
+    ----------
+    sim:
+        The event loop.
+    trace:
+        Delivery-opportunity schedule; replayed cyclically when ``loop``.
+    queue:
+        The bottleneck buffer (drop-tail by default, CoDel for the AQM
+        discussion experiment).
+    prop_delay:
+        Fixed one-way propagation delay applied after service.
+    on_deliver:
+        Called with each packet when it exits the link.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trace: Trace,
+        queue: DropTailQueue,
+        prop_delay: float = 0.020,
+        on_deliver: Optional[DeliverCallback] = None,
+        loop: bool = True,
+        name: str = "cell",
+    ) -> None:
+        if len(trace) == 0:
+            raise ValueError("trace has no delivery opportunities")
+        self.sim = sim
+        self.trace = trace
+        self.queue = queue
+        self.prop_delay = prop_delay
+        self.on_deliver = on_deliver
+        self.loop = loop
+        self.name = name
+        self._times = trace.opportunity_times
+        self._period = trace.duration
+        self._cycle = 0  # how many whole trace periods have elapsed
+        self._index = 0  # next opportunity index within the current cycle
+        self._service_event: Optional[Event] = None
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+        self.wasted_opportunities = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, packet: Packet) -> bool:
+        """Offer a packet to the bottleneck buffer.
+
+        Returns False if the buffer dropped it.
+        """
+        accepted = self.queue.push(packet, self.sim.now)
+        if accepted and self._service_event is None:
+            self._arm_service()
+        return accepted
+
+    # ------------------------------------------------------------------
+    def _next_opportunity_time(self) -> float:
+        """Absolute time of the next unused delivery opportunity >= now.
+
+        Fast-forwards over opportunities that elapsed while the queue was
+        empty (they are wasted by definition; we count them lazily).
+        """
+        now = self.sim.now
+        while True:
+            base = self._cycle * self._period
+            # Jump the index to the first opportunity at/after now.
+            local = now - base
+            idx = int(np.searchsorted(self._times, local, side="left"))
+            if idx > self._index:
+                self.wasted_opportunities += idx - self._index
+                self._index = idx
+            if self._index < self._times.size:
+                return base + float(self._times[self._index])
+            if not self.loop:
+                return float("inf")
+            self.wasted_opportunities += 0  # end of cycle: roll over
+            self._cycle += 1
+            self._index = 0
+
+    def _arm_service(self) -> None:
+        t = self._next_opportunity_time()
+        if t == float("inf"):
+            self._service_event = None
+            return
+        self._service_event = self.sim.schedule_at(t, self._serve)
+
+    def _serve(self) -> None:
+        """Consume one delivery opportunity: up to 1500 bytes of packets."""
+        self._service_event = None
+        self._index += 1
+        budget = OPPORTUNITY_BYTES
+        served_any = False
+        while True:
+            head = self.queue.peek()
+            if head is None or head.size > budget:
+                break
+            packet = self.queue.pop(self.sim.now)
+            if packet is None:
+                break
+            budget -= packet.size
+            served_any = True
+            self.delivered_packets += 1
+            self.delivered_bytes += packet.size
+            self._deliver_later(packet)
+        if not served_any:
+            # CoDel may drop everything it dequeues; a truly empty queue
+            # simply wastes the opportunity.
+            self.wasted_opportunities += 1
+        if len(self.queue) > 0:
+            self._arm_service()
+
+    def _deliver_later(self, packet: Packet) -> None:
+        if self.on_deliver is None:
+            return
+        callback = self.on_deliver
+        self.sim.schedule(self.prop_delay, lambda p=packet: callback(p))
+
+    # ------------------------------------------------------------------
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)
+
+
+class WiredLink(Link):
+    """A fixed-rate store-and-forward link with a finite drop-tail buffer."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate: float,
+        queue: DropTailQueue,
+        prop_delay: float = 0.010,
+        on_deliver: Optional[DeliverCallback] = None,
+        name: str = "wired",
+    ) -> None:
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.rate = rate
+        self.queue = queue
+        self.prop_delay = prop_delay
+        self.on_deliver = on_deliver
+        self.name = name
+        self._busy = False
+        self.delivered_packets = 0
+        self.delivered_bytes = 0
+
+    def enqueue(self, packet: Packet) -> bool:
+        accepted = self.queue.push(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._start_service()
+        return accepted
+
+    def _start_service(self) -> None:
+        packet = self.queue.pop(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        service_time = packet.size / self.rate
+        self.sim.schedule(service_time, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: Packet) -> None:
+        self.delivered_packets += 1
+        self.delivered_bytes += packet.size
+        if self.on_deliver is not None:
+            callback = self.on_deliver
+            self.sim.schedule(self.prop_delay, lambda p=packet: callback(p))
+        if len(self.queue) > 0:
+            self._start_service()
+        else:
+            self._busy = False
+
+    @property
+    def queue_length(self) -> int:
+        return len(self.queue)

@@ -1,0 +1,15 @@
+"""TCP endpoint substrate: bulk sender, receiver, and pluggable CC.
+
+The sender (:mod:`repro.tcp.sender`) implements both packet-regulation
+mechanisms of the paper's Figure 5: the conventional ACK-clocked
+cwnd-based mechanism, and the new timer-clocked rate-based mechanism with
+per-tick rounding and byte-deficit accounting (paper §4.3).  Congestion
+control algorithms plug in through the small API in
+:mod:`repro.tcp.congestion.base`.
+"""
+
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.rto import RtoEstimator
+from repro.tcp.sender import TcpSender
+
+__all__ = ["RtoEstimator", "TcpReceiver", "TcpSender"]

@@ -1,0 +1,61 @@
+"""Pluggable congestion-control algorithms.
+
+Every algorithm the paper evaluates (Table 3) is implemented here behind
+the common API of :mod:`repro.tcp.congestion.base`:
+
+==========  =================  ==========================
+Algorithm   Regulation         Congestion trigger
+==========  =================  ==========================
+PropRate    rate-based         buffer delay
+RRE         rate-based         buffer delay
+BBR         rate-based         (none)
+PCC         rate-based         utility function
+PROTEUS     rate-based         rate forecast
+Sprout      window-based       rate forecast
+Verus       window-based       utility function
+LEDBAT      window-based       buffer delay + packet loss
+CUBIC       cwnd-based         packet loss
+NewReno     cwnd-based         packet loss
+Vegas       cwnd-based         delay (loss fallback)
+Westwood    cwnd-based         packet loss
+==========  =================  ==========================
+
+PropRate itself lives in :mod:`repro.core.proprate`; it subclasses the
+same :class:`~repro.tcp.congestion.base.RateCongestionControl` base.
+"""
+
+from repro.tcp.congestion.base import (
+    AckSample,
+    CongestionControl,
+    RateCongestionControl,
+    WindowCongestionControl,
+)
+from repro.tcp.congestion.bbr import Bbr
+from repro.tcp.congestion.cubic import Cubic
+from repro.tcp.congestion.ledbat import Ledbat
+from repro.tcp.congestion.pcc import Pcc
+from repro.tcp.congestion.proteus import Proteus
+from repro.tcp.congestion.reno import NewReno
+from repro.tcp.congestion.rre import Rre
+from repro.tcp.congestion.sprout import Sprout
+from repro.tcp.congestion.vegas import Vegas
+from repro.tcp.congestion.verus import Verus
+from repro.tcp.congestion.westwood import Westwood
+
+__all__ = [
+    "AckSample",
+    "Bbr",
+    "CongestionControl",
+    "Cubic",
+    "Ledbat",
+    "NewReno",
+    "Pcc",
+    "Proteus",
+    "RateCongestionControl",
+    "Rre",
+    "Sprout",
+    "Vegas",
+    "Verus",
+    "WindowCongestionControl",
+    "Westwood",
+]

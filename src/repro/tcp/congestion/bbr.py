@@ -1,0 +1,218 @@
+"""BBR (Cardwell et al. 2016): congestion-based congestion control.
+
+BBR is the paper's closest relative: a true rate-based algorithm, but
+with a very different philosophy (paper §2).  It estimates the
+bottleneck bandwidth as the *maximum* recent delivery rate (PropRate
+argues this over-estimates on volatile cellular links and uses an EWMA
+instead) and carries no explicit congestion signal, converging to the
+estimated BDP operating point.
+
+This implementation follows the published state machine:
+
+* STARTUP — pacing gain 2/ln 2 until the bandwidth filter plateaus for
+  three rounds;
+* DRAIN — inverse gain until in-flight falls to the BDP;
+* PROBE_BW — the 8-phase gain cycle [1.25, 0.75, 1 × 6], one phase per
+  min-RTT;
+* PROBE_RTT — every 10 s, dwell 200 ms at 4 packets in flight to refresh
+  the min-RTT filter.
+
+Packet losses are ignored (BBRv1 behaviour, which the paper's §6 notes
+makes BBR aggressive under shallow buffers).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.tcp.congestion.base import AckSample, RateCongestionControl
+from repro.util.windows import SlidingWindowMin, WindowedMax
+
+STARTUP_GAIN = 2.0 / math.log(2.0)       # ≈ 2.885
+DRAIN_GAIN = 1.0 / STARTUP_GAIN
+PROBE_GAINS = (1.25, 0.75, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0)
+CWND_GAIN = 2.0                           # in-flight cap, multiples of BDP
+MIN_RTT_WINDOW = 10.0                     # seconds
+PROBE_RTT_DURATION = 0.200                # seconds
+PROBE_RTT_CWND = 4                        # packets
+FULL_BW_THRESHOLD = 1.25
+FULL_BW_ROUNDS = 3
+
+
+class Bbr(RateCongestionControl):
+    """BBRv1-style bandwidth/RTT probing."""
+
+    name = "BBR"
+    sending_regulation = "Rate-based"
+    congestion_trigger = "NA"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.mode = "startup"
+        self._bw_filter = WindowedMax(10.0)        # bytes/s; window tracks rtt
+        self._rtt_filter = SlidingWindowMin(MIN_RTT_WINDOW)
+        self._rate_samples: Deque[Tuple[float, int]] = deque(maxlen=24)
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self._round_count = 0
+        self._next_round_delivered = 0
+        self._cycle_index = 0
+        self._cycle_start = 0.0
+        self._min_rtt_stamp = 0.0
+        self._probe_rtt_done: Optional[float] = None
+        self.pacing_gain = STARTUP_GAIN
+
+    # ------------------------------------------------------------------
+    def on_connection_start(self) -> None:
+        self.request_burst(10)  # IW=10 bootstrap to seed the filters
+
+    # ------------------------------------------------------------------
+    def _bandwidth(self) -> Optional[float]:
+        return self._bw_filter.current()
+
+    def _min_rtt(self) -> Optional[float]:
+        return self._rtt_filter.current()
+
+    def _bdp_bytes(self) -> Optional[float]:
+        bw, rtt = self._bandwidth(), self._min_rtt()
+        if bw is None or rtt is None:
+            return None
+        return bw * rtt
+
+    def _update_rate_sample(self, sample: AckSample) -> None:
+        host = self.host
+        assert host is not None
+        self._rate_samples.append((sample.now, sample.delivered_total))
+        if len(self._rate_samples) < 2:
+            return
+        t0, d0 = self._rate_samples[0]
+        t1, d1 = self._rate_samples[-1]
+        if t1 <= t0 or d1 <= d0:
+            return
+        rate = (d1 - d0) * host.packet_bytes / (t1 - t0)
+        rtt = self._min_rtt() or 0.1
+        self._bw_filter.window = max(1.0, 10.0 * rtt)
+        self._bw_filter.update(sample.now, rate)
+
+    def _update_round(self, sample: AckSample) -> bool:
+        if sample.delivered_total >= self._next_round_delivered:
+            self._round_count += 1
+            self._next_round_delivered = sample.delivered_total + max(
+                1, sample.inflight
+            )
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt is not None and sample.rtt > 0:
+            current_min = self._rtt_filter.current(sample.now)
+            if current_min is None or sample.rtt <= current_min:
+                self._min_rtt_stamp = sample.now
+            self._rtt_filter.update(sample.now, sample.rtt)
+        self._update_rate_sample(sample)
+        round_ended = self._update_round(sample)
+
+        if self.mode == "startup":
+            self._startup_step(sample, round_ended)
+        elif self.mode == "drain":
+            self._drain_step(sample)
+        elif self.mode == "probe_bw":
+            self._probe_bw_step(sample)
+        elif self.mode == "probe_rtt":
+            self._probe_rtt_step(sample)
+
+        self._maybe_enter_probe_rtt(sample)
+        self._apply_pacing(sample)
+
+    # ------------------------------------------------------------------
+    def _startup_step(self, sample: AckSample, round_ended: bool) -> None:
+        self.pacing_gain = STARTUP_GAIN
+        if not round_ended:
+            return
+        bw = self._bandwidth() or 0.0
+        if bw >= self._full_bw * FULL_BW_THRESHOLD:
+            self._full_bw = bw
+            self._full_bw_rounds = 0
+        else:
+            self._full_bw_rounds += 1
+            if self._full_bw_rounds >= FULL_BW_ROUNDS:
+                self.mode = "drain"
+
+    def _drain_step(self, sample: AckSample) -> None:
+        self.pacing_gain = DRAIN_GAIN
+        bdp = self._bdp_bytes()
+        host = self.host
+        assert host is not None
+        if bdp is not None and sample.inflight * host.packet_bytes <= bdp:
+            self._enter_probe_bw(sample.now)
+
+    def _enter_probe_bw(self, now: float) -> None:
+        self.mode = "probe_bw"
+        self._cycle_index = 2  # start in a cruise phase (Linux avoids 0.75)
+        self._cycle_start = now
+        self.pacing_gain = PROBE_GAINS[self._cycle_index]
+
+    def _probe_bw_step(self, sample: AckSample) -> None:
+        rtt = self._min_rtt() or 0.1
+        if sample.now - self._cycle_start > rtt:
+            self._cycle_index = (self._cycle_index + 1) % len(PROBE_GAINS)
+            self._cycle_start = sample.now
+        self.pacing_gain = PROBE_GAINS[self._cycle_index]
+
+    def _maybe_enter_probe_rtt(self, sample: AckSample) -> None:
+        if self.mode in ("probe_rtt", "startup", "drain"):
+            return
+        if sample.now - self._min_rtt_stamp > MIN_RTT_WINDOW:
+            self.mode = "probe_rtt"
+            self._probe_rtt_done = sample.now + PROBE_RTT_DURATION
+            self._min_rtt_stamp = sample.now
+
+    def _probe_rtt_step(self, sample: AckSample) -> None:
+        assert self._probe_rtt_done is not None
+        if sample.now >= self._probe_rtt_done:
+            if self._full_bw_rounds >= FULL_BW_ROUNDS:
+                self._enter_probe_bw(sample.now)
+            else:
+                self.mode = "startup"
+
+    # ------------------------------------------------------------------
+    def _apply_pacing(self, sample: AckSample) -> None:
+        host = self.host
+        assert host is not None
+        bw = self._bandwidth()
+        if bw is None:
+            # No estimate yet: keep bootstrapping at IW/RTT.
+            rtt = self._min_rtt() or 0.1
+            self.pacing_rate = 10 * host.packet_bytes / rtt
+            return
+        if self.mode == "probe_rtt":
+            rtt = self._min_rtt() or 0.1
+            self.pacing_rate = PROBE_RTT_CWND * host.packet_bytes / rtt
+            return
+        self.pacing_rate = self.pacing_gain * bw
+
+    def on_tick(self, now: float) -> None:
+        """In-flight cap: cwnd_gain × BDP (4 packets during PROBE_RTT)."""
+        host = self.host
+        if host is None:
+            return
+        if self.mode == "probe_rtt":
+            if host.inflight >= PROBE_RTT_CWND:
+                self.pacing_rate = 0.0
+            return
+        bdp = self._bdp_bytes()
+        if bdp is None:
+            return
+        cap_packets = max(10, int(CWND_GAIN * bdp / host.packet_bytes))
+        if host.inflight >= cap_packets:
+            self.pacing_rate = 0.0
+
+    def on_rto(self) -> None:
+        self.mode = "startup"
+        self._full_bw = 0.0
+        self._full_bw_rounds = 0
+        self.pacing_gain = STARTUP_GAIN
+        self.request_burst(4)

@@ -1,0 +1,96 @@
+"""TCP CUBIC (Ha, Rhee, Xu 2008; RFC 8312) — the Linux default.
+
+The paper uses CUBIC as the dominant-deployment baseline: aggressive
+window growth that saturates the 2,000-packet cellular buffer, yielding
+maximal throughput at the cost of hundreds of milliseconds of queueing
+delay (the bufferbloat frontier corner in Figures 7 and 10).
+
+Implements the real-time cubic window function with fast convergence and
+the TCP-friendly (Reno-tracking) region.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tcp.congestion.base import AckSample, WindowCongestionControl
+
+
+class Cubic(WindowCongestionControl):
+    """CUBIC congestion avoidance."""
+
+    name = "CUBIC"
+    sending_regulation = "cwnd-based"
+    congestion_trigger = "Packet Loss"
+
+    #: RFC 8312 constants.
+    C = 0.4
+    BETA = 0.7
+    MIN_CWND = 2.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._w_max = 0.0
+        self._epoch_start: Optional[float] = None
+        self._k = 0.0
+        self._w_est = 0.0  # TCP-friendly estimate
+        self._acked_in_epoch = 0.0
+
+    # ------------------------------------------------------------------
+    def _begin_epoch(self, now: float) -> None:
+        self._epoch_start = now
+        if self.cwnd < self._w_max:
+            self._k = ((self._w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+        else:
+            self._k = 0.0
+            self._w_max = self.cwnd
+        self._w_est = self.cwnd
+        self._acked_in_epoch = 0.0
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.newly_acked <= 0 or sample.in_recovery:
+            return
+        if self.in_slow_start:
+            self.cwnd += sample.newly_acked
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+            return
+
+        if self._epoch_start is None:
+            self._begin_epoch(sample.now)
+        assert self._epoch_start is not None
+        t = sample.now - self._epoch_start
+        target = self.C * (t - self._k) ** 3 + self._w_max
+
+        # TCP-friendly region (RFC 8312 §4.2): track what Reno would do.
+        rtt = sample.rtt if sample.rtt else 0.1
+        self._acked_in_epoch += sample.newly_acked
+        self._w_est = self.cwnd * self.BETA + (
+            3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)
+        ) * (t / rtt)
+        target = max(target, self._w_est)
+
+        if target > self.cwnd:
+            self.cwnd += (target - self.cwnd) / self.cwnd * sample.newly_acked
+        else:
+            # Tiny growth so the window never stalls entirely.
+            self.cwnd += 0.01 * sample.newly_acked / self.cwnd
+
+    def on_congestion(self, sample: AckSample) -> None:
+        # Fast convergence: release bandwidth faster when the peak shrank.
+        if self.cwnd < self._w_max:
+            self._w_max = self.cwnd * (2.0 - self.BETA) / 2.0
+        else:
+            self._w_max = self.cwnd
+        self.ssthresh = max(self.MIN_CWND, self.cwnd * self.BETA)
+        self.cwnd = self.ssthresh
+        self._epoch_start = None
+
+    def on_recovery_exit(self, sample: AckSample) -> None:
+        self.cwnd = max(self.MIN_CWND, self.ssthresh)
+
+    def on_rto(self) -> None:
+        self._w_max = self.cwnd
+        self.ssthresh = max(self.MIN_CWND, self.cwnd * self.BETA)
+        self.cwnd = self.LOSS_WINDOW
+        self._epoch_start = None

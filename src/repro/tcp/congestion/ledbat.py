@@ -1,0 +1,56 @@
+"""LEDBAT (RFC 6817): low-extra-delay background transport.
+
+LEDBAT targets a fixed amount of *extra* one-way queueing delay
+(100 ms in the RFC) above a measured base delay, with a linear
+proportional controller on the window, and halves on loss.  It is the
+paper's Table-3 representative of "Buffer Delay + Packet Loss"
+window-based control.
+
+The base delay comes from the same relative one-way-delay signal
+PropRate uses (receiver timestamp minus echoed sender timestamp).
+"""
+
+from __future__ import annotations
+
+from repro.tcp.congestion.base import AckSample, WindowCongestionControl
+from repro.util.windows import SlidingWindowMin
+
+
+class Ledbat(WindowCongestionControl):
+    """RFC 6817 controller with per-ACK window updates."""
+
+    name = "LEDBAT"
+    sending_regulation = "Window-based"
+    congestion_trigger = "Buffer Delay + Packet Loss"
+
+    #: TARGET queueing delay (RFC 6817 recommends <= 100 ms).
+    TARGET = 0.100
+    #: Controller gain (windows per off-target per RTT).
+    GAIN = 1.0
+    MIN_CWND = 2.0
+    #: Base-delay history horizon (RFC: minutes; shortened to track
+    #: cellular baseline shifts, as deployed implementations do).
+    BASE_HISTORY = 30.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._base_delay = SlidingWindowMin(self.BASE_HISTORY)
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.one_way_delay is None or sample.newly_acked <= 0:
+            return
+        base = self._base_delay.update(sample.now, sample.one_way_delay)
+        queuing = max(0.0, sample.one_way_delay - base)
+        if sample.in_recovery:
+            return
+        off_target = (self.TARGET - queuing) / self.TARGET
+        self.cwnd += self.GAIN * off_target * sample.newly_acked / self.cwnd
+        self.cwnd = max(self.MIN_CWND, self.cwnd)
+
+    def on_congestion(self, sample: AckSample) -> None:
+        self.ssthresh = max(self.MIN_CWND, self.cwnd * 0.5)
+        self.cwnd = self.ssthresh
+
+    def on_rto(self) -> None:
+        self.ssthresh = max(self.MIN_CWND, self.cwnd * 0.5)
+        self.cwnd = self.LOSS_WINDOW

@@ -1,0 +1,288 @@
+"""PCC Allegro (Dong et al., NSDI 2015): utility-driven rate control.
+
+PCC treats the network as a black box: it sends at a rate for a monitor
+interval (MI), observes the resulting throughput, loss and RTT
+behaviour, computes a utility, and performs online gradient-style rate
+moves toward higher utility.  The paper evaluates PCC's *default
+delay-sensitive utility* (its throughput-mode was "too aggressive in
+practice and caused buffer overflow almost all the time", §5), and finds
+it achieves low delay at a significant throughput penalty with high CPU
+cost — both consequences of the per-MI black-box probing reproduced
+here.
+
+Utility per MI (the delay-sensitive form):
+
+    u = T · S_loss(L) · S_rtt(dRTT/dt) − T · L
+
+where ``T`` is achieved throughput, ``L`` the loss rate, and the two
+sigmoids sharply penalise loss above 5 % and any positive RTT gradient.
+
+Control phases follow the published design: *starting* (double the rate
+every MI while utility grows), then repeated *decision* pairs (probe
+r(1±ε) in consecutive MIs) and *rate adjusting* moves.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.tcp.congestion.base import AckSample, RateCongestionControl
+
+EPSILON = 0.05           # probe amplitude
+MIN_RATE = 8 * 1500.0    # bytes/s floor
+MI_MIN = 0.050           # seconds
+MI_RTT_MULTIPLIER = 1.0  # MI duration = max(MI_MIN, multiplier * srtt)
+STEP_GAIN = 1.0          # rate-adjust step, multiples of epsilon*rate
+
+
+def _sigmoid(x: float) -> float:
+    if x > 50:
+        return 1.0
+    if x < -50:
+        return 0.0
+    return 1.0 / (1.0 + math.exp(-x))
+
+
+def delay_sensitive_utility(
+    throughput: float,
+    loss_rate: float,
+    rtt_gradient: float,
+    rtt_inflation: float = 0.0,
+) -> float:
+    """PCC's delay-sensitive utility for one monitor interval.
+
+    ``rtt_inflation`` is (RTT − RTT_min)/RTT_min: a standing queue is
+    penalised even when the within-MI gradient is flat, which is what
+    keeps the delay-sensitive mode from camping on a full buffer.
+    """
+    loss_penalty = 1.0 - _sigmoid(100.0 * (loss_rate - 0.05))
+    gradient_penalty = 1.0 - _sigmoid(20.0 * rtt_gradient)
+    queue_penalty = 1.0 - _sigmoid(8.0 * (rtt_inflation - 0.5))
+    return (
+        throughput * loss_penalty * gradient_penalty * queue_penalty
+        - throughput * loss_rate
+    )
+
+
+class _MonitorInterval:
+    """Accumulates observations for one MI.
+
+    Deliveries observed on the wire lag the sends that caused them by one
+    RTT, so the measurement window is the send window shifted by the RTT
+    at MI start (``lag``).  Without the shift, an up-probe's deliveries
+    land in the following (down-probe) MI and the gradient sign flips —
+    the control loop then walks its rate steadily toward zero.
+    """
+
+    def __init__(
+        self, start: float, rate: float, duration: float, lag: float
+    ):
+        self.start = start
+        self.rate = rate
+        self.send_end = start + duration
+        self.lag = lag
+        self.delivered_start: Optional[int] = None
+        self.lost_start: Optional[int] = None
+        self.meas_start_time: Optional[float] = None
+        self.rtt_first: Optional[float] = None
+        self.rtt_last: Optional[float] = None
+
+    @property
+    def measure_start(self) -> float:
+        return self.start + self.lag
+
+    @property
+    def measure_end(self) -> float:
+        return self.send_end + self.lag
+
+    def begin_measurement(self, now: float, delivered: int, lost: int) -> None:
+        self.delivered_start = delivered
+        self.lost_start = lost
+        self.meas_start_time = now
+
+    def observe_rtt(self, rtt: float) -> None:
+        if self.rtt_first is None:
+            self.rtt_first = rtt
+        self.rtt_last = rtt
+
+    def utility(
+        self,
+        now: float,
+        delivered: int,
+        lost: int,
+        packet_bytes: int,
+        min_rtt: float = float("inf"),
+    ) -> float:
+        if self.delivered_start is None or self.lost_start is None:
+            return 0.0
+        span = max(1e-3, now - (self.meas_start_time or self.start))
+        got = max(0, delivered - self.delivered_start)
+        dropped = max(0, lost - self.lost_start)
+        throughput = got * packet_bytes / span
+        total = got + dropped
+        loss_rate = dropped / total if total else 0.0
+        if self.rtt_first is not None and self.rtt_last is not None and span > 0:
+            gradient = (self.rtt_last - self.rtt_first) / span
+        else:
+            gradient = 0.0
+        inflation = 0.0
+        if self.rtt_last is not None and min_rtt not in (0.0, float("inf")):
+            inflation = max(0.0, (self.rtt_last - min_rtt) / min_rtt)
+        return delay_sensitive_utility(throughput, loss_rate, gradient, inflation)
+
+
+class Pcc(RateCongestionControl):
+    """PCC Allegro with the delay-sensitive utility."""
+
+    name = "PCC"
+    sending_regulation = "Rate-based"
+    congestion_trigger = "Utility Function"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.phase = "starting"
+        self._mi: Optional[_MonitorInterval] = None
+        self._mi_deadline = 0.0
+        self._last_utility: Optional[float] = None
+        self._base_rate = MIN_RATE * 4
+        self._decision_trials: list = []  # [(direction, utility), ...]
+        self._trial_direction = 1
+        self._delivered = 0
+        self._lost = 0
+        self._last_now = 0.0
+
+    def on_connection_start(self) -> None:
+        self.pacing_rate = self._base_rate
+        self.round_mode = "up"
+
+    # ------------------------------------------------------------------
+    def _mi_duration(self) -> float:
+        host = self.host
+        srtt = host.srtt if host and host.srtt else 0.1
+        return max(MI_MIN, MI_RTT_MULTIPLIER * srtt)
+
+    def _rtt_lag(self) -> float:
+        host = self.host
+        return host.srtt if host and host.srtt else 0.05
+
+    def _start_mi(self, now: float, rate: float) -> None:
+        self.pacing_rate = max(MIN_RATE, rate)
+        self._mi = _MonitorInterval(
+            now, self.pacing_rate, self._mi_duration(), self._rtt_lag()
+        )
+
+    def on_ack(self, sample: AckSample) -> None:
+        self._delivered = sample.delivered_total
+        self._lost = sample.lost_total
+        self._last_now = sample.now
+        if self._mi is None:
+            self._start_mi(sample.now, self._base_rate)
+            return
+        if sample.rtt is not None:
+            self._mi.observe_rtt(sample.rtt)
+
+    def on_tick(self, now: float) -> None:
+        if self._mi is None:
+            self._start_mi(now, self._base_rate)
+            return
+        if self._mi.delivered_start is None:
+            if now >= self._mi.measure_start:
+                self._mi.begin_measurement(now, self._delivered, self._lost)
+            return
+        if now < self._mi.measure_end:
+            return
+        host = self.host
+        assert host is not None
+        utility = self._mi.utility(
+            now, self._delivered, self._lost, host.packet_bytes, host.min_rtt
+        )
+        rate = self._mi.rate
+        inflation = 0.0
+        if self._mi.rtt_last is not None and host.min_rtt not in (0.0, float("inf")):
+            inflation = max(0.0, (self._mi.rtt_last - host.min_rtt) / host.min_rtt)
+        if self.phase == "starting" and inflation > 0.5:
+            # The queue is building: capacity was passed during doubling.
+            self.phase = "decision"
+            self._decision_trials = []
+            self._trial_direction = 1
+            self._last_utility = None
+            self._base_rate = max(MIN_RATE, rate / 2.0)
+            self._start_mi(now, self._base_rate * (1 + EPSILON))
+            return
+        if self.phase != "starting" and (utility < 0.0 or inflation > 0.5):
+            # Emergency brake: a negative utility means heavy loss or a
+            # standing queue; epsilon-step gradient descent would take
+            # many MIs (each a full inflated RTT) to escape.
+            self._base_rate = max(MIN_RATE, self._base_rate * 0.7)
+            self.phase = "decision"
+            self._decision_trials = []
+            self._trial_direction = 1
+            self._last_utility = None
+            self._start_mi(now, self._base_rate * (1 + EPSILON))
+            return
+        if self.phase == "starting":
+            self._starting_step(now, rate, utility)
+        elif self.phase == "decision":
+            self._decision_step(now, rate, utility)
+        else:
+            self._adjust_step(now, rate, utility)
+
+    # ------------------------------------------------------------------
+    def _starting_step(self, now: float, rate: float, utility: float) -> None:
+        if self._last_utility is None or utility > self._last_utility:
+            self._last_utility = utility
+            self._start_mi(now, rate * 2.0)
+        else:
+            # Utility fell: back off to the previous rate and probe.
+            self.phase = "decision"
+            self._decision_trials = []
+            self._trial_direction = 1
+            self._last_utility = None
+            self._start_mi(now, rate / 2.0 * (1 + EPSILON * self._trial_direction))
+            self._base_rate = rate / 2.0
+
+    def _decision_step(self, now: float, rate: float, utility: float) -> None:
+        self._decision_trials.append((self._trial_direction, utility))
+        if len(self._decision_trials) < 2:
+            self._trial_direction = -1
+            self._start_mi(now, self._base_rate * (1 + EPSILON * self._trial_direction))
+            return
+        up = next(u for d, u in self._decision_trials if d == 1)
+        down = next(u for d, u in self._decision_trials if d == -1)
+        self._decision_trials = []
+        self._trial_direction = 1
+        if up == down:
+            # No gradient: stay and re-probe.
+            self._start_mi(now, self._base_rate * (1 + EPSILON))
+            return
+        direction = 1 if up > down else -1
+        self.phase = "adjust"
+        self._adjust_direction = direction
+        self._adjust_step_count = 1
+        self._last_utility = max(up, down)
+        new_rate = self._base_rate * (1 + STEP_GAIN * EPSILON * direction)
+        self._base_rate = new_rate
+        self._start_mi(now, new_rate)
+
+    def _adjust_step(self, now: float, rate: float, utility: float) -> None:
+        if self._last_utility is not None and utility > self._last_utility:
+            self._last_utility = utility
+            self._adjust_step_count += 1
+            step = STEP_GAIN * EPSILON * self._adjust_direction * self._adjust_step_count
+            new_rate = max(MIN_RATE, self._base_rate * (1 + step))
+            self._base_rate = new_rate
+            self._start_mi(now, new_rate)
+        else:
+            # Utility dropped: return to probing around the current rate.
+            self.phase = "decision"
+            self._last_utility = None
+            self._trial_direction = 1
+            self._start_mi(now, self._base_rate * (1 + EPSILON))
+
+    def on_rto(self) -> None:
+        self.phase = "starting"
+        self._last_utility = None
+        self._base_rate = max(MIN_RATE, self._base_rate / 4.0)
+        self._mi = None
+        self.pacing_rate = self._base_rate

@@ -1,0 +1,45 @@
+"""TCP NewReno: the canonical AIMD loss-based algorithm (RFC 5681/6582).
+
+Included as the reference point for the cwnd-based mechanism in the
+paper's Figure 5(a): slow start doubles the window each RTT, congestion
+avoidance adds one segment per RTT, fast retransmit halves, and a
+retransmission timeout collapses to the loss window.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.congestion.base import AckSample, WindowCongestionControl
+
+
+class NewReno(WindowCongestionControl):
+    """AIMD congestion control with fast recovery."""
+
+    name = "NewReno"
+    sending_regulation = "cwnd-based"
+    congestion_trigger = "Packet Loss"
+
+    #: Multiplicative-decrease factor.
+    BETA = 0.5
+    #: Floor on the window (segments).
+    MIN_CWND = 2.0
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.newly_acked <= 0 or sample.in_recovery:
+            return
+        if self.in_slow_start:
+            self.cwnd += sample.newly_acked
+            if self.cwnd > self.ssthresh:
+                self.cwnd = self.ssthresh
+        else:
+            self.cwnd += sample.newly_acked / self.cwnd
+
+    def on_congestion(self, sample: AckSample) -> None:
+        self.ssthresh = max(self.MIN_CWND, sample.inflight * self.BETA)
+        self.cwnd = self.ssthresh
+
+    def on_recovery_exit(self, sample: AckSample) -> None:
+        self.cwnd = self.ssthresh
+
+    def on_rto(self) -> None:
+        self.ssthresh = max(self.MIN_CWND, self.cwnd * self.BETA)
+        self.cwnd = self.LOSS_WINDOW

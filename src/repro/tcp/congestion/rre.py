@@ -1,0 +1,100 @@
+"""RRE (Leong et al., ICNP 2013): receive-rate-based congestion control.
+
+RRE is the authors' earlier system and PropRate's direct ancestor: it
+eliminates ACK clocking by pacing at the sender-side estimated receive
+rate, using relative one-way delay to keep the bottleneck buffer within
+a fixed occupancy band.  Unlike PropRate it targets *throughput*: the
+band is wide and high, so the buffer never empties, and there is no
+tunable latency target and no negative-feedback loop (paper §2: "RRE
+... is designed to achieve high throughput instead of low latency").
+
+Control law: below the band send at γ_f·ρ, above it send at γ_d·ρ,
+inside it match ρ.
+"""
+
+from __future__ import annotations
+
+from repro.core.estimators import BufferDelayEstimator, ReceiveRateEstimator
+from repro.tcp.congestion.base import AckSample, RateCongestionControl
+
+#: Buffer-delay occupancy band (seconds): throughput-oriented.
+BAND_LOW = 0.060
+BAND_HIGH = 0.200
+
+#: Rate multipliers outside the band.
+GAMMA_FILL = 1.4
+GAMMA_DRAIN = 0.7
+
+#: Bootstrap probe burst.
+PROBE_BURST = 10
+
+
+class Rre(RateCongestionControl):
+    """Receive-rate estimation congestion control (throughput-oriented)."""
+
+    name = "RRE"
+    sending_regulation = "Rate-based"
+    congestion_trigger = "Buffer Delay"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.rate_estimator = ReceiveRateEstimator()
+        self.delay_estimator = BufferDelayEstimator()
+        self._burst_size = PROBE_BURST
+        self._burst_target = PROBE_BURST
+
+    def on_connection_start(self) -> None:
+        self.pacing_rate = 0.0
+        self.round_mode = "up"
+        self.request_burst(self._burst_size)
+
+    def on_ack(self, sample: AckSample) -> None:
+        host = self.host
+        assert host is not None
+        self.rate_estimator.on_ack(
+            sample.receiver_ts, sample.delivered_total * host.packet_bytes
+        )
+        if sample.one_way_delay is not None:
+            self.delay_estimator.on_ack(sample.now, sample.one_way_delay)
+
+        rho = self.rate_estimator.rate
+        if rho is None:
+            if sample.delivered_total >= self._burst_target:
+                self._burst_size = min(1024, self._burst_size * 2)
+                self._burst_target = sample.delivered_total + self._burst_size
+                self.request_burst(self._burst_size)
+            return
+
+        tbuff = self.delay_estimator.tbuff or 0.0
+        if tbuff < BAND_LOW:
+            self.pacing_rate = GAMMA_FILL * rho
+            self.round_mode = "up"
+        elif tbuff > BAND_HIGH:
+            self.pacing_rate = GAMMA_DRAIN * rho
+            self.round_mode = "down"
+        else:
+            self.pacing_rate = rho
+            self.round_mode = "up"
+
+    def on_rto(self) -> None:
+        self.pacing_rate = 0.0
+        self.rate_estimator.reset()
+        self._burst_size = PROBE_BURST
+        self.request_burst(self._burst_size)
+
+    def on_tick(self, now: float) -> None:
+        """Safety cap on in-flight data, as in the kernel implementation.
+
+        Scaled by the smoothed RTT so a congested uplink (delayed ACKs,
+        the scenario RRE was designed for) does not strangle the flow.
+        """
+        host = self.host
+        rho = self.rate_estimator.rate
+        if host is None or rho is None:
+            return
+        rtt = host.min_rtt if host.min_rtt != float("inf") else 0.1
+        if host.srtt is not None:
+            rtt = max(rtt, host.srtt)
+        cap = max(40, int((rtt + 2.0 * BAND_HIGH) * rho / host.packet_bytes))
+        if host.inflight >= cap:
+            self.pacing_rate = 0.0

@@ -1,0 +1,84 @@
+"""TCP Vegas (Brakmo & Peterson 1995): delay-based congestion avoidance.
+
+Vegas compares the expected rate (cwnd / baseRTT) with the actual rate
+(cwnd / RTT); the difference, expressed in buffered segments, is held
+between ``alpha`` and ``beta`` by additive window moves once per RTT.
+On cellular links Vegas keeps queues short but concedes throughput when
+the channel varies faster than its per-RTT additive steps can follow —
+its position in the paper's Figure 7.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.congestion.base import AckSample, WindowCongestionControl
+
+
+class Vegas(WindowCongestionControl):
+    """Vegas delay-based congestion control."""
+
+    name = "Vegas"
+    sending_regulation = "cwnd-based"
+    # Table 3 groups Vegas with the loss-triggered cwnd algorithms: its
+    # recovery path is loss-based even though avoidance is delay-based.
+    congestion_trigger = "Packet Loss"
+
+    ALPHA = 2.0  # lower bound on buffered segments
+    BETA = 4.0   # upper bound
+    GAMMA = 1.0  # slow-start exit threshold
+    MIN_CWND = 2.0
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._base_rtt = float("inf")
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+        self._next_update_ack = 0
+
+    def on_ack(self, sample: AckSample) -> None:
+        if sample.rtt is not None and sample.rtt > 0:
+            self._base_rtt = min(self._base_rtt, sample.rtt)
+            self._rtt_sum += sample.rtt
+            self._rtt_count += 1
+        if sample.newly_acked <= 0 or sample.in_recovery:
+            return
+
+        # Act once per RTT: when the cumulative ACK passes the window
+        # that was outstanding at the previous update.
+        if sample.ack < self._next_update_ack:
+            return
+        self._next_update_ack = sample.ack + max(1, int(self.cwnd))
+        if self._rtt_count == 0 or self._base_rtt == float("inf"):
+            return
+        avg_rtt = self._rtt_sum / self._rtt_count
+        self._rtt_sum = 0.0
+        self._rtt_count = 0
+
+        expected = self.cwnd / self._base_rtt
+        actual = self.cwnd / avg_rtt
+        diff = (expected - actual) * self._base_rtt  # buffered segments
+
+        if self.in_slow_start:
+            if diff > self.GAMMA:
+                self.ssthresh = self.cwnd
+                self.cwnd = max(self.MIN_CWND, self.cwnd - 1)
+            else:
+                self.cwnd += self.cwnd  # double per RTT
+                if self.cwnd > self.ssthresh:
+                    self.cwnd = self.ssthresh
+            return
+
+        if diff < self.ALPHA:
+            self.cwnd += 1.0
+        elif diff > self.BETA:
+            self.cwnd = max(self.MIN_CWND, self.cwnd - 1.0)
+
+    def on_congestion(self, sample: AckSample) -> None:
+        self.ssthresh = max(self.MIN_CWND, sample.inflight * 0.5)
+        self.cwnd = max(self.MIN_CWND, self.ssthresh)
+
+    def on_recovery_exit(self, sample: AckSample) -> None:
+        self.cwnd = max(self.MIN_CWND, self.ssthresh)
+
+    def on_rto(self) -> None:
+        self.ssthresh = max(self.MIN_CWND, self.cwnd * 0.5)
+        self.cwnd = self.LOSS_WINDOW

@@ -1,0 +1,76 @@
+"""Retransmission-timeout estimation (RFC 6298).
+
+Used by every sender regardless of congestion-control algorithm: both the
+cwnd-based and the rate-based mechanisms fall back to Slow Start on a
+retransmission timeout (paper Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Linux uses a 200 ms minimum RTO rather than RFC 6298's 1 s.
+MIN_RTO = 0.2
+MAX_RTO = 60.0
+INITIAL_RTO = 1.0
+
+
+class RtoEstimator:
+    """Smoothed RTT / RTT-variance tracker with exponential backoff."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(
+        self,
+        min_rto: float = MIN_RTO,
+        max_rto: float = MAX_RTO,
+        initial_rto: float = INITIAL_RTO,
+    ) -> None:
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self._base_rto = initial_rto
+        self._backoff = 1.0
+        self.min_rtt: float = float("inf")
+        self.latest_rtt: Optional[float] = None
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        """Fold in one RTT measurement (seconds)."""
+        if rtt <= 0:
+            return
+        self.latest_rtt = rtt
+        if rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(
+                self.srtt - rtt
+            )
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self._base_rto = self.srtt + self.K * max(self.rttvar, 1e-3)
+        self._backoff = 1.0  # a valid sample clears any backoff
+
+    def on_timeout(self) -> None:
+        """Double the RTO (Karn's exponential backoff)."""
+        self._backoff = min(self._backoff * 2.0, 64.0)
+
+    @property
+    def rto(self) -> float:
+        """Current retransmission timeout in seconds.
+
+        The base is floored at 1.5× the latest RTT sample: when a deep
+        bottleneck buffer fills quickly the smoothed RTT lags the real
+        RTT by many variance units, which would otherwise fire spurious
+        timeouts in the middle of loss-free operation.
+        """
+        base = self._base_rto
+        if self.latest_rtt is not None:
+            base = max(base, 1.5 * self.latest_rtt)
+        rto = base * self._backoff
+        return min(self.max_rto, max(self.min_rto, rto))

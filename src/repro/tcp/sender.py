@@ -1,0 +1,537 @@
+"""TCP bulk-data sender with pluggable congestion control.
+
+Implements both packet-regulation mechanisms compared in the paper's
+Figure 5:
+
+* the **cwnd-based** mechanism — ACK-clocked, transmitting whenever the
+  SACK-aware pipe estimate is below the algorithm's window (RFC 6675
+  style), with fast retransmit on three duplicate ACKs and RFC 6298
+  retransmission timeouts;
+* the **rate-based** mechanism the paper adds to the kernel — a 1 ms
+  pacing tick converts the algorithm's rate into whole packets, rounding
+  up in Buffer Fill and down in Buffer Drain/Monitor, carrying the exact
+  byte deficit across ticks, and serving algorithm-requested probe bursts
+  (paper §4.3).  Retransmissions share the paced stream ("simply ignoring
+  the cwnd and continue transmitting at the specified rate").
+
+Loss handling is SACK-scoreboard based: a segment is marked lost once
+three SACKed segments lie above it, and a retransmission timeout marks
+everything outstanding lost and returns the algorithm to Slow Start.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.engine import Event, PeriodicTimer, Simulator
+from repro.sim.packet import (
+    DATA_PACKET_BYTES,
+    MSS,
+    Packet,
+    make_data_packet,
+)
+from repro.tcp.application import Application, BulkApplication
+from repro.tcp.congestion.base import (
+    AckSample,
+    CongestionControl,
+    RateCongestionControl,
+    WindowCongestionControl,
+)
+from repro.tcp.rto import RtoEstimator
+from repro.util.intervals import IntervalSet
+
+#: Duplicate-ACK / SACK reordering threshold (RFC 6675 DupThresh).
+DUPTHRESH = 3
+
+#: Pacing tick interval — the kernel-tick analogue of paper §4.3.
+DEFAULT_TICK = 0.001
+
+#: Safety cap on packets released by a single pacing tick.
+MAX_TICK_PACKETS = 500
+
+PacketSink = Callable[[Packet], None]
+
+# retransmission states
+_RTX_PENDING = 0  # marked lost, awaiting retransmission
+_RTX_SENT = 1     # retransmission in flight
+_RTX_CANCELLED = 2  # SACKed after being marked lost; do not retransmit
+
+
+class TcpSender:
+    """One flow's sending endpoint with an infinite (or finite) backlog.
+
+    Parameters
+    ----------
+    sim:
+        Event loop.
+    flow_id:
+        Flow identifier stamped on outgoing segments.
+    cc:
+        The congestion-control module (window- or rate-based).
+    send_packet:
+        Callable injecting a data packet into the forward path.
+    total_segments:
+        Backlog size; None means an iperf-style unbounded transfer.
+        Shorthand for ``application=BulkApplication(total_segments)``.
+    application:
+        A :class:`~repro.tcp.application.Application` supplying data
+        over time (CBR/on-off sources make the transport app-limited).
+        Overrides ``total_segments`` when given.
+    tick:
+        Pacing-tick interval for rate-based algorithms.
+    on_complete:
+        Called once when a finite transfer is fully acknowledged.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow_id: int,
+        cc: CongestionControl,
+        send_packet: PacketSink,
+        total_segments: Optional[int] = None,
+        application: Optional[Application] = None,
+        tick: float = DEFAULT_TICK,
+        on_complete: Optional[Callable[[], None]] = None,
+        packet_bytes: int = DATA_PACKET_BYTES,
+    ) -> None:
+        self.sim = sim
+        self.flow_id = flow_id
+        self.cc = cc
+        self.send_packet = send_packet
+        self.application = (
+            application
+            if application is not None
+            else BulkApplication(total_segments)
+        )
+        self.total_segments = self.application.total()
+        self.tick = tick
+        self.on_complete = on_complete
+        self._packet_bytes = packet_bytes
+
+        # Sequence state (segment indices).
+        self.snd_una = 0
+        self.next_seq = 0
+        self._sacked = IntervalSet()
+        self._highest_sacked = 0
+        self._rtx_state: Dict[int, int] = {}
+        self._rtx_heap: List[int] = []
+        self._pipe = 0
+        self._loss_ptr = 0  # every seq below is acked, SACKed or marked lost
+        self._dupacks = 0
+        self._recovery_point: Optional[int] = None
+
+        # Estimators and timers.
+        self.rto_estimator = RtoEstimator()
+        self._rto_event: Optional[Event] = None
+        self._app_poll_event: Optional[Event] = None
+        self._tick_timer: Optional[PeriodicTimer] = None
+        self._budget = 0.0  # paced byte budget (may dip negative: deficit)
+
+        # Counters.
+        self.delivered_total = 0
+        self.lost_total = 0
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.rto_count = 0
+        self.acks_received = 0
+        self.started = False
+        self.complete = False
+
+    # ------------------------------------------------------------------
+    # HostView protocol (what the CC module may observe)
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def mss(self) -> int:
+        return MSS
+
+    @property
+    def packet_bytes(self) -> int:
+        return self._packet_bytes
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self.rto_estimator.srtt
+
+    @property
+    def min_rtt(self) -> float:
+        return self.rto_estimator.min_rtt
+
+    @property
+    def inflight(self) -> int:
+        return self._pipe
+
+    @property
+    def in_recovery(self) -> bool:
+        return self._recovery_point is not None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (call once; may be scheduled)."""
+        if self.started:
+            raise RuntimeError("sender already started")
+        self.started = True
+        self.cc.bind(self)
+        self.cc.on_connection_start()
+        if self.cc.is_rate_based:
+            self._tick_timer = PeriodicTimer(
+                self.sim, self.tick, self._on_tick, start_delay=0.0
+            )
+        else:
+            self._fill_window()
+
+    def stop(self) -> None:
+        """Halt all activity (end of an experiment)."""
+        self.complete = True
+        if self._tick_timer is not None:
+            self._tick_timer.stop()
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self._app_poll_event is not None:
+            self._app_poll_event.cancel()
+            self._app_poll_event = None
+
+    # ------------------------------------------------------------------
+    # Transmission
+    # ------------------------------------------------------------------
+    def _has_new_data(self) -> bool:
+        produced = self.application.produced(self.sim.now)
+        if produced is not None and self.next_seq >= produced:
+            return False
+        return self.total_segments is None or self.next_seq < self.total_segments
+
+    def _next_rtx(self) -> Optional[int]:
+        """Peek the lowest pending retransmission, pruning stale entries."""
+        while self._rtx_heap:
+            seq = self._rtx_heap[0]
+            if seq < self.snd_una or self._rtx_state.get(seq) != _RTX_PENDING:
+                heapq.heappop(self._rtx_heap)
+                continue
+            return seq
+        return None
+
+    def _send_one(self) -> bool:
+        """Transmit one segment: retransmissions first, then new data."""
+        seq = self._next_rtx()
+        if seq is not None:
+            heapq.heappop(self._rtx_heap)
+            self._rtx_state[seq] = _RTX_SENT
+            self._transmit(seq, retransmit=True)
+            return True
+        if self._has_new_data():
+            seq = self.next_seq
+            self.next_seq += 1
+            self._transmit(seq, retransmit=False)
+            return True
+        return False
+
+    def _transmit(self, seq: int, retransmit: bool) -> None:
+        packet = make_data_packet(
+            flow_id=self.flow_id,
+            seq=seq,
+            now=self.sim.now,
+            retransmit=retransmit,
+            size=self._packet_bytes,
+        )
+        self._pipe += 1
+        self.segments_sent += 1
+        if retransmit:
+            self.retransmissions += 1
+        self.cc.on_packet_sent(seq, self.sim.now, retransmit)
+        if self._rto_event is None:
+            self._arm_rto()
+        self.send_packet(packet)
+
+    def _fill_window(self) -> None:
+        """cwnd-based dispatch: send while the pipe is below the window."""
+        cc = self.cc
+        if not isinstance(cc, WindowCongestionControl):
+            return
+        limit = int(cc.cwnd)
+        while self._pipe < limit:
+            if not self._send_one():
+                break
+        # An app-limited, ACK-clocked sender can stall entirely: with
+        # nothing in flight there are no ACKs to clock out data the
+        # application produces later.  Poll for new production.
+        if (
+            self._pipe == 0
+            and not self.complete
+            and self._next_rtx() is None
+            and not self._has_new_data()
+            and self.application.produced(self.sim.now) is not None
+            and (
+                self.total_segments is None
+                or self.next_seq < self.total_segments
+            )
+        ):
+            if self._app_poll_event is None:
+                self._app_poll_event = self.sim.schedule(0.01, self._app_poll)
+
+    def _app_poll(self) -> None:
+        self._app_poll_event = None
+        if not self.complete:
+            self._fill_window()
+
+    def _on_tick(self) -> None:
+        """Rate-based dispatch: one pacing tick (paper §4.3)."""
+        if self.complete:
+            return
+        cc = self.cc
+        assert isinstance(cc, RateCongestionControl)
+        cc.on_tick(self.sim.now)
+
+        burst = cc.take_burst()
+        sent_burst = 0
+        for _ in range(burst):
+            if not self._send_one():
+                break
+            sent_burst += 1
+        if sent_burst < burst:
+            # Application-limited: keep the remaining probe credits for
+            # later ticks instead of silently discarding them (a CBR
+            # source may not have produced the data yet).
+            cc.request_burst(burst - sent_burst)
+
+        rate = max(0.0, cc.pacing_rate)
+        self._budget += rate * self.tick
+        count = int(self._budget // self._packet_bytes)
+        remainder = self._budget - count * self._packet_bytes
+        if cc.round_mode == "up" and remainder > 1e-9:
+            count += 1
+        count = min(count, MAX_TICK_PACKETS)
+        sent = 0
+        while sent < count:
+            if not self._send_one():
+                break
+            sent += 1
+        self._budget -= sent * self._packet_bytes
+        if sent < count:
+            # Application-limited: do not accumulate credit.
+            self._budget = min(self._budget, float(self._packet_bytes))
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack_packet(self, packet: Packet) -> None:
+        """Handle an ACK arriving from the reverse path."""
+        if self.complete or not self.started:
+            return
+        self.acks_received += 1
+        now = self.sim.now
+        ack = packet.ack
+
+        newly_acked = max(0, ack - self.snd_una)
+        newly_sacked = self._process_sacks(packet, cumulative_ack=ack)
+
+        recovery_exited = False
+        if newly_acked:
+            for seq in range(self.snd_una, ack):
+                self._on_seq_acked(seq)
+            self.snd_una = ack
+            self._sacked.remove_below(ack)
+            self._loss_ptr = max(self._loss_ptr, ack)
+            self._dupacks = 0
+            if (
+                self._recovery_point is not None
+                and self.snd_una >= self._recovery_point
+            ):
+                self._recovery_point = None
+                recovery_exited = True
+            self._rearm_rto()
+
+        is_dupack = newly_acked == 0 and ack == self.snd_una
+        if is_dupack:
+            self._dupacks += 1
+
+        # Delivered accounting (paper §4.2): SACK gives exact counts; a
+        # bare duplicate ACK is assumed to signal one delivered MSS.
+        increment = newly_acked + newly_sacked
+        if increment == 0 and is_dupack:
+            increment = 1
+        self.delivered_total += increment
+
+        # Loss detection.
+        newly_lost = self._mark_losses()
+        if self._dupacks >= DUPTHRESH:
+            newly_lost += self._mark_seq_lost(self.snd_una)
+
+        # RTT / one-way-delay samples from the timestamp echo.
+        rtt = None
+        if newly_acked and packet.tsecr >= 0:
+            rtt = now - packet.tsecr
+            if rtt > 0:
+                self.rto_estimator.on_rtt_sample(rtt)
+        one_way = packet.tsval - packet.tsecr if packet.tsecr >= 0 else None
+
+        sample = AckSample(
+            now=now,
+            ack=ack,
+            newly_acked=newly_acked,
+            newly_sacked=newly_sacked,
+            delivered_total=self.delivered_total,
+            rtt=rtt,
+            one_way_delay=one_way,
+            receiver_ts=packet.tsval,
+            inflight=self._pipe,
+            is_dupack=is_dupack,
+            in_recovery=self.in_recovery,
+            lost_total=self.lost_total,
+        )
+
+        if newly_lost and self._recovery_point is None:
+            self._recovery_point = self.next_seq
+            self.cc.on_congestion(sample)
+        if recovery_exited:
+            self.cc.on_recovery_exit(sample)
+        self.cc.on_ack(sample)
+
+        if self.total_segments is not None and self.snd_una >= self.total_segments:
+            self._finish()
+            return
+        self._fill_window()
+
+    def _process_sacks(self, packet: Packet, cumulative_ack: int) -> int:
+        """Fold SACK blocks into the scoreboard; returns newly SACKed count."""
+        newly = 0
+        for block in packet.sacks:
+            start = max(block.start, cumulative_ack)
+            if block.end <= start:
+                continue
+            for s, e in self._sacked.add_range(start, block.end):
+                for seq in range(s, e):
+                    self._on_seq_sacked(seq)
+                newly += e - s
+            if block.end > self._highest_sacked:
+                self._highest_sacked = block.end
+        return newly
+
+    def _on_seq_sacked(self, seq: int) -> None:
+        state = self._rtx_state.get(seq)
+        if state is None:
+            self._pipe_dec()
+        elif state == _RTX_PENDING:
+            # Marked lost but actually delivered: cancel the retransmission.
+            # Its pipe contribution was already removed at loss-marking.
+            self._rtx_state[seq] = _RTX_CANCELLED
+        elif state == _RTX_SENT:
+            self._pipe_dec()
+            del self._rtx_state[seq]
+
+    def _on_seq_acked(self, seq: int) -> None:
+        if seq in self._sacked:
+            self._rtx_state.pop(seq, None)
+            return
+        state = self._rtx_state.pop(seq, None)
+        if state is None or state == _RTX_SENT:
+            self._pipe_dec()
+        # _RTX_PENDING / _RTX_CANCELLED were deducted at loss-marking.
+
+    def _pipe_dec(self) -> None:
+        if self._pipe > 0:
+            self._pipe -= 1
+
+    # ------------------------------------------------------------------
+    # Loss detection and recovery
+    # ------------------------------------------------------------------
+    def _mark_seq_lost(self, seq: int) -> int:
+        """Mark one segment lost; returns 1 if newly marked."""
+        if seq >= self.next_seq or seq < self.snd_una:
+            return 0
+        if seq in self._sacked or seq in self._rtx_state:
+            return 0
+        self._rtx_state[seq] = _RTX_PENDING
+        heapq.heappush(self._rtx_heap, seq)
+        self._pipe_dec()
+        self.lost_total += 1
+        return 1
+
+    def _mark_losses(self) -> int:
+        """RFC 6675-style: a segment with >= DupThresh SACKed segments
+        above it is lost.  Approximated by the highest SACKed edge."""
+        threshold = self._highest_sacked - (DUPTHRESH - 1)
+        newly = 0
+        seq = max(self._loss_ptr, self.snd_una)
+        while seq < threshold:
+            newly += self._mark_seq_lost(seq)
+            seq += 1
+        self._loss_ptr = max(self._loss_ptr, threshold)
+        return newly
+
+    # ------------------------------------------------------------------
+    # RTO
+    # ------------------------------------------------------------------
+    def _arm_rto(self) -> None:
+        self._rto_event = self.sim.schedule(self.rto_estimator.rto, self._on_rto)
+
+    def _rearm_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+        if self.snd_una < self.next_seq:
+            self._arm_rto()
+
+    def _on_rto(self) -> None:
+        """Retransmission timeout: collapse and return to Slow Start."""
+        self._rto_event = None
+        if self.complete or self.snd_una >= self.next_seq:
+            return
+        self.rto_count += 1
+        self.rto_estimator.on_timeout()
+        for seq in range(self.snd_una, self.next_seq):
+            if seq in self._sacked:
+                continue
+            state = self._rtx_state.get(seq)
+            if state == _RTX_PENDING:
+                continue
+            if state == _RTX_CANCELLED:
+                continue
+            self._rtx_state[seq] = _RTX_PENDING
+            heapq.heappush(self._rtx_heap, seq)
+            if state is None or state == _RTX_SENT:
+                self.lost_total += 1
+        self._pipe = 0
+        self._loss_ptr = self.next_seq
+        # RTO recovery is Slow Start, not fast recovery: leaving the
+        # recovery flag set would freeze window growth until every
+        # pre-timeout segment is re-acknowledged.
+        self._recovery_point = None
+        self._dupacks = 0
+        self._budget = 0.0
+        self.cc.on_rto()
+        self._send_one()  # retransmit the head immediately (arms the RTO)
+        if self._rto_event is None:
+            self._arm_rto()
+        self._fill_window()
+
+    # ------------------------------------------------------------------
+    def debug_expected_pipe(self) -> int:
+        """Recompute the in-flight estimate from the scoreboard (test aid).
+
+        The incremental ``_pipe`` counter must always equal this O(window)
+        reconstruction: one transmission outstanding for every unacked
+        segment that is neither SACKed nor marked lost, plus one for every
+        retransmission in flight.
+        """
+        expected = 0
+        for seq in range(self.snd_una, self.next_seq):
+            state = self._rtx_state.get(seq)
+            if state == _RTX_SENT:
+                expected += 1
+            elif state is None and seq not in self._sacked:
+                expected += 1
+        return expected
+
+    # ------------------------------------------------------------------
+    def _finish(self) -> None:
+        self.stop()
+        if self.on_complete is not None:
+            self.on_complete()

@@ -1,0 +1,27 @@
+"""Cellular network traces: container, synthesis, and paper presets.
+
+The paper drives Cellsim with packet-delivery traces captured by saturating
+three local cellular ISPs with UDP traffic (Table 2).  Those captures are
+not public, so this subpackage synthesises traces whose 100 ms-windowed
+throughput matches the means and standard deviations the paper reports,
+using a seeded Markov-modulated rate process (see DESIGN.md §2).
+"""
+
+from repro.traces.generator import TraceSpec, generate_cellular_trace
+from repro.traces.presets import (
+    PRESET_SPECS,
+    isp_trace,
+    lte_validation_trace,
+    sprint_like_trace,
+)
+from repro.traces.trace import Trace
+
+__all__ = [
+    "PRESET_SPECS",
+    "Trace",
+    "TraceSpec",
+    "generate_cellular_trace",
+    "isp_trace",
+    "lte_validation_trace",
+    "sprint_like_trace",
+]

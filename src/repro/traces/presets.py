@@ -1,0 +1,181 @@
+"""Paper trace presets.
+
+Table 2 of the paper characterises six traces (three ISPs × stationary/
+mobile) by the mean and standard deviation of their 100 ms-windowed
+throughput.  These presets reproduce those moments (KB/s, K = 1000):
+
+========  ==========  =====  =====
+Trace                 Mean   Std
+========  ==========  =====  =====
+ISP A     Stationary  1735.5 616.8
+ISP A     Mobile      1726.2 817.5
+ISP B     Stationary  2453.8 929.0
+ISP B     Mobile       710.2 619.5
+ISP C     Stationary  2549.8 993.0
+ISP C     Mobile       849.8 130.4
+========  ==========  =====  =====
+
+Mobile traces use longer channel coherence (slow fades while driving) and
+a small outage fraction; stationary traces are fast-varying but never
+fully out.  ``sprint_like`` reproduces the Figure-8 regime: very low
+bandwidth with the network unavailable 54 % of the time.  The
+``lte_validation`` set plays the role of the paper's real-LTE runs
+(Figure 11): an independently seeded trace family with similar moments.
+
+Uplink capacity in LTE is well below downlink; the paper's experiments
+use both directions of each capture.  We synthesise the uplink at a
+quarter of the downlink mean with proportionally lower variance, which
+matches the uplink/downlink ratios of the measurement study the paper
+cites for its buffer sizing.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.traces.generator import TraceSpec, generate_cellular_trace
+from repro.traces.trace import Trace
+
+KB = 1000.0
+
+#: Table-2 targets: (mean KB/s, std KB/s) per (isp, mode).
+TABLE2_TARGETS: Dict[Tuple[str, str], Tuple[float, float]] = {
+    ("A", "stationary"): (1735.5, 616.8),
+    ("A", "mobile"): (1726.2, 817.5),
+    ("B", "stationary"): (2453.8, 929.0),
+    ("B", "mobile"): (710.2, 619.5),
+    ("C", "stationary"): (2549.8, 993.0),
+    ("C", "mobile"): (849.8, 130.4),
+}
+
+_SEEDS: Dict[Tuple[str, str], int] = {
+    ("A", "stationary"): 101,
+    ("A", "mobile"): 102,
+    ("B", "stationary"): 201,
+    ("B", "mobile"): 202,
+    ("C", "stationary"): 301,
+    ("C", "mobile"): 302,
+}
+
+#: Ratio of uplink to downlink mean capacity used when synthesising the
+#: return path of each capture.
+UPLINK_RATIO = 0.25
+
+
+def _spec(isp: str, mode: str, duration: float) -> TraceSpec:
+    mean, std = TABLE2_TARGETS[(isp, mode)]
+    mobile = mode == "mobile"
+    return TraceSpec(
+        name=f"ISP{isp}-{mode}",
+        mean_throughput=mean * KB,
+        std_throughput=std * KB,
+        duration=duration,
+        seed=_SEEDS[(isp, mode)],
+        coherence_time=2.0 if mobile else 0.5,
+        outage_fraction=0.02 if mobile else 0.0,
+        outage_mean_duration=0.5,
+    )
+
+
+PRESET_SPECS: Dict[str, TraceSpec] = {
+    f"ISP{isp}-{mode}": _spec(isp, mode, 120.0)
+    for (isp, mode) in TABLE2_TARGETS
+}
+
+
+@lru_cache(maxsize=32)
+def isp_trace(
+    isp: str = "A",
+    mode: str = "stationary",
+    duration: float = 120.0,
+    direction: str = "downlink",
+) -> Trace:
+    """Synthesise a Table-2 trace.
+
+    Parameters
+    ----------
+    isp:
+        "A", "B" or "C".
+    mode:
+        "stationary" or "mobile".
+    direction:
+        "downlink" replays the capture as-is; "uplink" synthesises the
+        return path at :data:`UPLINK_RATIO` of the downlink capacity.
+    """
+    if (isp, mode) not in TABLE2_TARGETS:
+        raise ValueError(f"unknown trace {(isp, mode)!r}")
+    spec = _spec(isp, mode, duration)
+    if direction == "uplink":
+        spec = TraceSpec(
+            name=f"{spec.name}-ul",
+            mean_throughput=spec.mean_throughput * UPLINK_RATIO,
+            std_throughput=spec.std_throughput * UPLINK_RATIO,
+            duration=duration,
+            seed=spec.seed + 5000,
+            coherence_time=spec.coherence_time,
+            outage_fraction=spec.outage_fraction,
+            outage_mean_duration=spec.outage_mean_duration,
+        )
+    elif direction != "downlink":
+        raise ValueError("direction must be 'downlink' or 'uplink'")
+    return generate_cellular_trace(spec)
+
+
+@lru_cache(maxsize=4)
+def sprint_like_trace(duration: float = 120.0, seed: int = 4001) -> Trace:
+    """The Figure-8 regime: ~40 KB/s when up, 54 % of the time in outage."""
+    # The Markov chain's outage fraction is set slightly below the 54 %
+    # the paper reports because near-zero rates make additional 100 ms
+    # windows empty; the *measured* zero-window fraction lands at ~54 %.
+    spec = TraceSpec(
+        name="Sprint-like",
+        mean_throughput=25.0 * KB,
+        std_throughput=35.0 * KB,
+        duration=duration,
+        seed=seed,
+        coherence_time=3.0,
+        outage_fraction=0.45,
+        outage_mean_duration=3.0,
+    )
+    return generate_cellular_trace(spec)
+
+
+@lru_cache(maxsize=8)
+def lte_validation_trace(
+    duration: float = 120.0,
+    seed: int = 7001,
+    direction: str = "downlink",
+) -> Trace:
+    """Held-out trace family standing in for the paper's real LTE runs."""
+    mean, std = 2100.0, 750.0
+    if direction == "uplink":
+        mean *= UPLINK_RATIO
+        std *= UPLINK_RATIO
+        seed += 5000
+    return generate_cellular_trace(
+        TraceSpec(
+            name=f"LTE-validation-{direction}",
+            mean_throughput=mean * KB,
+            std_throughput=std * KB,
+            duration=duration,
+            seed=seed,
+            coherence_time=1.0,
+            outage_fraction=0.01,
+            outage_mean_duration=0.3,
+        )
+    )
+
+
+#: Inter-continental wired paths for Figure 13: sender in Singapore,
+#: receivers on AWS.  (bottleneck bytes/s, RTT seconds, buffer packets).
+#: Rates are scaled down ~3x from the paper's absolute AWS numbers to
+#: keep pure-Python packet-level simulation tractable; the RTT ordering
+#: and the buffer/BDP ratio (routers provisioned near one BDP) are what
+#: shape the Figure-13 comparison and are preserved.
+WIRED_PATHS: Dict[str, Tuple[float, float, int]] = {
+    "US": (8.0e6, 0.180, 1100),
+    "UK": (7.0e6, 0.220, 1200),
+    "AU": (10.0e6, 0.095, 700),
+    "SG": (15.0e6, 0.008, 400),
+}

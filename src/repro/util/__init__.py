@@ -1,0 +1,6 @@
+"""Small shared utilities: interval sets, sliding windows, EWMA filters."""
+
+from repro.util.intervals import IntervalSet
+from repro.util.windows import Ewma, SlidingWindowMin, WindowedMax
+
+__all__ = ["Ewma", "IntervalSet", "SlidingWindowMin", "WindowedMax"]

@@ -1,0 +1,137 @@
+"""A sorted set of disjoint half-open integer intervals.
+
+Used for SACK scoreboards on both ends of a connection: the receiver's
+out-of-order store and the sender's record of SACKed segments.  Both need
+*incremental* range insertion — every ACK repeats previously seen SACK
+blocks, and reprocessing them per-segment would make loss episodes
+quadratic.  :meth:`add_range` therefore returns only the sub-ranges that
+are genuinely new.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Tuple
+
+
+class IntervalSet:
+    """Disjoint, sorted, half-open ``[start, end)`` integer intervals."""
+
+    def __init__(self) -> None:
+        self._starts: List[int] = []
+        self._ends: List[int] = []
+        self._count = 0  # total integers covered
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total number of integers covered."""
+        return self._count
+
+    def __bool__(self) -> bool:
+        return bool(self._starts)
+
+    def __contains__(self, value: int) -> bool:
+        idx = bisect.bisect_right(self._starts, value) - 1
+        return idx >= 0 and value < self._ends[idx]
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        return iter(zip(self._starts, self._ends))
+
+    @property
+    def intervals(self) -> List[Tuple[int, int]]:
+        return list(zip(self._starts, self._ends))
+
+    @property
+    def min(self) -> int:
+        if not self._starts:
+            raise ValueError("empty IntervalSet has no min")
+        return self._starts[0]
+
+    @property
+    def max(self) -> int:
+        """One past the largest covered integer."""
+        if not self._ends:
+            raise ValueError("empty IntervalSet has no max")
+        return self._ends[-1]
+
+    # ------------------------------------------------------------------
+    def add(self, value: int) -> bool:
+        """Insert a single integer; returns True if it was new."""
+        return bool(self.add_range(value, value + 1))
+
+    def add_range(self, start: int, end: int) -> List[Tuple[int, int]]:
+        """Insert ``[start, end)``; returns the newly covered sub-ranges.
+
+        Already-covered portions are skipped, so repeated insertion of the
+        same SACK block is O(log n) and returns nothing.
+        """
+        if end <= start:
+            return []
+        new_ranges: List[Tuple[int, int]] = []
+
+        # Find all existing intervals overlapping or adjacent to [start,end).
+        lo = bisect.bisect_left(self._ends, start)       # first with end >= start
+        hi = bisect.bisect_right(self._starts, end)      # last with start <= end
+        if lo >= hi:
+            # No overlap/adjacency: plain insertion.
+            self._starts.insert(lo, start)
+            self._ends.insert(lo, end)
+            self._count += end - start
+            return [(start, end)]
+
+        # Compute the uncovered gaps inside [start, end).
+        cursor = start
+        for i in range(lo, hi):
+            s, e = self._starts[i], self._ends[i]
+            if cursor < s:
+                new_ranges.append((cursor, min(s, end)))
+            cursor = max(cursor, e)
+            if cursor >= end:
+                break
+        if cursor < end:
+            new_ranges.append((cursor, end))
+
+        merged_start = min(start, self._starts[lo])
+        merged_end = max(end, self._ends[hi - 1])
+        del self._starts[lo:hi]
+        del self._ends[lo:hi]
+        self._starts.insert(lo, merged_start)
+        self._ends.insert(lo, merged_end)
+        self._count += sum(e - s for s, e in new_ranges)
+        return new_ranges
+
+    def remove_below(self, bound: int) -> int:
+        """Drop all integers < ``bound``; returns how many were removed."""
+        removed = 0
+        while self._starts and self._ends[0] <= bound:
+            removed += self._ends[0] - self._starts[0]
+            del self._starts[0]
+            del self._ends[0]
+        if self._starts and self._starts[0] < bound:
+            removed += bound - self._starts[0]
+            self._starts[0] = bound
+        self._count -= removed
+        return removed
+
+    def first_gap_at_or_after(self, value: int) -> int:
+        """Smallest integer >= ``value`` not in the set."""
+        probe = value
+        idx = bisect.bisect_right(self._starts, probe) - 1
+        if idx >= 0 and probe < self._ends[idx]:
+            probe = self._ends[idx]
+        return probe
+
+    def covered_in(self, start: int, end: int) -> int:
+        """How many integers in ``[start, end)`` are covered."""
+        if end <= start:
+            return 0
+        total = 0
+        idx = max(0, bisect.bisect_right(self._starts, start) - 1)
+        for i in range(idx, len(self._starts)):
+            s, e = self._starts[i], self._ends[i]
+            if s >= end:
+                break
+            lo, hi = max(s, start), min(e, end)
+            if hi > lo:
+                total += hi - lo
+        return total

@@ -1,0 +1,136 @@
+"""Shared test utilities: fake hosts and ACK-sample synthesis.
+
+Congestion-control unit tests drive algorithms directly through their
+event API against a :class:`FakeHost`, without spinning up the full
+simulator.  :class:`AckFeeder` fabricates internally consistent
+:class:`~repro.tcp.congestion.base.AckSample` streams (monotone ACK
+numbers, cumulative delivered counts, quantised receiver timestamps).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim.packet import DATA_PACKET_BYTES, MSS
+from repro.tcp.congestion.base import AckSample, CongestionControl
+
+
+class FakeHost:
+    """Minimal HostView implementation for unit tests."""
+
+    def __init__(
+        self,
+        srtt: Optional[float] = 0.05,
+        min_rtt: float = 0.04,
+        inflight: int = 0,
+    ) -> None:
+        self.now = 0.0
+        self._srtt = srtt
+        self._min_rtt = min_rtt
+        self._inflight = inflight
+
+    @property
+    def mss(self) -> int:
+        return MSS
+
+    @property
+    def packet_bytes(self) -> int:
+        return DATA_PACKET_BYTES
+
+    @property
+    def srtt(self) -> Optional[float]:
+        return self._srtt
+
+    @srtt.setter
+    def srtt(self, value: Optional[float]) -> None:
+        self._srtt = value
+
+    @property
+    def min_rtt(self) -> float:
+        return self._min_rtt
+
+    @min_rtt.setter
+    def min_rtt(self, value: float) -> None:
+        self._min_rtt = value
+
+    @property
+    def inflight(self) -> int:
+        return self._inflight
+
+    @inflight.setter
+    def inflight(self, value: int) -> None:
+        self._inflight = value
+
+
+class AckFeeder:
+    """Generate a consistent ACK stream for a bound algorithm.
+
+    Each :meth:`ack` call advances time, the cumulative ACK and the
+    delivered counter, synthesising the RTT/one-way-delay/receiver-ts
+    fields from the supplied link model.
+    """
+
+    def __init__(
+        self,
+        cc: CongestionControl,
+        host: Optional[FakeHost] = None,
+        base_owd: float = 0.02,
+        ts_granularity: float = 0.01,
+    ) -> None:
+        self.host = host or FakeHost()
+        self.cc = cc
+        if cc.host is None:
+            cc.bind(self.host)
+            cc.on_connection_start()
+        self.base_owd = base_owd
+        self.ts_granularity = ts_granularity
+        self.ack_no = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def _receiver_ts(self, now: float) -> float:
+        g = self.ts_granularity
+        return int(now / g) * g if g > 0 else now
+
+    def ack(
+        self,
+        dt: float = 0.01,
+        newly_acked: int = 1,
+        newly_sacked: int = 0,
+        rtt: Optional[float] = None,
+        queue_delay: float = 0.0,
+        is_dupack: bool = False,
+        in_recovery: bool = False,
+        inflight: Optional[int] = None,
+        newly_lost: int = 0,
+    ) -> AckSample:
+        """Advance by ``dt`` and deliver one ACK to the algorithm."""
+        self.host.now += dt
+        now = self.host.now
+        self.ack_no += newly_acked
+        self.delivered += newly_acked + newly_sacked + (1 if is_dupack and not newly_sacked else 0)
+        self.lost += newly_lost
+        if inflight is not None:
+            self.host.inflight = inflight
+        owd = self.base_owd + queue_delay
+        sample = AckSample(
+            now=now,
+            ack=self.ack_no,
+            newly_acked=newly_acked,
+            newly_sacked=newly_sacked,
+            delivered_total=self.delivered,
+            rtt=rtt if rtt is not None else (self.host.min_rtt + queue_delay),
+            one_way_delay=self._receiver_ts(now) - (now - owd),
+            receiver_ts=self._receiver_ts(now),
+            inflight=self.host.inflight,
+            is_dupack=is_dupack,
+            in_recovery=in_recovery,
+            lost_total=self.lost,
+        )
+        self.cc.on_ack(sample)
+        return sample
+
+    def run(self, n: int, **kwargs) -> None:
+        """Deliver ``n`` ACKs with identical parameters."""
+        for _ in range(n):
+            self.ack(**kwargs)

@@ -1,0 +1,178 @@
+"""Tests for application traffic models and app-limited sending."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.tcp.application import (
+    BulkApplication,
+    ConstantBitrateApplication,
+    OnOffApplication,
+    TraceApplication,
+)
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+from tests.test_sender import FixedRate, FixedWindow, Wire
+
+
+class TestBulk:
+    def test_unlimited(self):
+        app = BulkApplication()
+        assert app.produced(1e9) is None
+        assert app.total() is None
+
+    def test_capped(self):
+        app = BulkApplication(100)
+        assert app.produced(0.0) == 100
+        assert app.total() == 100
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BulkApplication(-1)
+
+
+class TestConstantBitrate:
+    def test_linear_production(self):
+        app = ConstantBitrateApplication(rate=150_000.0, segment_bytes=1500)
+        assert app.produced(0.0) == 0
+        assert app.produced(1.0) == 100
+        assert app.produced(2.5) == 250
+
+    def test_start_offset(self):
+        app = ConstantBitrateApplication(rate=15_000.0, start=5.0)
+        assert app.produced(5.0) == 0
+        assert app.produced(6.0) == 10
+
+    def test_duration_caps_production(self):
+        app = ConstantBitrateApplication(rate=15_000.0, duration=2.0)
+        assert app.produced(10.0) == 20
+        assert app.total() == 20
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            ConstantBitrateApplication(rate=0.0)
+        with pytest.raises(ValueError):
+            ConstantBitrateApplication(rate=1.0, segment_bytes=0)
+
+    @given(st.floats(min_value=0.0, max_value=1e4))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, t):
+        app = ConstantBitrateApplication(rate=123_456.0)
+        assert app.produced(t) <= app.produced(t + 1.0)
+
+
+class TestOnOff:
+    def test_on_period_produces(self):
+        app = OnOffApplication(rate=15_000.0, on_seconds=1.0, off_seconds=1.0)
+        assert app.produced(1.0) == 10
+        assert app.produced(2.0) == 10  # silent second
+        assert app.produced(3.0) == 20
+
+    def test_zero_off_is_cbr(self):
+        app = OnOffApplication(rate=15_000.0, on_seconds=1.0, off_seconds=0.0)
+        assert app.produced(5.0) == 50
+
+    @given(st.floats(min_value=0, max_value=100))
+    @settings(max_examples=100, deadline=None)
+    def test_monotone(self, t):
+        app = OnOffApplication(rate=30_000.0, on_seconds=0.7, off_seconds=0.3)
+        assert app.produced(t) <= app.produced(t + 0.5)
+
+
+class TestTraceApplication:
+    def test_counts_past_timestamps(self):
+        app = TraceApplication([0.1, 0.5, 0.5, 2.0])
+        assert app.produced(0.0) == 0
+        assert app.produced(0.5) == 3
+        assert app.produced(10.0) == 4
+        assert app.total() == 4
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            TraceApplication([-1.0])
+
+
+class TestAppLimitedSending:
+    def _harness(self, cc, app):
+        sim = Simulator()
+        wire = Wire(sim)
+        delivered = []
+        wire.receiver = TcpReceiver(
+            sim, 0, send_ack=wire.send_ack, ts_granularity=0.0,
+            on_data=lambda p, now: delivered.append((now, p.seq)),
+        )
+        sender = TcpSender(sim, 0, cc, send_packet=wire.send_data, application=app)
+        wire.sender = sender
+        return sim, sender, delivered
+
+    def test_cbr_source_sent_at_production_rate(self):
+        app = ConstantBitrateApplication(rate=150_000.0)  # 100 seg/s
+        sim, sender, delivered = self._harness(FixedWindow(cwnd=50), app)
+        sender.start()
+        sim.run(until=5.0)
+        assert sender.segments_sent == pytest.approx(500, abs=5)
+
+    def test_window_sender_survives_silence_gaps(self):
+        """An ACK-clocked sender must resume after the app goes quiet
+        (nothing in flight means nothing clocks it — the poller does)."""
+        app = OnOffApplication(rate=150_000.0, on_seconds=0.5, off_seconds=1.0)
+        sim, sender, delivered = self._harness(FixedWindow(cwnd=50), app)
+        sender.start()
+        sim.run(until=4.0)
+        # Two full ON periods (0-0.5, 1.5-2.0, 3.0-3.5) => ~150 segments.
+        assert sender.segments_sent > 100
+        # Deliveries happen in at least two distinct bursts.
+        times = [t for t, _ in delivered]
+        assert max(times) > 3.0
+
+    def test_rate_sender_app_limited(self):
+        app = ConstantBitrateApplication(rate=75_000.0)  # 50 seg/s
+        sim, sender, delivered = self._harness(FixedRate(rate=1.5e6), app)
+        sender.start()
+        sim.run(until=4.0)
+        # Pacing allows 1000 seg/s but the app only produces 50/s.
+        assert sender.segments_sent == pytest.approx(200, abs=5)
+
+    def test_finite_cbr_transfer_completes(self):
+        done = []
+        app = ConstantBitrateApplication(rate=150_000.0, duration=1.0)
+        sim = Simulator()
+        wire = Wire(sim)
+        wire.receiver = TcpReceiver(sim, 0, send_ack=wire.send_ack, ts_granularity=0.0)
+        sender = TcpSender(
+            sim, 0, FixedWindow(cwnd=20), send_packet=wire.send_data,
+            application=app, on_complete=lambda: done.append(sim.now),
+        )
+        wire.sender = sender
+        sender.start()
+        sim.run(until=5.0)
+        assert done
+        assert sender.snd_una == app.total()
+
+
+class TestPropRateAppLimited:
+    def test_proprate_cbr_media_flow_delivers(self):
+        """Regression: PropRate's Slow-Start probe bursts must survive an
+        application that has not produced data yet (the credits are kept
+        for later ticks, not discarded)."""
+        from repro.core.proprate import PropRate
+        from repro.experiments.runner import (
+            FlowSpec,
+            cellular_path_config,
+            run_experiment,
+        )
+        from repro.traces.generator import constant_rate_trace
+
+        trace = constant_rate_trace(1.5e6, 16.0)
+        config = cellular_path_config(trace)
+        media = FlowSpec(
+            cc_factory=lambda: PropRate(0.030),
+            name="media",
+            application=ConstantBitrateApplication(rate=75_000.0),
+            measure_start=5.0,
+        )
+        result = run_experiment(config, [media], duration=15.0)[0]
+        # 50 seg/s of 1500 B => 75 kB/s goodput, delivered at low delay.
+        assert result.throughput == pytest.approx(75_000.0, rel=0.15)
+        assert result.delay.mean < 0.100

@@ -1,0 +1,77 @@
+"""Tests for the pcap-lite packet capture."""
+
+import pytest
+
+from repro.experiments.runner import FlowSpec, cellular_path_config, run_experiment
+from repro.sim.capture import PacketCapture
+from repro.sim.engine import Simulator
+from repro.sim.network import DuplexPath
+from repro.tcp.congestion import NewReno
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.traces.generator import constant_rate_trace
+
+
+def _captured_run(limit=None, drop_buffer=2000, total=40):
+    sim = Simulator()
+    trace = constant_rate_trace(600_000.0, 10.0)
+    config = cellular_path_config(trace, buffer_packets=drop_buffer)
+    path = DuplexPath(sim, config)
+    capture = PacketCapture(limit=limit)
+    capture.tap_path(path)
+    recv = TcpReceiver(sim, 0, send_ack=path.send_reverse, ts_granularity=0.0)
+    sender = TcpSender(sim, 0, NewReno(), send_packet=path.send_forward,
+                       total_segments=total)
+    path.attach_flow(0, recv.receive, sender.on_ack_packet)
+    sender.start()
+    sim.run(until=8.0)
+    return capture, sender
+
+
+class TestCapture:
+    def test_records_data_and_acks(self):
+        capture, sender = _captured_run()
+        data = capture.filter(kind="data", point="downlink")
+        acks = capture.filter(kind="ack", point="uplink")
+        assert len(data) == 40
+        assert len(acks) == 40
+
+    def test_records_are_time_ordered(self):
+        capture, _ = _captured_run()
+        times = [r.time for r in capture.records]
+        assert times == sorted(times)
+
+    def test_retransmissions_tagged(self):
+        capture, sender = _captured_run(drop_buffer=3, total=60)
+        if sender.retransmissions:
+            assert capture.filter(kind="rtx")
+
+    def test_filter_by_flow(self):
+        capture, _ = _captured_run()
+        assert len(capture.filter(flow_id=0)) == len(capture)
+        assert capture.filter(flow_id=99) == []
+
+    def test_limit_counts_overflow(self):
+        capture, _ = _captured_run(limit=10)
+        assert len(capture) == 10
+        assert capture.dropped_records > 0
+
+    def test_summary_mentions_tap_points(self):
+        capture, _ = _captured_run()
+        text = capture.summary()
+        assert "downlink" in text
+        assert "uplink" in text
+
+    def test_save_format_roundtrip(self, tmp_path):
+        capture, _ = _captured_run()
+        path = tmp_path / "trace.pcaplite"
+        capture.save(path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == len(capture)
+        assert "flow=0" in lines[0]
+        assert "data" in lines[0]
+
+    def test_ack_lines_carry_ack_number(self):
+        capture, _ = _captured_run()
+        ack_line = capture.filter(kind="ack")[-1].format()
+        assert "ack=40" in ack_line

@@ -1,0 +1,224 @@
+"""Unit tests for the rate-based baseline algorithms (BBR, PCC,
+PROTEUS, RRE)."""
+
+import pytest
+
+from repro.tcp.congestion import Bbr, Pcc, Proteus, Rre
+from repro.tcp.congestion.bbr import (
+    DRAIN_GAIN,
+    PROBE_GAINS,
+    STARTUP_GAIN,
+)
+from repro.tcp.congestion.pcc import delay_sensitive_utility
+
+from tests.helpers import AckFeeder, FakeHost
+
+
+class TestBbr:
+    def _warm(self, n=200, dt=0.005, per_ack=2):
+        cc = Bbr()
+        feeder = AckFeeder(cc, FakeHost(srtt=0.05, min_rtt=0.04))
+        feeder.run(n, dt=dt, newly_acked=per_ack, inflight=50)
+        return cc, feeder
+
+    def test_starts_in_startup_with_high_gain(self):
+        cc = Bbr()
+        feeder = AckFeeder(cc, FakeHost())
+        assert cc.mode == "startup"
+        feeder.run(5, dt=0.005)
+        assert cc.pacing_gain == pytest.approx(STARTUP_GAIN)
+
+    def test_bandwidth_filter_tracks_delivery_rate(self):
+        cc, feeder = self._warm()
+        # 2 segments / 5 ms = 400 segments/s = 600 kB/s.
+        assert cc._bandwidth() == pytest.approx(600_000.0, rel=0.05)
+
+    def test_exits_startup_when_bandwidth_plateaus(self):
+        cc, feeder = self._warm(n=400)
+        assert cc.mode in ("drain", "probe_bw")
+
+    def test_drain_uses_inverse_gain(self):
+        cc, feeder = self._warm(n=400)
+        if cc.mode == "drain":
+            assert cc.pacing_gain == pytest.approx(DRAIN_GAIN)
+
+    def test_reaches_probe_bw_and_cycles(self):
+        cc, feeder = self._warm(n=300)
+        # Let inflight fall so DRAIN can exit.
+        feeder.run(300, dt=0.005, newly_acked=2, inflight=5)
+        assert cc.mode == "probe_bw"
+        assert cc.pacing_gain in PROBE_GAINS
+
+    def test_pacing_rate_is_gain_times_bandwidth(self):
+        cc, feeder = self._warm(n=300)
+        feeder.run(300, dt=0.005, newly_acked=2, inflight=5)
+        bw = cc._bandwidth()
+        assert cc.pacing_rate == pytest.approx(cc.pacing_gain * bw, rel=0.05)
+
+    def test_probe_rtt_entered_after_min_rtt_expiry(self):
+        cc, feeder = self._warm(n=300)
+        feeder.run(300, dt=0.005, newly_acked=2, inflight=5)
+        assert cc.mode == "probe_bw"
+        # 11 simulated seconds with RTT never dipping below the old min.
+        feeder.run(2300, dt=0.005, newly_acked=2, inflight=5, rtt=0.06)
+        assert cc.mode in ("probe_rtt", "probe_bw")
+
+    def test_inflight_cap_zeroes_pacing(self):
+        cc, feeder = self._warm(n=300)
+        feeder.host.inflight = 10_000
+        cc.on_tick(feeder.host.now)
+        assert cc.pacing_rate == 0.0
+
+    def test_ignores_loss_events(self):
+        cc, feeder = self._warm(n=100)
+        rate = cc.pacing_rate
+        sample = feeder.ack(newly_lost=5, in_recovery=True)
+        cc.on_congestion(sample)
+        assert cc.pacing_rate == rate
+
+    def test_rto_restarts(self):
+        cc, feeder = self._warm(n=400)
+        cc.on_rto()
+        assert cc.mode == "startup"
+
+    def test_metadata(self):
+        cc = Bbr()
+        assert cc.is_rate_based
+        assert cc.congestion_trigger == "NA"
+
+
+class TestPccUtility:
+    def test_increasing_in_throughput(self):
+        low = delay_sensitive_utility(1e5, 0.0, 0.0, 0.0)
+        high = delay_sensitive_utility(1e6, 0.0, 0.0, 0.0)
+        assert high > low
+
+    def test_loss_above_5pct_collapses_utility(self):
+        clean = delay_sensitive_utility(1e6, 0.0, 0.0, 0.0)
+        lossy = delay_sensitive_utility(1e6, 0.20, 0.0, 0.0)
+        assert lossy < 0.2 * clean
+
+    def test_positive_rtt_gradient_penalised(self):
+        flat = delay_sensitive_utility(1e6, 0.0, 0.0, 0.0)
+        rising = delay_sensitive_utility(1e6, 0.0, 1.0, 0.0)
+        assert rising < 0.5 * flat
+
+    def test_standing_queue_penalised(self):
+        empty = delay_sensitive_utility(1e6, 0.0, 0.0, 0.0)
+        queued = delay_sensitive_utility(1e6, 0.0, 0.0, 5.0)
+        assert queued < 0.1 * empty
+
+
+class TestPccControl:
+    def test_starting_phase_doubles(self):
+        cc = Pcc()
+        host = FakeHost(srtt=0.05, min_rtt=0.04)
+        feeder = AckFeeder(cc, host)
+        feeder.ack(dt=0.001)
+        r0 = cc.pacing_rate
+        # Drive ticks past several monitor intervals with good delivery.
+        t = host.now
+        for step in range(3000):
+            t += 0.001
+            host.now = t
+            cc.on_tick(t)
+            feeder.ack(dt=0.0, newly_acked=3, rtt=0.04)
+        assert cc.pacing_rate > r0
+
+    def test_rto_backs_off(self):
+        cc = Pcc()
+        feeder = AckFeeder(cc, FakeHost())
+        feeder.ack()
+        cc._base_rate = 1e6
+        cc.on_rto()
+        assert cc._base_rate == pytest.approx(2.5e5)
+        assert cc.phase == "starting"
+
+    def test_metadata(self):
+        cc = Pcc()
+        assert cc.is_rate_based
+        assert cc.congestion_trigger == "Utility Function"
+
+
+class TestProteus:
+    def test_ramp_doubles_while_deliveries_keep_up(self):
+        cc = Proteus()
+        feeder = AckFeeder(cc, FakeHost())
+        r0 = cc.pacing_rate
+        # Deliveries always track the pacing rate: the ramp must climb.
+        for _ in range(8):
+            per_ack = max(1, round(cc.pacing_rate * 0.01 / 1500))
+            feeder.run(10, dt=0.01, newly_acked=per_ack)
+        assert cc.pacing_rate > 10 * r0
+        assert cc._ramping
+
+    def test_ramp_stops_when_capacity_found(self):
+        cc = Proteus()
+        feeder = AckFeeder(cc, FakeHost())
+        cap_packets = 10  # 150 kB/s ceiling regardless of pacing
+        for _ in range(20):
+            feeder.run(cap_packets, dt=0.1 / cap_packets)
+        assert not cc._ramping
+
+    def test_forecast_is_conservative_quantile(self):
+        cc = Proteus()
+        feeder = AckFeeder(cc, FakeHost())
+        cc._ramping = False
+        for rate_packets in [10, 12, 9, 11, 10, 10, 11, 9, 10, 12]:
+            feeder.run(rate_packets, dt=0.1 / rate_packets)
+        # ~10 pkts / 100 ms = 150 kB/s; forecast = 1.3 * ~25th pct.
+        assert cc.pacing_rate == pytest.approx(1.3 * 150_000 * 0.95, rel=0.15)
+
+    def test_inflight_cap(self):
+        cc = Proteus()
+        feeder = AckFeeder(cc, FakeHost())
+        cc._ramping = False
+        feeder.run(40, dt=0.01)
+        feeder.host.inflight = 100_000
+        cc.on_tick(feeder.host.now)
+        assert cc.pacing_rate == 0.0
+
+    def test_metadata(self):
+        cc = Proteus()
+        assert cc.is_rate_based
+        assert cc.congestion_trigger == "Rate Forecast"
+
+
+class TestRre:
+    def _warm(self):
+        cc = Rre()
+        feeder = AckFeeder(cc, FakeHost(srtt=0.05, min_rtt=0.04))
+        feeder.run(50, dt=0.005, newly_acked=2)
+        return cc, feeder
+
+    def test_bootstrap_burst(self):
+        cc = Rre()
+        AckFeeder(cc, FakeHost())
+        assert cc.take_burst() == 10
+
+    def test_fills_below_band(self):
+        cc, feeder = self._warm()
+        feeder.run(10, dt=0.005, newly_acked=2, queue_delay=0.0)
+        assert cc.pacing_rate == pytest.approx(1.4 * cc.rate_estimator.rate, rel=1e-6)
+
+    def test_matches_rate_inside_band(self):
+        cc, feeder = self._warm()
+        feeder.run(30, dt=0.005, newly_acked=2, queue_delay=0.120)
+        assert cc.pacing_rate == pytest.approx(cc.rate_estimator.rate, rel=1e-6)
+
+    def test_drains_above_band(self):
+        cc, feeder = self._warm()
+        feeder.run(30, dt=0.005, newly_acked=2, queue_delay=0.300)
+        assert cc.pacing_rate == pytest.approx(0.7 * cc.rate_estimator.rate, rel=1e-6)
+
+    def test_rto_resets(self):
+        cc, feeder = self._warm()
+        cc.take_burst()
+        cc.on_rto()
+        assert cc.pacing_rate == 0.0
+        assert cc.take_burst() == 10
+
+    def test_metadata(self):
+        cc = Rre()
+        assert cc.is_rate_based
+        assert cc.congestion_trigger == "Buffer Delay"

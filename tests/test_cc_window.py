@@ -1,0 +1,299 @@
+"""Unit tests for the window/cwnd-based baseline algorithms."""
+
+import pytest
+
+from repro.tcp.congestion import (
+    Cubic,
+    Ledbat,
+    NewReno,
+    Sprout,
+    Vegas,
+    Verus,
+    Westwood,
+)
+
+from tests.helpers import AckFeeder, FakeHost
+
+
+def _feed(cc, **host_kwargs):
+    return AckFeeder(cc, FakeHost(**host_kwargs))
+
+
+class TestNewReno:
+    def test_slow_start_doubles_per_window(self):
+        cc = NewReno()
+        feeder = _feed(cc)
+        start = cc.cwnd
+        feeder.run(int(start), dt=0.001)
+        assert cc.cwnd == pytest.approx(2 * start)
+
+    def test_congestion_avoidance_linear(self):
+        cc = NewReno()
+        cc.ssthresh = cc.cwnd  # force CA
+        feeder = _feed(cc)
+        w0 = cc.cwnd
+        feeder.run(int(w0), dt=0.001)
+        assert cc.cwnd == pytest.approx(w0 + 1.0, rel=0.05)
+
+    def test_loss_halves(self):
+        cc = NewReno()
+        feeder = _feed(cc)
+        sample = feeder.ack(inflight=100)
+        cc.on_congestion(sample)
+        assert cc.cwnd == pytest.approx(50.0)
+        assert cc.ssthresh == pytest.approx(50.0)
+
+    def test_rto_collapses_to_loss_window(self):
+        cc = NewReno()
+        cc.cwnd = 100.0
+        cc.on_rto()
+        assert cc.cwnd == cc.LOSS_WINDOW
+        assert cc.ssthresh == pytest.approx(50.0)
+
+    def test_no_growth_during_recovery(self):
+        cc = NewReno()
+        feeder = _feed(cc)
+        w0 = cc.cwnd
+        feeder.run(5, in_recovery=True)
+        assert cc.cwnd == w0
+
+    def test_recovery_exit_restores_ssthresh(self):
+        cc = NewReno()
+        feeder = _feed(cc)
+        sample = feeder.ack(inflight=40)
+        cc.on_congestion(sample)
+        cc.cwnd = 5.0
+        cc.on_recovery_exit(sample)
+        assert cc.cwnd == cc.ssthresh
+
+
+class TestCubic:
+    def test_slow_start_like_reno(self):
+        cc = Cubic()
+        feeder = _feed(cc)
+        w0 = cc.cwnd
+        feeder.run(int(w0), dt=0.001)
+        assert cc.cwnd == pytest.approx(2 * w0)
+
+    def test_loss_multiplies_by_beta(self):
+        cc = Cubic()
+        cc.cwnd = 100.0
+        cc.ssthresh = 50.0
+        feeder = _feed(cc)
+        sample = feeder.ack(inflight=100)
+        cc.on_congestion(sample)
+        assert cc.cwnd == pytest.approx(70.0)
+
+    def test_concave_plateau_near_w_max(self):
+        """RFC 8312: the window decelerates into a plateau around the
+        pre-loss maximum before probing beyond it."""
+        cc = Cubic()
+        cc.cwnd = 100.0
+        feeder = _feed(cc)
+        sample = feeder.ack(inflight=100)
+        cc.on_congestion(sample)
+        cc.ssthresh = cc.cwnd  # stay in CA
+        growth = []
+        for _ in range(60):
+            before = cc.cwnd
+            feeder.run(10, dt=0.01, rtt=0.05)
+            growth.append(cc.cwnd - before)
+        # A plateau exists: the slowest growth is far below the fastest,
+        # and the window passes through the old maximum region.
+        assert min(growth) < 0.25 * max(growth)
+        assert any(90.0 <= 70.0 + sum(growth[: i + 1]) <= 115.0 for i in range(60))
+
+    def test_fast_convergence_reduces_w_max(self):
+        cc = Cubic()
+        cc.cwnd = 100.0
+        feeder = _feed(cc)
+        sample = feeder.ack(inflight=100)
+        cc.on_congestion(sample)
+        first_w_max = cc._w_max
+        cc.cwnd = 50.0  # smaller peak than before
+        cc.on_congestion(sample)
+        assert cc._w_max < first_w_max
+
+    def test_rto_resets_epoch(self):
+        cc = Cubic()
+        cc.cwnd = 100.0
+        cc.on_rto()
+        assert cc.cwnd == cc.LOSS_WINDOW
+        assert cc._epoch_start is None
+
+
+class TestVegas:
+    def test_increases_when_diff_below_alpha(self):
+        cc = Vegas()
+        cc.ssthresh = cc.cwnd  # skip slow start
+        feeder = _feed(cc)
+        w0 = cc.cwnd
+        # RTT == baseRTT: zero queued packets -> grow.
+        feeder.run(60, dt=0.005, rtt=0.04)
+        assert cc.cwnd > w0
+
+    def test_decreases_when_diff_above_beta(self):
+        cc = Vegas()
+        cc.ssthresh = cc.cwnd
+        cc.cwnd = 30.0
+        feeder = _feed(cc)
+        feeder.ack(rtt=0.04)  # establishes baseRTT
+        # Now every RTT sample is heavily inflated: diff >> beta.
+        feeder.run(120, dt=0.005, rtt=0.10)
+        assert cc.cwnd < 30.0
+
+    def test_holds_within_band(self):
+        cc = Vegas()
+        cc.ssthresh = cc.cwnd
+        cc.cwnd = 10.0
+        feeder = _feed(cc)
+        feeder.ack(rtt=0.04)
+        # diff = cwnd * (1 - base/rtt) ~ 3 packets: inside [alpha, beta].
+        feeder.run(100, dt=0.005, rtt=0.0533)
+        assert cc.cwnd == pytest.approx(10.0, abs=2.0)
+
+    def test_loss_halves(self):
+        cc = Vegas()
+        feeder = _feed(cc)
+        sample = feeder.ack(inflight=40)
+        cc.on_congestion(sample)
+        assert cc.cwnd == pytest.approx(20.0)
+
+
+class TestWestwood:
+    def test_bandwidth_estimate_from_ack_rate(self):
+        cc = Westwood()
+        feeder = _feed(cc)
+        # 1 segment per 10 ms = 100 segments/s.
+        feeder.run(300, dt=0.01, rtt=0.05)
+        assert cc._bw.value == pytest.approx(100.0, rel=0.05)
+
+    def test_loss_sets_ssthresh_to_bdp(self):
+        cc = Westwood()
+        feeder = _feed(cc)
+        feeder.run(300, dt=0.01, rtt=0.05)
+        cc.cwnd = 50.0
+        sample = feeder.ack(inflight=50, rtt=0.05)
+        cc.on_congestion(sample)
+        # BWE * RTT_min = 100 * 0.05 = 5 segments.
+        assert cc.ssthresh == pytest.approx(5.0, rel=0.15)
+
+    def test_growth_like_reno(self):
+        cc = Westwood()
+        feeder = _feed(cc)
+        w0 = cc.cwnd
+        feeder.run(int(w0), dt=0.001, rtt=0.05)
+        assert cc.cwnd == pytest.approx(2 * w0)
+
+
+class TestLedbat:
+    def test_grows_when_queue_below_target(self):
+        cc = Ledbat()
+        feeder = _feed(cc)
+        w0 = cc.cwnd
+        feeder.run(50, dt=0.01, queue_delay=0.0)
+        assert cc.cwnd > w0
+
+    def test_shrinks_when_queue_above_target(self):
+        cc = Ledbat()
+        cc.cwnd = 50.0
+        feeder = _feed(cc)
+        feeder.ack(queue_delay=0.0)  # establish base delay
+        feeder.run(100, dt=0.01, queue_delay=0.250)
+        assert cc.cwnd < 50.0
+
+    def test_equilibrium_at_target(self):
+        cc = Ledbat()
+        feeder = _feed(cc)
+        feeder.ack(queue_delay=0.0)
+        w_before = None
+        feeder.run(50, dt=0.01, queue_delay=cc.TARGET)
+        w_before = cc.cwnd
+        feeder.run(50, dt=0.01, queue_delay=cc.TARGET)
+        assert cc.cwnd == pytest.approx(w_before, abs=1.0)
+
+    def test_loss_halves(self):
+        cc = Ledbat()
+        cc.cwnd = 40.0
+        feeder = _feed(cc)
+        sample = feeder.ack(queue_delay=0.0)
+        cc.on_congestion(sample)
+        # the triggering ACK itself grew the window a fraction
+        assert cc.cwnd == pytest.approx(20.0, abs=0.1)
+
+
+class TestSprout:
+    def test_window_proportional_to_rate_forecast(self):
+        cc = Sprout()
+        feeder = _feed(cc)
+        # Steady 100 segments/s: conservative forecast ~= mean.
+        feeder.run(400, dt=0.01)
+        expected = 100.0 * 0.100  # rate * horizon
+        assert cc.cwnd == pytest.approx(expected + 8.0, rel=0.35)
+
+    def test_variance_makes_forecast_conservative(self):
+        steady = Sprout()
+        f1 = _feed(steady)
+        f1.run(400, dt=0.01)
+
+        bursty = Sprout()
+        f2 = _feed(bursty)
+        # Same average rate, delivered in alternating feast/famine ticks.
+        for _ in range(100):
+            f2.run(4, dt=0.005)   # 4 segs in 20 ms
+            f2.ack(dt=0.020, newly_acked=0)
+        assert bursty.cwnd < steady.cwnd
+
+    def test_rto_collapses(self):
+        cc = Sprout()
+        cc.cwnd = 50.0
+        cc.on_rto()
+        assert cc.cwnd == cc.MIN_CWND
+
+
+class TestVerus:
+    def test_window_grows_while_delay_stable(self):
+        cc = Verus()
+        feeder = _feed(cc)
+        feeder.run(50, dt=0.01, queue_delay=0.005)
+        w_mid = cc.cwnd
+        feeder.run(200, dt=0.01, queue_delay=0.005)
+        assert cc.cwnd >= w_mid
+
+    def test_target_delay_cut_on_loss(self):
+        cc = Verus()
+        feeder = _feed(cc)
+        feeder.run(50, dt=0.01, queue_delay=0.005)
+        sample = feeder.ack()
+        target_before = cc._target_delay
+        cc.on_congestion(sample)
+        assert cc._target_delay == pytest.approx(target_before * 0.5)
+
+    def test_rising_delay_decreases_target(self):
+        cc = Verus()
+        feeder = _feed(cc)
+        feeder.run(30, dt=0.01, queue_delay=0.0)
+        target_calm = cc._target_delay
+        for i in range(60):
+            feeder.ack(dt=0.01, queue_delay=0.002 * i)
+        assert cc._target_delay < target_calm + 0.02
+
+
+class TestTable3Metadata:
+    @pytest.mark.parametrize(
+        "cls,regulation,trigger",
+        [
+            (NewReno, "cwnd-based", "Packet Loss"),
+            (Cubic, "cwnd-based", "Packet Loss"),
+            (Vegas, "cwnd-based", "Packet Loss"),
+            (Westwood, "cwnd-based", "Packet Loss"),
+            (Ledbat, "Window-based", "Buffer Delay + Packet Loss"),
+            (Sprout, "Window-based", "Rate Forecast"),
+            (Verus, "Window-based", "Utility Function"),
+        ],
+    )
+    def test_metadata(self, cls, regulation, trigger):
+        cc = cls()
+        assert cc.sending_regulation == regulation
+        assert cc.congestion_trigger == trigger
+        assert not cc.is_rate_based

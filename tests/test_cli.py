@@ -1,0 +1,57 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "CUBIC"])
+        assert args.trace == "A-stationary"
+        assert args.algorithm == "CUBIC"
+
+    def test_frontier_grid_flags(self):
+        args = build_parser().parse_args(
+            ["frontier", "--low", "20", "--high", "60", "--step", "20"]
+        )
+        assert (args.low, args.high, args.step) == (20, 60, 20)
+
+    def test_unknown_trace_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "CUBIC", "--trace", "nope"])
+
+
+class TestCommands:
+    def test_traces_command(self, capsys):
+        main(["traces"])
+        out = capsys.readouterr().out
+        assert "ISP A-stationary" in out
+        assert "Sprint-like" in out
+
+    def test_experiments_command(self, capsys):
+        main(["experiments"])
+        out = capsys.readouterr().out
+        assert "Table 2" in out
+        assert "Figure 10" in out
+
+    def test_run_command_quick(self, capsys):
+        main(["run", "PropRate", "--target", "40",
+              "--duration", "4", "--warmup", "1"])
+        out = capsys.readouterr().out
+        assert "KB/s" in out
+        assert "PropRate" in out
+
+    def test_run_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["run", "NotAnAlgorithm", "--duration", "2"])
+
+    def test_frontier_command_quick(self, capsys):
+        main(["frontier", "--low", "40", "--high", "40", "--step", "10",
+              "--duration", "4", "--warmup", "1"])
+        out = capsys.readouterr().out
+        assert "target ms" in out

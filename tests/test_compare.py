@@ -1,0 +1,103 @@
+"""Tests for the replication statistics (bootstrap CI, rank test)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.compare import (
+    bootstrap_mean_ci,
+    mann_whitney_u,
+    stochastically_less,
+)
+
+
+class TestBootstrapCI:
+    def test_point_estimate_is_sample_mean(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0])
+        assert ci.mean == pytest.approx(2.0)
+
+    def test_interval_contains_mean(self):
+        ci = bootstrap_mean_ci([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert ci.low <= ci.mean <= ci.high
+        assert 3.0 in ci
+
+    def test_single_sample_degenerates(self):
+        ci = bootstrap_mean_ci([7.0])
+        assert ci.low == ci.high == ci.mean == 7.0
+        assert ci.half_width == 0.0
+
+    def test_deterministic_given_seed(self):
+        samples = [1.0, 5.0, 2.0, 8.0]
+        a = bootstrap_mean_ci(samples, seed=42)
+        b = bootstrap_mean_ci(samples, seed=42)
+        assert (a.low, a.high) == (b.low, b.high)
+
+    def test_wider_with_more_variance(self):
+        tight = bootstrap_mean_ci([10.0, 10.1, 9.9, 10.0, 10.05] * 3)
+        loose = bootstrap_mean_ci([1.0, 20.0, 5.0, 15.0, 10.0] * 3)
+        assert loose.half_width > tight.half_width
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([])
+        with pytest.raises(ValueError):
+            bootstrap_mean_ci([1.0], confidence=1.5)
+
+    @given(
+        st.lists(st.floats(min_value=-100, max_value=100), min_size=3,
+                 max_size=30)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interval_brackets_point_estimate(self, samples):
+        ci = bootstrap_mean_ci(samples)
+        assert ci.low - 1e-9 <= ci.mean <= ci.high + 1e-9
+
+    def test_coverage_on_known_distribution(self):
+        """~95% of CIs from N(0,1) samples should contain 0."""
+        rng = np.random.default_rng(7)
+        hits = 0
+        trials = 200
+        for i in range(trials):
+            samples = rng.standard_normal(20)
+            ci = bootstrap_mean_ci(samples, seed=i)
+            hits += 0.0 in ci
+        assert hits / trials > 0.85
+
+
+class TestMannWhitney:
+    def test_identical_samples_not_significant(self):
+        u, p = mann_whitney_u([1, 2, 3, 4, 5], [1, 2, 3, 4, 5])
+        assert p > 0.5
+
+    def test_separated_samples_significant(self):
+        a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.01]
+        b = [5.0, 5.1, 4.9, 5.05, 4.95, 5.02, 4.98, 5.01]
+        u, p = mann_whitney_u(a, b)
+        assert p < 0.01
+
+    def test_symmetry(self):
+        a, b = [1, 2, 3, 10], [4, 5, 6, 7]
+        _, p_ab = mann_whitney_u(a, b)
+        _, p_ba = mann_whitney_u(b, a)
+        assert p_ab == pytest.approx(p_ba)
+
+    def test_handles_ties(self):
+        u, p = mann_whitney_u([1, 1, 1, 2], [1, 1, 2, 2])
+        assert 0.0 <= p <= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            mann_whitney_u([], [1.0])
+
+
+class TestStochasticallyLess:
+    def test_clear_separation(self):
+        low = [1.0, 1.2, 0.8, 1.1, 0.9, 1.05, 1.15, 0.85]
+        high = [3.0, 3.2, 2.8, 3.1, 2.9, 3.05, 3.15, 2.85]
+        assert stochastically_less(low, high)
+        assert not stochastically_less(high, low)
+
+    def test_overlapping_not_significant(self):
+        a = [1.0, 2.0, 3.0]
+        b = [1.5, 2.5, 2.0]
+        assert not stochastically_less(a, b)

@@ -1,0 +1,130 @@
+"""Flow-conservation property tests across the whole substrate.
+
+Invariants that must hold for ANY workload: every packet offered to a
+link is eventually delivered, still queued, in flight on the propagation
+leg, or counted as dropped — never duplicated, never vanished.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.sim.link import CellularLink, WiredLink
+from repro.sim.packet import make_data_packet
+from repro.sim.queues import DropTailQueue
+from repro.traces.generator import constant_rate_trace
+from repro.traces.trace import Trace
+
+
+@st.composite
+def _offered_load(draw):
+    """(arrival times, capacity pkt/s, queue capacity)."""
+    n = draw(st.integers(min_value=1, max_value=120))
+    arrivals = sorted(
+        draw(
+            st.lists(
+                st.floats(min_value=0.0, max_value=4.0),
+                min_size=n, max_size=n,
+            )
+        )
+    )
+    capacity = draw(st.sampled_from([20, 100, 400]))
+    qcap = draw(st.sampled_from([2, 10, 1000]))
+    return arrivals, capacity, qcap
+
+
+class TestCellularConservation:
+    @given(_offered_load())
+    @settings(max_examples=60, deadline=None)
+    def test_every_packet_accounted_for(self, load):
+        arrivals, capacity_pps, qcap = load
+        sim = Simulator()
+        trace = constant_rate_trace(capacity_pps * 1500.0, 10.0)
+        delivered = []
+        queue = DropTailQueue(capacity=qcap)
+        link = CellularLink(
+            sim, trace, queue, prop_delay=0.01,
+            on_deliver=lambda p: delivered.append(p.uid),
+        )
+        offered = []
+        for i, t in enumerate(arrivals):
+            pkt = make_data_packet(flow_id=0, seq=i, now=t)
+            offered.append(pkt.uid)
+            sim.schedule_at(t, lambda p=pkt: link.enqueue(p))
+        sim.run(until=30.0)
+
+        assert len(delivered) == len(set(delivered)), "duplicated packet"
+        assert len(delivered) + queue.drops == len(offered)
+        assert link.delivered_packets == len(delivered)
+
+    @given(_offered_load())
+    @settings(max_examples=40, deadline=None)
+    def test_fifo_order_preserved(self, load):
+        arrivals, capacity_pps, qcap = load
+        sim = Simulator()
+        trace = constant_rate_trace(capacity_pps * 1500.0, 10.0)
+        delivered = []
+        link = CellularLink(
+            sim, trace, DropTailQueue(capacity=qcap), prop_delay=0.0,
+            on_deliver=lambda p: delivered.append(p.seq),
+        )
+        for i, t in enumerate(arrivals):
+            sim.schedule_at(
+                t, lambda i=i, t=t: link.enqueue(make_data_packet(0, i, t))
+            )
+        sim.run(until=30.0)
+        assert delivered == sorted(delivered)
+
+
+class TestWiredConservation:
+    @given(_offered_load())
+    @settings(max_examples=40, deadline=None)
+    def test_every_packet_accounted_for(self, load):
+        arrivals, capacity_pps, qcap = load
+        sim = Simulator()
+        delivered = []
+        queue = DropTailQueue(capacity=qcap)
+        link = WiredLink(
+            sim, rate=capacity_pps * 1500.0, queue=queue, prop_delay=0.005,
+            on_deliver=lambda p: delivered.append(p.uid),
+        )
+        offered = 0
+        for i, t in enumerate(arrivals):
+            offered += 1
+            sim.schedule_at(
+                t, lambda i=i, t=t: link.enqueue(make_data_packet(0, i, t))
+            )
+        sim.run(until=60.0)
+        assert len(delivered) + queue.drops == offered
+
+
+class TestEndToEndConservation:
+    @given(st.integers(min_value=1, max_value=40),
+           st.sampled_from([5, 50, 2000]))
+    @settings(max_examples=30, deadline=None)
+    def test_transfer_accounting(self, total, buffer_packets):
+        """Across a full TCP transfer: receiver-unique segments equals
+        the backlog; sender transmissions equal deliveries + drops."""
+        from repro.experiments.runner import (
+            FlowSpec, cellular_path_config, run_experiment,
+        )
+        from repro.tcp.congestion import NewReno
+
+        trace = constant_rate_trace(300_000.0, 60.0)
+        config = cellular_path_config(trace, buffer_packets=buffer_packets)
+        result = run_experiment(
+            config,
+            [FlowSpec(cc_factory=NewReno, total_segments=total,
+                      measure_start=0.0)],
+            duration=50.0,
+            measure_start=0.0,
+        )[0]
+        sender = result.sender
+        assert sender.complete
+        assert sender.snd_una == total
+        collector = result.collector
+        assert len(collector) == total  # unique segments delivered once
+        assert (
+            sender.segments_sent
+            == len(collector) + collector.duplicates + result.bottleneck_drops
+        )

@@ -1,0 +1,80 @@
+"""Smoke tests for the runnable examples.
+
+Each example is a long-running demo; these tests verify they compile,
+expose a ``main`` entry point, and that their core calls work at reduced
+scale (full runs happen manually / in benchmarks).
+"""
+
+import importlib.util
+import pathlib
+import py_compile
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(path):
+    spec = importlib.util.spec_from_file_location(path.stem, path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        names = {p.name for p in EXAMPLES}
+        assert {"quickstart.py", "target_latency.py", "algorithm_shootout.py",
+                "uplink_congestion.py", "frontier_sweep.py"} <= names
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_compiles(self, path):
+        py_compile.compile(str(path), doraise=True)
+
+    @pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+    def test_has_main(self, path):
+        module = _load(path)
+        assert callable(getattr(module, "main", None))
+
+    def test_quickstart_pipeline_at_reduced_scale(self, capsys):
+        """The quickstart's exact call pattern, shrunk to seconds."""
+        module = _load(EXAMPLES_DIR / "quickstart.py")
+        module.DURATION = 4.0
+        module.WARMUP = 1.0
+        module.main()
+        out = capsys.readouterr().out
+        assert "PropRate(M)" in out
+        assert "CUBIC" in out
+
+    def test_shootout_rejects_unknown_trace(self):
+        module = _load(EXAMPLES_DIR / "algorithm_shootout.py")
+        import sys
+
+        argv = sys.argv
+        sys.argv = ["algorithm_shootout.py", "marsnet"]
+        try:
+            with pytest.raises(SystemExit):
+                module.main()
+        finally:
+            sys.argv = argv
+
+    def test_frontier_ascii_scatter_renders(self):
+        module = _load(EXAMPLES_DIR / "frontier_sweep.py")
+
+        class _Point:
+            def __init__(self, d, t):
+                self.mean_delay_ms = d
+                self.throughput_kbps = t
+
+        class _Ref:
+            class delay:
+                mean_ms = 300.0
+            throughput_kbps = 900.0
+
+        art = module._ascii_scatter(
+            [_Point(40, 800), _Point(80, 1100), _Point(120, 1300)],
+            {"CUBIC": _Ref()},
+        )
+        assert "o" in art
+        assert "C" in art

@@ -1,0 +1,104 @@
+"""Tests for the algorithm line-up, CPU probes and experiment registry."""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.algorithms import (
+    PR_TARGETS,
+    baseline_names,
+    paper_algorithms,
+    proprate_factory,
+)
+from repro.experiments.cpu import instrument, instrumented_factory
+from repro.experiments.registry import EXPERIMENTS, describe_all
+from repro.core.proprate import PropRate
+from repro.tcp.congestion import Cubic
+from repro.tcp.congestion.base import CongestionControl
+
+from tests.helpers import AckFeeder, FakeHost
+
+
+class TestAlgorithms:
+    def test_lineup_covers_table3(self):
+        algos = paper_algorithms()
+        for name in ("PR(L)", "PR(M)", "PR(H)", "CUBIC", "BBR", "Sprout",
+                     "PCC", "Verus", "LEDBAT", "Vegas", "Westwood",
+                     "PROTEUS", "RRE", "NewReno"):
+            assert name in algos
+
+    def test_factories_produce_fresh_instances(self):
+        factory = paper_algorithms()["CUBIC"]
+        assert factory() is not factory()
+
+    def test_proprate_factories_use_paper_targets(self):
+        algos = paper_algorithms()
+        for name, target in PR_TARGETS.items():
+            cc = algos[name]()
+            assert isinstance(cc, PropRate)
+            assert cc.target_buffer_delay == target
+
+    def test_proprate_factory_kwargs(self):
+        cc = proprate_factory(0.030, enable_feedback=False)()
+        assert cc.target_buffer_delay == 0.030
+        assert not cc.feedback.enabled
+
+    def test_baseline_names_exclude_proprate(self):
+        names = baseline_names()
+        assert "PR(L)" not in names
+        assert "CUBIC" in names
+
+    def test_every_factory_builds_a_cc(self):
+        for name, factory in paper_algorithms().items():
+            assert isinstance(factory(), CongestionControl), name
+
+
+class TestCpuInstrumentation:
+    def test_control_time_accumulates(self):
+        cc = instrument(Cubic())
+        feeder = AckFeeder(cc, FakeHost())
+        feeder.run(100)
+        assert cc.control_seconds > 0.0
+        assert cc.control_calls >= 100
+
+    def test_behaviour_unchanged(self):
+        plain, timed = Cubic(), instrument(Cubic())
+        f1, f2 = AckFeeder(plain, FakeHost()), AckFeeder(timed, FakeHost())
+        f1.run(50)
+        f2.run(50)
+        assert plain.cwnd == pytest.approx(timed.cwnd)
+
+    def test_instrumented_factory(self):
+        factory = instrumented_factory(Cubic)
+        cc = factory()
+        assert hasattr(cc, "control_seconds")
+        assert isinstance(cc, Cubic)
+
+    def test_rate_cc_keeps_class(self):
+        cc = instrument(PropRate(0.040))
+        assert cc.is_rate_based
+        assert isinstance(cc, PropRate)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_present(self):
+        for exp_id in ("T2", "T3", "T4", "F1-3", "F7", "F8", "F9", "F10",
+                       "F11", "F12", "F13", "F14", "D1"):
+            assert exp_id in EXPERIMENTS
+
+    def test_bench_files_exist(self):
+        root = pathlib.Path(__file__).resolve().parent.parent
+        for exp in EXPERIMENTS.values():
+            assert (root / exp.bench).exists(), exp.bench
+
+    def test_modules_importable(self):
+        import importlib
+
+        for exp in EXPERIMENTS.values():
+            for module in exp.modules:
+                importlib.import_module(module)
+
+    def test_describe_all_lists_everything(self):
+        text = describe_all()
+        for exp in EXPERIMENTS.values():
+            assert exp.id in text

@@ -1,0 +1,102 @@
+"""Tests for the negative-feedback loop (§3.2, Figure 4)."""
+
+import pytest
+
+from repro.core.feedback import ThresholdFeedbackLoop
+
+
+class TestTActualTracking:
+    def test_eq9_first_sample(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        loop.on_window_sample(0.050)
+        assert loop.t_actual == pytest.approx(0.050)
+
+    def test_eq9_ewma_gains(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        loop.on_window_sample(0.000)
+        loop.on_window_sample(0.080)
+        # 7/8 * 0 + 1/8 * 0.08
+        assert loop.t_actual == pytest.approx(0.010)
+
+    def test_negative_samples_clamped(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        loop.on_window_sample(-0.010)
+        assert loop.t_actual == 0.0
+
+
+class TestThresholdAdjustment:
+    def test_initial_threshold_is_target(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        assert loop.threshold == 0.040
+
+    def test_overshoot_lowers_threshold(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        t0 = loop.threshold
+        loop.on_window_sample(0.100, now=0.0)
+        assert loop.threshold < t0
+
+    def test_undershoot_raises_threshold(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        t0 = loop.threshold
+        loop.on_window_sample(0.005, now=0.0)
+        assert loop.threshold > t0
+
+    def test_log_scaling_bounds_large_errors(self):
+        """A 10x error must not move T violently (log compression)."""
+        loop = ThresholdFeedbackLoop(target=0.040)
+        loop.on_window_sample(0.400, now=0.0)
+        assert loop.threshold > 0.040 - 0.010
+
+    def test_clamped_to_band(self):
+        loop = ThresholdFeedbackLoop(
+            target=0.040, min_threshold=0.030, max_threshold=0.050
+        )
+        for i in range(100):
+            loop.on_window_sample(1.0, now=float(i))
+        assert loop.threshold == 0.030
+        for i in range(100, 300):
+            loop.on_window_sample(0.0, now=float(i))
+        assert loop.threshold == 0.050
+
+    def test_disabled_loop_never_moves(self):
+        loop = ThresholdFeedbackLoop(target=0.040, enabled=False)
+        for i in range(50):
+            loop.on_window_sample(0.200, now=float(i))
+        assert loop.threshold == 0.040
+        assert loop.t_actual is not None  # still tracked for reporting
+
+    def test_update_rate_limited(self):
+        loop = ThresholdFeedbackLoop(target=0.040, min_update_interval=1.0)
+        loop.on_window_sample(0.100, now=0.0)
+        t1 = loop.threshold
+        loop.on_window_sample(0.100, now=0.5)  # too soon
+        assert loop.threshold == t1
+        loop.on_window_sample(0.100, now=1.5)
+        assert loop.threshold < t1
+
+    def test_updates_counter(self):
+        loop = ThresholdFeedbackLoop(target=0.040, min_update_interval=0.0)
+        loop.on_window_sample(0.100, now=0.0)
+        loop.on_window_sample(0.100, now=1.0)
+        assert loop.updates == 2
+
+    def test_converges_toward_equilibrium(self):
+        """Simulated plant: achieved delay proportional to T.  The loop
+        must steer T until achieved ~= target."""
+        loop = ThresholdFeedbackLoop(
+            target=0.040, min_update_interval=0.0, min_threshold=0.001
+        )
+        gain = 1.8  # plant: t_actual = 1.8 T (overshooting system)
+        for i in range(4000):
+            loop.on_window_sample(gain * loop.threshold, now=float(i))
+        assert loop.t_actual == pytest.approx(0.040, rel=0.10)
+
+    def test_reset_clears_t_actual(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        loop.on_window_sample(0.100)
+        loop.reset()
+        assert loop.t_actual is None
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(ValueError):
+            ThresholdFeedbackLoop(target=0.0)

@@ -1,0 +1,129 @@
+"""End-to-end integration tests: the paper's headline behaviours.
+
+These run full trace-driven simulations (shortened relative to the
+benchmarks) and assert the qualitative results the paper reports.
+"""
+
+import pytest
+
+from repro.core.proprate import PropRate, PropRateState
+from repro.experiments.runner import run_single_flow
+from repro.tcp.congestion import Bbr, Cubic, Sprout
+from repro.traces.presets import isp_trace
+
+DURATION = 18.0
+WARMUP = 3.0
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return (
+        isp_trace("A", "stationary", duration=60.0),
+        isp_trace("A", "stationary", duration=60.0, direction="uplink"),
+    )
+
+
+@pytest.fixture(scope="module")
+def results(traces):
+    down, up = traces
+    out = {}
+    for name, factory in (
+        ("PR(L)", lambda: PropRate(0.020)),
+        ("PR(M)", lambda: PropRate(0.040)),
+        ("PR(H)", lambda: PropRate(0.080)),
+        ("CUBIC", Cubic),
+        ("BBR", Bbr),
+        ("Sprout", Sprout),
+    ):
+        out[name] = run_single_flow(
+            factory, down, up, duration=DURATION, measure_start=WARMUP
+        )
+    return out
+
+
+class TestHeadlineShapes:
+    def test_proprate_frontier_is_monotone(self, results):
+        assert (
+            results["PR(L)"].delay.mean
+            < results["PR(M)"].delay.mean
+            < results["PR(H)"].delay.mean
+        )
+        assert results["PR(L)"].throughput < results["PR(H)"].throughput
+
+    def test_proprate_beats_cubic_on_delay_at_comparable_throughput(self, results):
+        pr_h, cubic = results["PR(H)"], results["CUBIC"]
+        assert pr_h.delay.mean < cubic.delay.mean / 4
+        assert pr_h.throughput > 0.6 * cubic.throughput
+
+    def test_cubic_bufferbloat(self, results):
+        """CUBIC saturates the 2,000-packet buffer: hundreds of ms."""
+        assert results["CUBIC"].delay.mean > 0.400
+        assert results["CUBIC"].bottleneck_drops > 0
+
+    def test_sprout_low_delay_low_throughput(self, results):
+        sprout = results["Sprout"]
+        assert sprout.delay.mean < 0.120
+        assert sprout.throughput < 0.7 * results["PR(H)"].throughput
+
+    def test_pr_l_beats_sprout_throughput_at_low_delay(self, results):
+        """The paper's headline: PropRate reaches forecast-class delays
+        at higher throughput."""
+        pr_l, sprout = results["PR(L)"], results["Sprout"]
+        assert pr_l.throughput > sprout.throughput
+        assert pr_l.delay.mean < 2.5 * sprout.delay.mean
+
+    def test_bbr_high_throughput_moderate_delay(self, results):
+        bbr, cubic = results["BBR"], results["CUBIC"]
+        assert bbr.throughput > 0.8 * cubic.throughput
+        assert bbr.delay.mean < 0.5 * cubic.delay.mean
+
+    def test_no_losses_for_delay_targeting_flows(self, results):
+        """With a 2,000-packet buffer, PropRate's delay targets keep it
+        far from overflow."""
+        for name in ("PR(L)", "PR(M)", "PR(H)"):
+            assert results[name].bottleneck_drops == 0
+
+    def test_delays_bounded_below_by_propagation(self, results):
+        for result in results.values():
+            if result.delay.count:
+                assert result.delay.mean >= 0.0199
+
+
+class TestTargetLatency:
+    @pytest.mark.parametrize("target_ms", [20, 40, 80])
+    def test_achieved_buffer_delay_tracks_target(self, traces, target_ms):
+        """The paper's unique capability: set a target average latency
+        and achieve it (within the volatility of the trace)."""
+        down, up = traces
+        result = run_single_flow(
+            lambda: PropRate(target_ms / 1000.0), down, up,
+            duration=DURATION, measure_start=WARMUP,
+        )
+        achieved_buffer_ms = result.delay.mean_ms - 20.0  # propagation
+        assert achieved_buffer_ms == pytest.approx(target_ms, abs=max(15, 0.6 * target_ms))
+
+    def test_proprate_reaches_steady_state(self, traces):
+        down, up = traces
+        result = run_single_flow(
+            lambda: PropRate(0.040), down, up, duration=DURATION,
+        )
+        cc = result.sender.cc
+        assert cc.state in (
+            PropRateState.FILL, PropRateState.DRAIN, PropRateState.MONITOR
+        )
+        assert cc.state_transitions > 10
+        assert cc.rho is not None and cc.rho > 100_000
+
+
+class TestMobileTrace:
+    def test_frontier_holds_on_mobile(self):
+        down = isp_trace("A", "mobile", duration=60.0)
+        up = isp_trace("A", "mobile", duration=60.0, direction="uplink")
+        low = run_single_flow(
+            lambda: PropRate(0.020), down, up, duration=DURATION, measure_start=WARMUP
+        )
+        high = run_single_flow(
+            lambda: PropRate(0.080), down, up, duration=DURATION, measure_start=WARMUP
+        )
+        assert low.delay.mean < high.delay.mean
+        assert low.throughput <= high.throughput * 1.05

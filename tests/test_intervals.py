@@ -1,0 +1,203 @@
+"""Unit and property tests for IntervalSet (the SACK scoreboard core)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.util.intervals import IntervalSet
+
+
+class TestBasics:
+    def test_empty(self):
+        s = IntervalSet()
+        assert len(s) == 0
+        assert not s
+        assert 5 not in s
+        assert s.intervals == []
+
+    def test_single_add(self):
+        s = IntervalSet()
+        assert s.add(5)
+        assert 5 in s
+        assert 4 not in s
+        assert 6 not in s
+        assert len(s) == 1
+
+    def test_duplicate_add_returns_false(self):
+        s = IntervalSet()
+        assert s.add(5)
+        assert not s.add(5)
+        assert len(s) == 1
+
+    def test_adjacent_adds_merge(self):
+        s = IntervalSet()
+        s.add(1)
+        s.add(2)
+        s.add(3)
+        assert s.intervals == [(1, 4)]
+
+    def test_min_max(self):
+        s = IntervalSet()
+        s.add_range(10, 15)
+        s.add_range(20, 25)
+        assert s.min == 10
+        assert s.max == 25
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(ValueError):
+            IntervalSet().min
+
+
+class TestAddRange:
+    def test_disjoint_ranges(self):
+        s = IntervalSet()
+        assert s.add_range(0, 5) == [(0, 5)]
+        assert s.add_range(10, 15) == [(10, 15)]
+        assert s.intervals == [(0, 5), (10, 15)]
+        assert len(s) == 10
+
+    def test_empty_range_is_noop(self):
+        s = IntervalSet()
+        assert s.add_range(5, 5) == []
+        assert s.add_range(5, 3) == []
+
+    def test_overlapping_range_returns_only_new(self):
+        s = IntervalSet()
+        s.add_range(0, 10)
+        new = s.add_range(5, 15)
+        assert new == [(10, 15)]
+        assert s.intervals == [(0, 15)]
+
+    def test_range_bridging_two_intervals(self):
+        s = IntervalSet()
+        s.add_range(0, 5)
+        s.add_range(10, 15)
+        new = s.add_range(3, 12)
+        assert new == [(5, 10)]
+        assert s.intervals == [(0, 15)]
+
+    def test_range_inside_existing_returns_nothing(self):
+        s = IntervalSet()
+        s.add_range(0, 100)
+        assert s.add_range(10, 20) == []
+        assert len(s) == 100
+
+    def test_adjacent_ranges_merge(self):
+        s = IntervalSet()
+        s.add_range(0, 5)
+        s.add_range(5, 10)
+        assert s.intervals == [(0, 10)]
+
+    def test_range_covering_multiple_gaps(self):
+        s = IntervalSet()
+        s.add_range(2, 4)
+        s.add_range(6, 8)
+        s.add_range(10, 12)
+        new = s.add_range(0, 14)
+        assert new == [(0, 2), (4, 6), (8, 10), (12, 14)]
+        assert s.intervals == [(0, 14)]
+
+    def test_repeated_sack_block_is_cheap_noop(self):
+        s = IntervalSet()
+        s.add_range(100, 200)
+        for _ in range(10):
+            assert s.add_range(100, 200) == []
+
+
+class TestRemoveBelow:
+    def test_removes_whole_intervals(self):
+        s = IntervalSet()
+        s.add_range(0, 5)
+        s.add_range(10, 15)
+        assert s.remove_below(7) == 5
+        assert s.intervals == [(10, 15)]
+
+    def test_truncates_partial_interval(self):
+        s = IntervalSet()
+        s.add_range(0, 10)
+        assert s.remove_below(4) == 4
+        assert s.intervals == [(4, 10)]
+        assert len(s) == 6
+
+    def test_noop_below_everything(self):
+        s = IntervalSet()
+        s.add_range(10, 20)
+        assert s.remove_below(5) == 0
+        assert len(s) == 10
+
+
+class TestQueries:
+    def test_first_gap_at_or_after(self):
+        s = IntervalSet()
+        s.add_range(0, 5)
+        s.add_range(7, 10)
+        assert s.first_gap_at_or_after(0) == 5
+        assert s.first_gap_at_or_after(5) == 5
+        assert s.first_gap_at_or_after(6) == 6
+        assert s.first_gap_at_or_after(8) == 10
+
+    def test_covered_in(self):
+        s = IntervalSet()
+        s.add_range(0, 5)
+        s.add_range(10, 20)
+        assert s.covered_in(0, 25) == 15
+        assert s.covered_in(3, 12) == 4
+        assert s.covered_in(5, 10) == 0
+        assert s.covered_in(12, 12) == 0
+
+
+@st.composite
+def _operations(draw):
+    ops = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=200),
+                st.integers(min_value=1, max_value=30),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    return [(start, start + width) for start, width in ops]
+
+
+class TestProperties:
+    @given(_operations())
+    @settings(max_examples=200, deadline=None)
+    def test_matches_reference_set(self, ranges):
+        """IntervalSet must behave exactly like a plain set of ints."""
+        s = IntervalSet()
+        reference = set()
+        for start, end in ranges:
+            new = s.add_range(start, end)
+            new_flat = {v for a, b in new for v in range(a, b)}
+            expected_new = set(range(start, end)) - reference
+            assert new_flat == expected_new
+            reference |= set(range(start, end))
+        assert len(s) == len(reference)
+        covered = {v for a, b in s.intervals for v in range(a, b)}
+        assert covered == reference
+
+    @given(_operations(), st.integers(min_value=0, max_value=250))
+    @settings(max_examples=100, deadline=None)
+    def test_remove_below_matches_reference(self, ranges, bound):
+        s = IntervalSet()
+        reference = set()
+        for start, end in ranges:
+            s.add_range(start, end)
+            reference |= set(range(start, end))
+        removed = s.remove_below(bound)
+        assert removed == len({v for v in reference if v < bound})
+        remaining = {v for a, b in s.intervals for v in range(a, b)}
+        assert remaining == {v for v in reference if v >= bound}
+
+    @given(_operations())
+    @settings(max_examples=100, deadline=None)
+    def test_intervals_sorted_and_disjoint(self, ranges):
+        s = IntervalSet()
+        for start, end in ranges:
+            s.add_range(start, end)
+        intervals = s.intervals
+        for (a1, b1), (a2, b2) in zip(intervals, intervals[1:]):
+            assert b1 < a2  # disjoint and non-adjacent (merged)
+        for a, b in intervals:
+            assert a < b

@@ -1,0 +1,115 @@
+"""Tests for delivery records and summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.collector import DeliveryCollector
+from repro.metrics.stats import (
+    delay_summary,
+    jain_fairness,
+    throughput_timeseries,
+)
+from repro.sim.packet import make_data_packet
+
+
+def _deliver(collector, seq, sent, arrived, retransmit=False):
+    pkt = make_data_packet(flow_id=0, seq=seq, now=sent, retransmit=retransmit)
+    collector.on_data(pkt, arrived)
+
+
+class TestDeliveryCollector:
+    def test_records_one_way_delay(self):
+        c = DeliveryCollector()
+        _deliver(c, seq=0, sent=1.0, arrived=1.05)
+        assert len(c) == 1
+        assert c.records[0].one_way_delay == pytest.approx(0.05)
+
+    def test_duplicates_excluded(self):
+        c = DeliveryCollector()
+        _deliver(c, 0, 1.0, 1.05)
+        _deliver(c, 0, 1.2, 1.25, retransmit=True)
+        assert len(c) == 1
+        assert c.duplicates == 1
+
+    def test_delays_filtered_by_window(self):
+        c = DeliveryCollector()
+        _deliver(c, 0, 0.0, 1.0)
+        _deliver(c, 1, 0.0, 2.0)
+        _deliver(c, 2, 0.0, 3.0)
+        assert len(c.delays(start=1.5)) == 2
+        assert len(c.delays(start=1.5, end=2.5)) == 1
+
+    def test_throughput_over_window(self):
+        c = DeliveryCollector()
+        for i in range(10):
+            _deliver(c, i, 0.0, 1.0 + i * 0.1)
+        # 10 x 1500 B over [1.0, 2.0)
+        assert c.throughput(1.0, 2.0) == pytest.approx(15000.0)
+
+    def test_throughput_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            DeliveryCollector().throughput(2.0, 1.0)
+
+    def test_retransmit_flag_recorded(self):
+        c = DeliveryCollector()
+        _deliver(c, 0, 0.0, 0.1, retransmit=True)
+        assert c.records[0].was_retransmit
+
+
+class TestDelaySummary:
+    def test_basic_statistics(self):
+        s = delay_summary([0.01, 0.02, 0.03, 0.04, 0.05])
+        assert s.count == 5
+        assert s.mean == pytest.approx(0.03)
+        assert s.median == pytest.approx(0.03)
+        assert s.maximum == pytest.approx(0.05)
+
+    def test_p95_reflects_tail(self):
+        delays = [0.01] * 95 + [1.0] * 5
+        s = delay_summary(delays)
+        assert s.p95 >= 0.01
+        assert s.p99 > 0.5
+
+    def test_empty_sample_gives_nan(self):
+        s = delay_summary([])
+        assert s.count == 0
+        assert np.isnan(s.mean)
+        assert np.isnan(s.p95)
+
+    def test_ms_helpers(self):
+        s = delay_summary([0.05])
+        assert s.mean_ms == pytest.approx(50.0)
+        assert s.p95_ms == pytest.approx(50.0)
+
+
+class TestJainFairness:
+    def test_equal_shares_are_fair(self):
+        assert jain_fairness([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_is_unfair(self):
+        assert jain_fairness([10.0, 0.0, 0.0]) == pytest.approx(1.0 / 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestThroughputTimeseries:
+    def test_bins_bytes_per_window(self):
+        times = [0.05, 0.15, 0.16, 0.25]
+        sizes = [1500.0] * 4
+        starts, series = throughput_timeseries(times, sizes, window=0.1)
+        assert series[0] == pytest.approx(15000.0)
+        assert series[1] == pytest.approx(30000.0)
+        assert series[2] == pytest.approx(15000.0)
+
+    def test_empty_input(self):
+        starts, series = throughput_timeseries([], [], window=0.1)
+        assert starts.size == 0
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            throughput_timeseries([1.0], [1.0], window=0.0)

@@ -1,0 +1,167 @@
+"""Tests for the analytical model (paper §3, Eqs. 1-8)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import (
+    DEFAULT_LMAX_HEADROOM,
+    KD_MAX,
+    KD_MIN,
+    KF_MAX,
+    KF_MIN,
+    Regime,
+    average_buffer_delay,
+    crossover_buffer_delay,
+    derive_parameters,
+    emptied_regime_utilization,
+    max_buffer_delay,
+    params_for_threshold,
+    utilization,
+)
+
+RTT = 0.040
+
+
+class TestEquation1:
+    def test_full_utilisation_when_never_empty(self):
+        assert utilization(tf=1.0, td=1.0, te=0.0) == 1.0
+
+    def test_partial_utilisation(self):
+        assert utilization(tf=1.0, td=1.0, te=2.0) == pytest.approx(0.5)
+
+    def test_rejects_negative_durations(self):
+        with pytest.raises(ValueError):
+            utilization(-1.0, 1.0, 0.0)
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError):
+            utilization(0.0, 0.0, 0.0)
+
+
+class TestEquation2:
+    def test_buffer_full_average(self):
+        avg = average_buffer_delay(0.06, 0.02, 1.0, Regime.BUFFER_FULL)
+        assert avg == pytest.approx(0.04)
+
+    def test_buffer_emptied_average(self):
+        avg = average_buffer_delay(0.06, 0.0, 0.5, Regime.BUFFER_EMPTIED)
+        assert avg == pytest.approx(0.015)
+
+
+class TestEquations4to6:
+    def test_crossover_is_half_headroom(self):
+        assert crossover_buffer_delay(0.12, RTT) == pytest.approx(0.04)
+
+    def test_crossover_rejects_lmax_below_rtt(self):
+        with pytest.raises(ValueError):
+            crossover_buffer_delay(0.03, RTT)
+
+    def test_emptied_utilisation_fourth_root(self):
+        # U = (2T / (Lmax - RTT))^(1/4)
+        u = emptied_regime_utilization(0.02, RTT + 0.08, RTT)
+        assert u == pytest.approx(0.5 ** 0.25)
+
+    def test_emptied_utilisation_clipped_at_one(self):
+        assert emptied_regime_utilization(0.2, RTT + 0.08, RTT) == 1.0
+
+    def test_dmax_cubic_in_utilisation(self):
+        # Eq. 4: Dmax = U^3 (Lmax - RTT)
+        assert max_buffer_delay(0.5, RTT + 0.08, RTT) == pytest.approx(0.01)
+        assert max_buffer_delay(1.0, RTT + 0.08, RTT) == pytest.approx(0.08)
+
+    def test_dmax_rejects_bad_utilisation(self):
+        with pytest.raises(ValueError):
+            max_buffer_delay(1.5, 0.12, RTT)
+
+
+class TestEquation7BufferFull:
+    def test_paper_pr_h_configuration(self):
+        """PR(H): t̄=80 ms with the default L_max is the buffer-full regime."""
+        params = derive_parameters(0.080, RTT)
+        assert params.regime is Regime.BUFFER_FULL
+        assert params.utilization == 1.0
+        # Eq. 7 with T = 80 ms, RTT = 40 ms:
+        assert params.kf == pytest.approx((1.5 * 0.08 + RTT) / (0.08 + RTT))
+        assert params.kd == pytest.approx((0.5 * 0.08 + RTT) / (0.08 + RTT))
+
+    def test_waveform_geometry(self):
+        """Figure 3(e): Dmax - Dmin = t̄ and Dmin = t̄/2."""
+        params = derive_parameters(0.080, RTT)
+        assert params.predicted_dmax - params.predicted_dmin == pytest.approx(0.08)
+        assert params.predicted_dmin == pytest.approx(0.04)
+        assert params.predicted_avg_tbuff == pytest.approx(0.08)
+
+    def test_kf_above_one_kd_below_one(self):
+        params = derive_parameters(0.080, RTT)
+        assert params.kf > 1.0
+        assert params.kd < 1.0
+
+
+class TestEquation8BufferEmptied:
+    def test_paper_pr_l_configuration(self):
+        """PR(L): t̄=20 ms is the buffer-emptied regime (U < 1)."""
+        params = derive_parameters(0.020, RTT)
+        assert params.regime is Regime.BUFFER_EMPTIED
+        assert params.utilization == pytest.approx(0.5 ** 0.25, rel=1e-6)
+        assert params.predicted_dmin == 0.0
+
+    def test_hand_computed_values(self):
+        """Worked example: T=20ms, RTT=40ms, Lmax=120ms."""
+        params = derive_parameters(0.020, RTT, lmax=0.120)
+        u = (2 * 0.02 / 0.08) ** 0.25
+        kf = ((2.0 / u) * 0.02 + RTT) / (0.02 + RTT)
+        assert params.kf == pytest.approx(kf)
+        assert params.predicted_dmax == pytest.approx(u ** 3 * 0.08)
+        assert 0.0 < params.kd < 1.0
+
+    def test_average_tbuff_half_u4_headroom(self):
+        """Eq. 5: t̄ = U^4 (Lmax - RTT) / 2."""
+        params = derive_parameters(0.020, RTT)
+        predicted = 0.5 * params.utilization ** 4 * (params.lmax - RTT)
+        assert params.predicted_avg_tbuff == pytest.approx(predicted)
+
+    def test_crossover_target_is_buffer_full(self):
+        """PR(M) at exactly the crossover operates in the full regime."""
+        params = derive_parameters(0.040, RTT)
+        assert params.regime is Regime.BUFFER_FULL
+
+
+class TestDeriveParameters:
+    def test_default_lmax_headroom(self):
+        params = derive_parameters(0.040, RTT)
+        assert params.lmax == pytest.approx(RTT + DEFAULT_LMAX_HEADROOM)
+
+    def test_target_capped_at_headroom(self):
+        params = derive_parameters(0.500, RTT, lmax=RTT + 0.08)
+        assert params.target_tbuff <= 0.08 + 1e-12
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            derive_parameters(0.0, RTT)
+        with pytest.raises(ValueError):
+            derive_parameters(0.02, 0.0)
+        with pytest.raises(ValueError):
+            derive_parameters(0.02, RTT, lmax=RTT)
+
+    def test_params_for_threshold_keeps_target_regime(self):
+        params = params_for_threshold(0.010, RTT, 0.080, RTT + 0.08)
+        assert params.regime is Regime.BUFFER_FULL  # regime from target
+        params = params_for_threshold(0.030, RTT, 0.020, RTT + 0.08)
+        assert params.regime is Regime.BUFFER_EMPTIED
+
+    @given(
+        target=st.floats(min_value=0.002, max_value=0.3),
+        rtt=st.floats(min_value=0.005, max_value=0.5),
+        headroom=st.floats(min_value=0.01, max_value=0.5),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_parameters_always_sane(self, target, rtt, headroom):
+        params = derive_parameters(target, rtt, lmax=rtt + headroom)
+        assert KF_MIN <= params.kf <= KF_MAX
+        assert KD_MIN <= params.kd <= KD_MAX
+        assert params.kf > 1.0 > params.kd
+        assert 0.0 < params.utilization <= 1.0
+        assert params.predicted_dmax >= params.predicted_dmin >= 0.0
+        assert not math.isnan(params.predicted_avg_tbuff)

@@ -1,0 +1,101 @@
+"""Tests for duplex-path wiring and per-flow demultiplexing."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import DuplexPath, LinkConfig, PathConfig
+from repro.sim.packet import make_ack_packet, make_data_packet
+from repro.traces.generator import constant_rate_trace
+
+
+def _wired_config(rate=1.5e6, prop=0.01, buffer_packets=100):
+    return PathConfig(
+        downlink=LinkConfig(rate=rate, prop_delay=prop, buffer_packets=buffer_packets),
+        uplink=LinkConfig(rate=rate, prop_delay=prop, buffer_packets=buffer_packets),
+    )
+
+
+class TestLinkConfig:
+    def test_requires_exactly_one_of_trace_or_rate(self):
+        with pytest.raises(ValueError):
+            LinkConfig().validate()
+        with pytest.raises(ValueError):
+            LinkConfig(rate=1.0, trace=constant_rate_trace(1e6, 1.0)).validate()
+        LinkConfig(rate=1.0).validate()
+
+    def test_rejects_unknown_aqm(self):
+        with pytest.raises(ValueError):
+            LinkConfig(rate=1.0, aqm="red").validate()
+
+
+class TestDuplexPath:
+    def test_forward_packets_reach_forward_sink(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config())
+        got = []
+        path.attach_flow(7, got.append, lambda p: None)
+        path.send_forward(make_data_packet(flow_id=7, seq=1, now=0.0))
+        sim.run(until=1.0)
+        assert [p.seq for p in got] == [1]
+
+    def test_reverse_packets_reach_reverse_sink(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config())
+        got = []
+        path.attach_flow(7, lambda p: None, got.append)
+        path.send_reverse(make_ack_packet(7, ack=5, receiver_ts=0.0, echoed_tsval=0.0))
+        sim.run(until=1.0)
+        assert [p.ack for p in got] == [5]
+
+    def test_flows_demultiplexed(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config())
+        got_a, got_b = [], []
+        path.attach_flow(1, got_a.append, lambda p: None)
+        path.attach_flow(2, got_b.append, lambda p: None)
+        path.send_forward(make_data_packet(flow_id=1, seq=10, now=0.0))
+        path.send_forward(make_data_packet(flow_id=2, seq=20, now=0.0))
+        sim.run(until=1.0)
+        assert [p.seq for p in got_a] == [10]
+        assert [p.seq for p in got_b] == [20]
+
+    def test_unknown_flow_packets_silently_dropped(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config())
+        path.send_forward(make_data_packet(flow_id=99, seq=0, now=0.0))
+        sim.run(until=1.0)  # no exception
+
+    def test_duplicate_attach_rejected(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config())
+        path.attach_flow(1, lambda p: None, lambda p: None)
+        with pytest.raises(ValueError):
+            path.attach_flow(1, lambda p: None, lambda p: None)
+
+    def test_drops_counted_per_flow(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config(rate=15000.0, buffer_packets=1))
+        path.attach_flow(1, lambda p: None, lambda p: None)
+        for i in range(5):
+            path.send_forward(make_data_packet(flow_id=1, seq=i, now=0.0))
+        sim.run(until=1.0)
+        assert path.forward_drops[1] == 3  # 1 in service + 1 queued survive
+
+    def test_min_rtt_property(self):
+        sim = Simulator()
+        path = DuplexPath(sim, _wired_config(prop=0.02))
+        assert path.min_rtt == pytest.approx(0.04)
+
+    def test_trace_driven_downlink(self):
+        sim = Simulator()
+        config = PathConfig(
+            downlink=LinkConfig(trace=constant_rate_trace(1.5e6, 5.0), prop_delay=0.0),
+            uplink=LinkConfig(rate=1e6, prop_delay=0.0),
+        )
+        path = DuplexPath(sim, config)
+        got = []
+        path.attach_flow(0, got.append, lambda p: None)
+        for i in range(10):
+            path.send_forward(make_data_packet(flow_id=0, seq=i, now=0.0))
+        sim.run(until=1.0)
+        assert len(got) == 10

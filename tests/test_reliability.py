@@ -1,0 +1,196 @@
+"""Property-based end-to-end reliability tests.
+
+Whatever the loss pattern, a finite transfer must complete with every
+segment delivered exactly once to the application — the core TCP
+invariant the SACK scoreboard, retransmission queue and RTO machinery
+exist to uphold.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Simulator
+from repro.tcp.congestion.base import RateCongestionControl, WindowCongestionControl
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+
+class _Window(WindowCongestionControl):
+    name = "test-window"
+
+    def __init__(self, cwnd=8.0):
+        super().__init__()
+        self.cwnd = cwnd
+
+    def on_congestion(self, sample):
+        self.cwnd = max(2.0, self.cwnd / 2)
+
+    def on_ack(self, sample):
+        self.cwnd = min(64.0, self.cwnd + sample.newly_acked / self.cwnd)
+
+    def on_rto(self):
+        self.cwnd = 2.0
+
+
+class _Rate(RateCongestionControl):
+    name = "test-rate"
+
+    def __init__(self, rate=450_000.0):
+        super().__init__()
+        self.pacing_rate = rate
+
+
+class _LossyWire:
+    """Loopback wire dropping a given set of (seq, transmission#) pairs."""
+
+    def __init__(self, sim, drop_plan, delay=0.01):
+        self.sim = sim
+        self.drop_plan = dict(drop_plan)  # seq -> number of drops left
+        self.delay = delay
+        self.receiver = None
+        self.sender = None
+
+    def send_data(self, pkt):
+        remaining = self.drop_plan.get(pkt.seq, 0)
+        if remaining > 0:
+            self.drop_plan[pkt.seq] = remaining - 1
+            return
+        self.sim.schedule(self.delay, lambda p=pkt: self.receiver.receive(p))
+
+    def send_ack(self, pkt):
+        self.sim.schedule(self.delay, lambda p=pkt: self.sender.on_ack_packet(p))
+
+
+def _run_transfer(cc, total, drop_plan, horizon=120.0):
+    sim = Simulator()
+    wire = _LossyWire(sim, drop_plan)
+    delivered = []
+    wire.receiver = TcpReceiver(
+        sim, 0, send_ack=wire.send_ack, ts_granularity=0.0,
+        on_data=lambda p, now: delivered.append(p.seq),
+    )
+    done = []
+    sender = TcpSender(
+        sim, 0, cc, send_packet=wire.send_data, total_segments=total,
+        on_complete=lambda: done.append(sim.now),
+    )
+    wire.sender = sender
+    sender.start()
+    sim.run(until=horizon)
+    return sender, delivered, done
+
+
+@st.composite
+def _drop_plans(draw):
+    total = draw(st.integers(min_value=5, max_value=60))
+    n_lossy = draw(st.integers(min_value=0, max_value=min(15, total)))
+    seqs = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=total - 1),
+            min_size=n_lossy, max_size=n_lossy, unique=True,
+        )
+    )
+    plan = {
+        seq: draw(st.integers(min_value=1, max_value=3)) for seq in seqs
+    }
+    return total, plan
+
+
+class TestReliableDelivery:
+    @given(_drop_plans())
+    @settings(max_examples=60, deadline=None)
+    def test_window_cc_delivers_everything(self, plan):
+        total, drops = plan
+        sender, delivered, done = _run_transfer(_Window(), total, drops)
+        assert done, f"transfer did not complete: snd_una={sender.snd_una}"
+        assert set(delivered) == set(range(total))
+
+    @given(_drop_plans())
+    @settings(max_examples=40, deadline=None)
+    def test_rate_cc_delivers_everything(self, plan):
+        total, drops = plan
+        sender, delivered, done = _run_transfer(_Rate(), total, drops)
+        assert done, f"transfer did not complete: snd_una={sender.snd_una}"
+        assert set(delivered) == set(range(total))
+
+    @given(_drop_plans())
+    @settings(max_examples=40, deadline=None)
+    def test_application_sees_each_segment_once(self, plan):
+        """The receiver's cumulative/OOO bookkeeping must count each
+        unique segment exactly once even under duplication."""
+        total, drops = plan
+        sim = Simulator()
+        wire = _LossyWire(sim, drops)
+        unique = []
+        seen = set()
+
+        def on_data(p, now):
+            if p.seq not in seen:
+                seen.add(p.seq)
+                unique.append(p.seq)
+
+        wire.receiver = TcpReceiver(
+            sim, 0, send_ack=wire.send_ack, ts_granularity=0.0, on_data=on_data
+        )
+        sender = TcpSender(sim, 0, _Window(), send_packet=wire.send_data,
+                           total_segments=total)
+        wire.sender = sender
+        sender.start()
+        sim.run(until=120.0)
+        assert wire.receiver.unique_segments == total
+        assert sorted(unique) == list(range(total))
+
+    def test_every_segment_dropped_four_times_still_completes(self):
+        total = 12
+        drops = {seq: 3 for seq in range(total)}
+        sender, delivered, done = _run_transfer(_Window(), total, drops, horizon=300.0)
+        assert done
+        assert set(delivered) == set(range(total))
+
+
+class TestPipeInvariant:
+    """The incremental pipe counter must equal the scoreboard truth at
+    every step of any loss pattern."""
+
+    @given(_drop_plans())
+    @settings(max_examples=50, deadline=None)
+    def test_pipe_matches_scoreboard_throughout(self, plan):
+        total, drops = plan
+        sim = Simulator()
+        wire = _LossyWire(sim, drops)
+        wire.receiver = TcpReceiver(
+            sim, 0, send_ack=wire.send_ack, ts_granularity=0.0
+        )
+        sender = TcpSender(
+            sim, 0, _Window(), send_packet=wire.send_data, total_segments=total
+        )
+        wire.sender = sender
+        sender.start()
+        steps = 0
+        while sim.step() and steps < 20000:
+            steps += 1
+            assert sender.inflight == sender.debug_expected_pipe(), (
+                f"pipe drift at t={sim.now}: "
+                f"{sender.inflight} != {sender.debug_expected_pipe()}"
+            )
+        assert sender.complete or steps == 20000
+
+    @given(_drop_plans())
+    @settings(max_examples=30, deadline=None)
+    def test_pipe_matches_for_rate_sender(self, plan):
+        total, drops = plan
+        sim = Simulator()
+        wire = _LossyWire(sim, drops)
+        wire.receiver = TcpReceiver(
+            sim, 0, send_ack=wire.send_ack, ts_granularity=0.0
+        )
+        sender = TcpSender(
+            sim, 0, _Rate(), send_packet=wire.send_data, total_segments=total
+        )
+        wire.sender = sender
+        sender.start()
+        steps = 0
+        while sim.step() and steps < 60000:
+            steps += 1
+            if steps % 50 == 0:
+                assert sender.inflight == sender.debug_expected_pipe()

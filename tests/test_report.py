@@ -1,0 +1,84 @@
+"""Tests for CSV/gnuplot export."""
+
+import csv
+
+import pytest
+
+from repro.experiments.frontier import FrontierPoint
+from repro.experiments.runner import FlowSpec, cellular_path_config, run_experiment
+from repro.report.export import (
+    flow_results_to_csv,
+    frontier_to_csv,
+    gnuplot_scatter_script,
+    timeseries_to_csv,
+)
+from repro.tcp.congestion import NewReno
+from repro.traces.generator import constant_rate_trace
+
+
+@pytest.fixture(scope="module")
+def sample_result():
+    trace = constant_rate_trace(1.0e6, 8.0)
+    return run_experiment(
+        cellular_path_config(trace),
+        [FlowSpec(cc_factory=NewReno, name="reno")],
+        duration=6.0,
+        measure_start=2.0,
+    )[0]
+
+
+class TestFlowResultsCsv:
+    def test_roundtrip(self, sample_result, tmp_path):
+        path = flow_results_to_csv({"NewReno": sample_result}, tmp_path / "f.csv")
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["algorithm"] == "NewReno"
+        assert float(row["throughput_kbps"]) == pytest.approx(
+            sample_result.throughput_kbps, rel=0.01
+        )
+        assert float(row["mean_delay_ms"]) == pytest.approx(
+            sample_result.delay.mean_ms, rel=0.01
+        )
+
+    def test_multiple_rows_ordered(self, sample_result, tmp_path):
+        path = flow_results_to_csv(
+            {"A": sample_result, "B": sample_result}, tmp_path / "f.csv"
+        )
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert [r["algorithm"] for r in rows] == ["A", "B"]
+
+
+class TestFrontierCsv:
+    def test_columns_and_values(self, sample_result, tmp_path):
+        points = [FrontierPoint(target_tbuff=0.040, result=sample_result)]
+        path = frontier_to_csv(points, tmp_path / "frontier.csv")
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert rows[0]["target_tbuff_ms"] == "40.0"
+        assert float(rows[0]["throughput_kbps"]) > 0
+
+
+class TestTimeseriesCsv:
+    def test_pairs_written(self, tmp_path):
+        path = timeseries_to_csv(
+            [0.0, 0.1, 0.2], [1.0, 2.0, 3.0], tmp_path / "ts.csv",
+            value_label="queue_ms",
+        )
+        with open(path) as fh:
+            rows = list(csv.DictReader(fh))
+        assert len(rows) == 3
+        assert rows[1]["queue_ms"] == "2.0000"
+
+
+class TestGnuplot:
+    def test_script_references_csv(self, sample_result, tmp_path):
+        csv_path = flow_results_to_csv({"X": sample_result}, tmp_path / "d.csv")
+        gp = gnuplot_scatter_script(csv_path, tmp_path / "plot.gp",
+                                    png_path="out.png")
+        text = gp.read_text()
+        assert "d.csv" in text
+        assert "out.png" in text
+        assert "plot" in text

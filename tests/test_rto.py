@@ -1,0 +1,82 @@
+"""Tests for RFC 6298 RTO estimation."""
+
+import pytest
+
+from repro.tcp.rto import RtoEstimator
+
+
+class TestRtoEstimator:
+    def test_initial_rto_is_one_second(self):
+        assert RtoEstimator().rto == pytest.approx(1.0)
+
+    def test_first_sample_initialises_srtt(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.rttvar == pytest.approx(0.05)
+
+    def test_rto_formula_after_first_sample(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.1)
+        # srtt + 4*rttvar = 0.1 + 0.2 = 0.3 (>= latest-rtt guard of 0.15)
+        assert est.rto == pytest.approx(0.3)
+
+    def test_smoothing_converges_to_constant_rtt(self):
+        est = RtoEstimator()
+        for _ in range(200):
+            est.on_rtt_sample(0.08)
+        assert est.srtt == pytest.approx(0.08, rel=1e-3)
+        assert est.rttvar < 0.01
+
+    def test_minimum_rto_enforced(self):
+        est = RtoEstimator()
+        for _ in range(200):
+            est.on_rtt_sample(0.001)
+        assert est.rto >= est.min_rto
+
+    def test_backoff_doubles(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.1)
+        before = est.rto
+        est.on_timeout()
+        assert est.rto == pytest.approx(2 * before)
+        est.on_timeout()
+        assert est.rto == pytest.approx(4 * before)
+
+    def test_sample_clears_backoff(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.1)
+        est.on_timeout()
+        est.on_rtt_sample(0.1)
+        # second identical sample: rttvar = 0.75*0.05 = 0.0375,
+        # rto = 0.1 + 4*0.0375 = 0.25 and the 2x backoff is gone
+        assert est.rto == pytest.approx(0.25)
+
+    def test_max_rto_capped(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(10.0)
+        for _ in range(10):
+            est.on_timeout()
+        assert est.rto == est.max_rto
+
+    def test_min_rtt_tracked(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.2)
+        est.on_rtt_sample(0.05)
+        est.on_rtt_sample(0.3)
+        assert est.min_rtt == pytest.approx(0.05)
+
+    def test_nonpositive_samples_ignored(self):
+        est = RtoEstimator()
+        est.on_rtt_sample(0.0)
+        est.on_rtt_sample(-1.0)
+        assert est.srtt is None
+
+    def test_latest_rtt_guard_against_spurious_timeouts(self):
+        """A sudden RTT jump (deep buffer filling) must lift the RTO even
+        before the smoothed estimators catch up."""
+        est = RtoEstimator()
+        for _ in range(500):
+            est.on_rtt_sample(0.05)  # rttvar collapses
+        est.on_rtt_sample(1.0)  # queue suddenly deep
+        assert est.rto >= 1.5

@@ -1,0 +1,155 @@
+"""Tests for the experiment runner and its wiring."""
+
+import pytest
+
+from repro.experiments.runner import (
+    FlowSpec,
+    cellular_path_config,
+    run_experiment,
+    run_single_flow,
+    wired_path_config,
+)
+from repro.tcp.congestion import Cubic, NewReno
+from repro.core.proprate import PropRate
+from repro.traces.generator import constant_rate_trace
+
+
+def _trace(rate=1.5e6, duration=30.0):
+    return constant_rate_trace(rate, duration)
+
+
+class TestFlowSpec:
+    def test_rejects_bad_direction(self):
+        with pytest.raises(ValueError):
+            FlowSpec(cc_factory=Cubic, direction="sideways")
+
+
+class TestSingleFlow:
+    def test_cwnd_flow_fills_constant_link(self):
+        result = run_single_flow(
+            NewReno, _trace(), duration=10.0, measure_start=2.0
+        )
+        # 1.5 MB/s bottleneck: a loss-based flow should saturate it.
+        assert result.throughput == pytest.approx(1.5e6, rel=0.05)
+
+    def test_rate_flow_runs(self):
+        result = run_single_flow(
+            lambda: PropRate(0.040), _trace(), duration=10.0, measure_start=2.0
+        )
+        assert result.throughput > 0.5e6
+        assert result.delay.count > 1000
+
+    def test_delays_bounded_below_by_propagation(self):
+        result = run_single_flow(
+            NewReno, _trace(), duration=5.0, measure_start=1.0
+        )
+        assert result.delay.mean >= 0.020
+
+    def test_throughput_cannot_exceed_capacity(self):
+        result = run_single_flow(
+            Cubic, _trace(rate=1.0e6), duration=10.0, measure_start=2.0
+        )
+        assert result.throughput <= 1.0e6 * 1.01
+
+    def test_small_buffer_causes_losses_for_cubic(self):
+        result = run_single_flow(
+            Cubic, _trace(), duration=10.0, measure_start=1.0,
+            buffer_packets=40,
+        )
+        assert result.bottleneck_drops > 0
+        assert result.retransmissions > 0
+
+    def test_kbps_units(self):
+        result = run_single_flow(NewReno, _trace(), duration=5.0)
+        assert result.throughput_kbps == pytest.approx(result.throughput / 1000.0)
+
+
+class TestRunExperiment:
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            run_experiment(cellular_path_config(_trace()), [], duration=0.0)
+
+    def test_two_flows_share_capacity(self):
+        config = cellular_path_config(_trace(rate=1.5e6))
+        flows = [
+            FlowSpec(cc_factory=NewReno, name="a"),
+            FlowSpec(cc_factory=NewReno, name="b"),
+        ]
+        results = run_experiment(config, flows, duration=15.0, measure_start=5.0)
+        total = sum(r.throughput for r in results)
+        assert total == pytest.approx(1.5e6, rel=0.10)
+        assert all(r.throughput > 0.2e6 for r in results)
+
+    def test_delayed_start_respected(self):
+        config = cellular_path_config(_trace())
+        flows = [
+            FlowSpec(cc_factory=NewReno, name="late", start=3.0,
+                     measure_start=0.0, measure_end=10.0),
+        ]
+        results = run_experiment(config, flows, duration=10.0)
+        arrival_times = results[0].collector.arrival_times()
+        assert arrival_times.min() >= 3.0
+
+    def test_per_flow_measure_window(self):
+        config = cellular_path_config(_trace())
+        flows = [
+            FlowSpec(cc_factory=NewReno, name="x",
+                     measure_start=2.0, measure_end=4.0),
+        ]
+        results = run_experiment(config, flows, duration=10.0)
+        assert results[0].measure_start == 2.0
+        assert results[0].measure_end == 4.0
+
+    def test_upload_direction_uses_uplink(self):
+        config = cellular_path_config(
+            _trace(rate=3.0e6), uplink_trace=_trace(rate=0.5e6)
+        )
+        flows = [FlowSpec(cc_factory=NewReno, name="up", direction="up")]
+        results = run_experiment(config, flows, duration=10.0, measure_start=3.0)
+        # The upload is limited by the 0.5 MB/s uplink, not the downlink.
+        assert results[0].throughput == pytest.approx(0.5e6, rel=0.10)
+
+
+class TestWiredPathConfig:
+    def test_symmetric_delays(self):
+        config = wired_path_config(rate=1e7, rtt=0.1)
+        assert config.downlink.prop_delay == pytest.approx(0.05)
+        assert config.uplink.prop_delay == pytest.approx(0.05)
+
+    def test_flow_over_wired_path(self):
+        config = wired_path_config(rate=2.0e6, rtt=0.05, buffer_packets=200)
+        results = run_experiment(
+            config, [FlowSpec(cc_factory=Cubic)], duration=10.0, measure_start=3.0
+        )
+        assert results[0].throughput == pytest.approx(2.0e6, rel=0.10)
+
+
+class TestUtilization:
+    def test_capacity_reported_for_wired_uplink_default(self):
+        result = run_single_flow(NewReno, _trace(), duration=8.0, measure_start=2.0)
+        assert result.capacity == pytest.approx(1.5e6, rel=0.01)
+
+    def test_saturating_flow_reports_high_utilization(self):
+        result = run_single_flow(Cubic, _trace(), duration=10.0, measure_start=3.0)
+        assert result.utilization is not None
+        assert result.utilization > 0.9
+
+    def test_app_limited_flow_reports_low_utilization(self):
+        from repro.tcp.application import ConstantBitrateApplication
+
+        config = cellular_path_config(_trace())
+        flows = [
+            FlowSpec(
+                cc_factory=NewReno,
+                application=ConstantBitrateApplication(rate=150_000.0),
+                measure_start=2.0,
+            )
+        ]
+        result = run_experiment(config, flows, duration=10.0)[0]
+        assert result.utilization == pytest.approx(0.1, abs=0.03)
+
+    def test_degenerate_window_gives_no_capacity(self):
+        result = run_single_flow(NewReno, _trace(duration=6.0), duration=5.0,
+                                 measure_start=5.0)
+        assert result.capacity is None
+        assert result.utilization is None

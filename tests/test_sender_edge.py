@@ -1,0 +1,129 @@
+"""Sender edge cases: tail loss, completion semantics, pathologies."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+
+from tests.test_sender import FixedRate, FixedWindow, Wire
+
+
+def _harness(cc, drop_seqs=(), total=None, delay=0.01):
+    sim = Simulator()
+    wire = Wire(sim, delay=delay, drop_seqs=drop_seqs)
+    wire.receiver = TcpReceiver(sim, 0, send_ack=wire.send_ack, ts_granularity=0.0)
+    sender = TcpSender(sim, 0, cc, send_packet=wire.send_data, total_segments=total)
+    wire.sender = sender
+    return sim, sender, wire
+
+
+class TestTailLoss:
+    def test_last_segment_lost_recovers_via_rto(self):
+        """The final segment has no SACKs above it; only the timeout can
+        recover it."""
+        sim, sender, wire = _harness(FixedWindow(cwnd=8), drop_seqs={19}, total=20)
+        sender.start()
+        sim.run(until=10.0)
+        assert sender.complete
+        assert sender.rto_count >= 1
+
+    def test_whole_final_window_lost(self):
+        sim, sender, wire = _harness(
+            FixedWindow(cwnd=8), drop_seqs={16, 17, 18, 19}, total=20
+        )
+        sender.start()
+        sim.run(until=20.0)
+        assert sender.complete
+
+
+class TestCompletion:
+    def test_single_segment_transfer(self):
+        done = []
+        sim = Simulator()
+        wire = Wire(sim)
+        wire.receiver = TcpReceiver(sim, 0, send_ack=wire.send_ack, ts_granularity=0.0)
+        sender = TcpSender(
+            sim, 0, FixedWindow(cwnd=4), send_packet=wire.send_data,
+            total_segments=1, on_complete=lambda: done.append(sim.now),
+        )
+        wire.sender = sender
+        sender.start()
+        sim.run(until=1.0)
+        assert done and sender.snd_una == 1
+
+    def test_acks_after_completion_are_ignored(self):
+        sim, sender, wire = _harness(FixedWindow(cwnd=4), total=5)
+        sender.start()
+        sim.run(until=2.0)
+        assert sender.complete
+        acks_before = sender.acks_received
+        from repro.sim.packet import make_ack_packet
+
+        sender.on_ack_packet(make_ack_packet(0, 5, 2.0, 1.9))
+        assert sender.acks_received == acks_before
+
+    def test_no_transmissions_after_stop(self):
+        sim, sender, wire = _harness(FixedWindow(cwnd=4))
+        sender.start()
+        sim.run(until=0.5)
+        sender.stop()
+        sent = sender.segments_sent
+        sim.run(until=2.0)
+        # ACK-clocked sends are gated on `complete` via on_ack_packet.
+        assert sender.segments_sent == sent
+
+    def test_zero_segment_transfer_never_sends(self):
+        sim, sender, wire = _harness(FixedWindow(cwnd=4), total=0)
+        sender.start()
+        sim.run(until=1.0)
+        assert sender.segments_sent == 0
+
+
+class TestPipeAccounting:
+    def test_pipe_never_negative(self):
+        sim, sender, wire = _harness(FixedWindow(cwnd=16), drop_seqs={3, 4, 9})
+        sender.start()
+        for _ in range(2000):
+            if not sim.step():
+                break
+            assert sender.inflight >= 0
+
+    def test_pipe_returns_to_zero_after_finite_transfer(self):
+        sim, sender, wire = _harness(FixedWindow(cwnd=8), drop_seqs={5}, total=30)
+        sender.start()
+        sim.run(until=10.0)
+        assert sender.complete
+        assert sender.inflight == 0
+
+    def test_duplicate_sack_blocks_do_not_corrupt_pipe(self):
+        """Receiving the same SACK information repeatedly (as real ACK
+        streams do) must not double-count."""
+        sim, sender, wire = _harness(FixedWindow(cwnd=12), drop_seqs={2})
+        sender.start()
+        sim.run(until=3.0)
+        assert sender.snd_una > 50
+        assert 0 <= sender.inflight <= 12
+
+
+class TestRateEdge:
+    def test_rate_sender_completes_finite_transfer(self):
+        sim, sender, wire = _harness(FixedRate(rate=300_000.0), total=50)
+        sender.start()
+        sim.run(until=5.0)
+        assert sender.complete
+
+    def test_tiny_rate_still_progresses(self):
+        sim, sender, wire = _harness(FixedRate(rate=3_000.0))  # 2 pkt/s
+        sender.start()
+        sim.run(until=5.0)
+        assert 5 <= sender.segments_sent <= 15
+
+    def test_budget_does_not_accumulate_while_app_limited(self):
+        cc = FixedRate(rate=1.5e6)
+        sim, sender, wire = _harness(cc, total=10)
+        sender.start()
+        sim.run(until=2.0)
+        assert sender.complete
+        # After completion the pacing budget must not have ballooned.
+        assert sender._budget <= 1500.0

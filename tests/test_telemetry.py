@@ -1,0 +1,92 @@
+"""Tests for queue sampling and sawtooth extraction."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.telemetry import QueueSampler, sawtooth_summary
+from repro.sim.engine import Simulator
+from repro.sim.packet import make_data_packet
+from repro.sim.queues import DropTailQueue
+
+
+class TestQueueSampler:
+    def test_samples_at_interval(self):
+        sim = Simulator()
+        queue = DropTailQueue(capacity=100)
+        sampler = QueueSampler(sim, queue, interval=0.1)
+        sim.schedule_at(0.25, lambda: queue.push(make_data_packet(0, 0, 0.25), 0.25))
+        sim.run(until=0.55)
+        times, lengths = sampler.as_arrays()
+        assert list(times) == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4, 0.5])
+        assert list(lengths) == [0, 0, 0, 1, 1, 1]
+
+    def test_start_offset(self):
+        sim = Simulator()
+        queue = DropTailQueue(capacity=10)
+        sampler = QueueSampler(sim, queue, interval=0.1, start=1.0)
+        sim.run(until=1.25)
+        times, _ = sampler.as_arrays()
+        assert times[0] == pytest.approx(1.0)
+
+    def test_stop(self):
+        sim = Simulator()
+        queue = DropTailQueue(capacity=10)
+        sampler = QueueSampler(sim, queue, interval=0.1)
+        sim.run(until=0.35)
+        sampler.stop()
+        n = len(sampler.times)
+        sim.run(until=1.0)
+        assert len(sampler.times) == n
+
+    def test_buffer_delay_conversion(self):
+        sim = Simulator()
+        queue = DropTailQueue(capacity=10)
+        sampler = QueueSampler(sim, queue, interval=0.1)
+        for i in range(3):
+            queue.push(make_data_packet(0, i, 0.0), 0.0)
+        sim.run(until=0.05)
+        delays = sampler.buffer_delays(service_rate=150_000.0)
+        assert delays[0] == pytest.approx(3 * 1500 / 150_000.0)
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            QueueSampler(Simulator(), DropTailQueue(10), interval=0.0)
+
+
+class TestSawtoothSummary:
+    def _triangle(self, dmin, dmax, period, duration, dt=0.001):
+        t = np.arange(0.0, duration, dt)
+        phase = (t % period) / period
+        rising = phase < 0.5
+        d = np.where(
+            rising,
+            dmin + (dmax - dmin) * phase * 2,
+            dmax - (dmax - dmin) * (phase - 0.5) * 2,
+        )
+        return t, d
+
+    def test_recovers_triangle_geometry(self):
+        t, d = self._triangle(dmin=0.02, dmax=0.06, period=0.5, duration=10.0)
+        summary = sawtooth_summary(t, d)
+        assert summary.dmax == pytest.approx(0.06, rel=0.05)
+        assert summary.dmin == pytest.approx(0.02, rel=0.10)
+        assert summary.average == pytest.approx(0.04, rel=0.05)
+        assert summary.period == pytest.approx(0.5, rel=0.05)
+        assert summary.n_cycles >= 10
+
+    def test_empty_fraction(self):
+        t = np.linspace(0, 10, 1000)
+        d = np.where(t % 2 < 1, 0.0, 0.05)
+        summary = sawtooth_summary(t, d, discard=0.0, smooth_window=1)
+        assert summary.empty_fraction == pytest.approx(0.5, abs=0.05)
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            sawtooth_summary(np.arange(5.0), np.arange(5.0))
+
+    def test_flat_series_degenerates_gracefully(self):
+        t = np.linspace(0, 10, 500)
+        d = np.full_like(t, 0.03)
+        summary = sawtooth_summary(t, d)
+        assert summary.dmax == pytest.approx(0.03)
+        assert summary.dmin == pytest.approx(0.03)

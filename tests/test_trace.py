@@ -1,0 +1,145 @@
+"""Tests for the Trace container."""
+
+import numpy as np
+import pytest
+
+from repro.traces.trace import OPPORTUNITY_BYTES, Trace
+
+
+def _uniform_trace(rate_pps=100, duration=10.0):
+    times = (np.arange(int(rate_pps * duration)) + 0.5) / rate_pps
+    return Trace(times, duration, name="uniform")
+
+
+class TestValidation:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            Trace([2.0, 1.0], 5.0)
+
+    def test_rejects_negative_times(self):
+        with pytest.raises(ValueError):
+            Trace([-1.0, 1.0], 5.0)
+
+    def test_rejects_opportunity_beyond_duration(self):
+        with pytest.raises(ValueError):
+            Trace([1.0, 6.0], 5.0)
+
+    def test_rejects_nonpositive_duration(self):
+        with pytest.raises(ValueError):
+            Trace([], 0.0)
+
+    def test_empty_trace_allowed(self):
+        t = Trace([], 5.0)
+        assert len(t) == 0
+        assert t.mean_throughput() == 0.0
+
+
+class TestStats:
+    def test_mean_throughput(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        assert t.mean_throughput() == pytest.approx(100 * OPPORTUNITY_BYTES)
+
+    def test_throughput_series_shape(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        starts, series = t.throughput_series(window=0.1)
+        assert len(starts) == 100
+        assert series.mean() == pytest.approx(100 * OPPORTUNITY_BYTES)
+
+    def test_uniform_trace_has_zero_std(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        stats = t.stats(window=0.1)
+        assert stats.std == pytest.approx(0.0)
+        assert stats.outage_fraction == 0.0
+
+    def test_outage_fraction_counts_empty_windows(self):
+        # Opportunities only in the first half of each second.
+        times = np.concatenate(
+            [np.linspace(i, i + 0.45, 50) for i in range(5)]
+        )
+        t = Trace(np.sort(times), 5.0)
+        stats = t.stats(window=0.5)
+        assert stats.outage_fraction == pytest.approx(0.5)
+
+    def test_kbps_units(self):
+        t = _uniform_trace(rate_pps=1000, duration=5.0)
+        stats = t.stats()
+        assert stats.mean_kbps == pytest.approx(1500.0)
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        t = _uniform_trace(rate_pps=50, duration=2.0)
+        path = tmp_path / "trace.txt"
+        t.save(path)
+        loaded = Trace.load(path, duration=2.0)
+        assert len(loaded) == len(t)
+        np.testing.assert_allclose(
+            loaded.opportunity_times, t.opportunity_times, atol=1e-6
+        )
+
+    def test_load_infers_duration(self, tmp_path):
+        t = Trace([0.5, 1.5], 2.0)
+        path = tmp_path / "trace.txt"
+        t.save(path)
+        loaded = Trace.load(path)
+        assert loaded.duration >= 1.5
+
+    def test_cellsim_format_is_ms_per_line(self, tmp_path):
+        t = Trace([0.1, 0.25], 1.0)
+        path = tmp_path / "trace.txt"
+        t.save(path)
+        lines = path.read_text().splitlines()
+        assert lines == ["100.000", "250.000"]
+
+
+class TestTransforms:
+    def test_scaled_down_halves_capacity(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        half = t.scaled(0.5)
+        assert len(half) == pytest.approx(len(t) / 2, abs=1)
+        assert half.duration == t.duration
+
+    def test_scaled_up_doubles_capacity(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        double = t.scaled(2.0)
+        assert len(double) == 2 * len(t)
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            _uniform_trace().scaled(0.0)
+
+    def test_slice_rebases_to_zero(self):
+        t = _uniform_trace(rate_pps=10, duration=10.0)
+        part = t.slice(2.0, 4.0)
+        assert part.duration == pytest.approx(2.0)
+        assert part.opportunity_times[0] >= 0.0
+        assert part.opportunity_times[-1] < 2.0
+        assert len(part) == 20
+
+    def test_slice_rejects_bad_bounds(self):
+        t = _uniform_trace()
+        with pytest.raises(ValueError):
+            t.slice(4.0, 2.0)
+        with pytest.raises(ValueError):
+            t.slice(0.0, 99.0)
+
+
+class TestCapacityBytes:
+    def test_within_one_period(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        assert t.capacity_bytes(0.0, 1.0) == 100 * 1500
+
+    def test_loops_across_periods(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        assert t.capacity_bytes(5.0, 25.0) == 2000 * 1500
+
+    def test_no_loop_clips_at_duration(self):
+        t = _uniform_trace(rate_pps=100, duration=10.0)
+        assert t.capacity_bytes(5.0, 25.0, loop=False) == 500 * 1500
+
+    def test_rejects_bad_window(self):
+        t = _uniform_trace()
+        with pytest.raises(ValueError):
+            t.capacity_bytes(2.0, 1.0)
+        with pytest.raises(ValueError):
+            t.capacity_bytes(-1.0, 1.0)

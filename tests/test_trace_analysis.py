@@ -1,0 +1,109 @@
+"""Tests for trace temporal-structure analysis — and through it, a
+validation that the generator's knobs control what they claim to."""
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import (
+    autocorrelation,
+    coherence_time,
+    describe,
+    outage_runs,
+    outage_stats,
+    rate_percentiles,
+)
+from repro.traces.generator import TraceSpec, generate_cellular_trace
+from repro.traces.presets import sprint_like_trace
+from repro.traces.trace import Trace
+
+
+def _trace(coherence=0.5, outage=0.0, seed=5, duration=60.0):
+    return generate_cellular_trace(
+        TraceSpec(
+            name="analysis-test",
+            mean_throughput=1.0e6,
+            std_throughput=0.3e6,
+            duration=duration,
+            seed=seed,
+            coherence_time=coherence,
+            outage_fraction=outage,
+            outage_mean_duration=1.0,
+        )
+    )
+
+
+class TestAutocorrelation:
+    def test_lag_zero_is_one(self):
+        acf = autocorrelation(np.random.default_rng(0).standard_normal(100), 10)
+        assert acf[0] == pytest.approx(1.0)
+
+    def test_white_noise_decorrelates(self):
+        acf = autocorrelation(np.random.default_rng(0).standard_normal(5000), 5)
+        assert abs(acf[1]) < 0.1
+
+    def test_constant_series_degenerates_to_one(self):
+        acf = autocorrelation(np.ones(50), 5)
+        assert (acf == 1.0).all()
+
+    def test_rejects_short_series(self):
+        with pytest.raises(ValueError):
+            autocorrelation(np.asarray([1.0]), 5)
+
+
+class TestCoherence:
+    def test_generator_knob_controls_measured_coherence(self):
+        fast = coherence_time(_trace(coherence=0.2))
+        slow = coherence_time(_trace(coherence=3.0))
+        assert slow > 2 * fast
+
+    def test_order_of_magnitude(self):
+        measured = coherence_time(_trace(coherence=1.0, duration=120.0))
+        assert 0.2 <= measured <= 5.0
+
+
+class TestOutages:
+    def test_no_outages_on_clean_trace(self):
+        stats = outage_stats(_trace(outage=0.0))
+        assert stats.count == 0
+        assert stats.fraction == 0.0
+
+    def test_outage_fraction_tracks_spec(self):
+        stats = outage_stats(_trace(outage=0.3, duration=120.0))
+        assert 0.15 <= stats.fraction <= 0.5
+
+    def test_runs_are_disjoint_and_ordered(self):
+        runs = outage_runs(sprint_like_trace(duration=120.0))
+        for (s1, d1), (s2, _) in zip(runs, runs[1:]):
+            assert s1 + d1 <= s2 + 1e-9
+
+    def test_run_at_trace_end_counted(self):
+        # Opportunities only in the first half: one trailing outage run.
+        times = np.linspace(0.05, 4.95, 200)
+        trace = Trace(times, 10.0)
+        stats = outage_stats(trace)
+        assert stats.count == 1
+        assert stats.max_duration == pytest.approx(5.0, abs=0.2)
+
+    def test_sprint_outages_are_long(self):
+        stats = outage_stats(sprint_like_trace(duration=120.0))
+        # The Figure-8 regime: multi-second coverage holes.
+        assert stats.max_duration > 2.0
+        assert 0.45 <= stats.fraction <= 0.70
+
+
+class TestPercentilesAndDescribe:
+    def test_percentiles_ordered(self):
+        pct = rate_percentiles(_trace())
+        values = [pct[p] for p in (5, 25, 50, 75, 95)]
+        assert values == sorted(values)
+
+    def test_median_near_mean_for_mild_trace(self):
+        trace = _trace(coherence=0.3)
+        pct = rate_percentiles(trace)
+        assert pct[50] == pytest.approx(trace.mean_throughput(), rel=0.25)
+
+    def test_describe_mentions_key_facts(self):
+        text = describe(sprint_like_trace(duration=120.0))
+        assert "Sprint-like" in text
+        assert "outages" in text
+        assert "KB/s" in text
