@@ -20,6 +20,10 @@ DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "30"))
 #: Warm-up excluded from measurements.
 MEASURE_START = float(os.environ.get("REPRO_BENCH_WARMUP", "4"))
 
+#: Worker processes for the batch-capable benchmarks (1 = serial,
+#: 0 = all cores).  Results are identical at any job count.
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
 
 def emit(name: str, lines: Iterable[str]) -> str:
     """Print a result table and persist it under benchmarks/results/."""

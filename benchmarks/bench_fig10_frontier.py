@@ -9,12 +9,11 @@ the fixed operating points of the other algorithms.
 
 import numpy as np
 
+from repro.experiments.algorithms import run_shootout
 from repro.experiments.frontier import sweep_frontier
-from repro.experiments.runner import run_single_flow
-from repro.tcp.congestion import Bbr, Cubic, Pcc, Sprout
 from repro.traces.presets import isp_trace
 
-from _report import MEASURE_START, emit, emit_flow_csv, emit_frontier_csv
+from _report import JOBS, MEASURE_START, emit, emit_flow_csv, emit_frontier_csv
 
 #: A thinned version of the paper grid keeps the bench under a minute;
 #: the full grid is available through sweep_frontier(targets=None).
@@ -28,15 +27,13 @@ def _run():
     points = sweep_frontier(
         down, up, targets=TARGETS,
         duration=SWEEP_DURATION, measure_start=MEASURE_START,
+        n_jobs=JOBS,
     )
-    references = {
-        name: run_single_flow(
-            factory, down, up, duration=SWEEP_DURATION, measure_start=MEASURE_START
-        )
-        for name, factory in (
-            ("CUBIC", Cubic), ("BBR", Bbr), ("Sprout", Sprout), ("PCC", Pcc),
-        )
-    }
+    references = run_shootout(
+        down, up, names=("CUBIC", "BBR", "Sprout", "PCC"),
+        duration=SWEEP_DURATION, measure_start=MEASURE_START,
+        n_jobs=JOBS,
+    )
     return points, references
 
 

@@ -6,22 +6,18 @@ over to an independently generated trace family (different seeds and
 moments) — i.e. the findings are not artefacts of one trace.
 """
 
-from repro.experiments.algorithms import paper_algorithms
-from repro.experiments.runner import run_single_flow
+from repro.experiments.algorithms import run_shootout
 from repro.traces.presets import lte_validation_trace
 
-from _report import DURATION, MEASURE_START, emit, flow_row
+from _report import DURATION, JOBS, MEASURE_START, emit, flow_row
 
 
 def _run():
     down = lte_validation_trace(duration=60.0)
     up = lte_validation_trace(duration=60.0, direction="uplink")
-    results = {}
-    for name, factory in paper_algorithms().items():
-        results[name] = run_single_flow(
-            factory, down, up, duration=DURATION, measure_start=MEASURE_START,
-        )
-    return results
+    return run_shootout(
+        down, up, duration=DURATION, measure_start=MEASURE_START, n_jobs=JOBS,
+    )
 
 
 def test_fig11_lte_validation(benchmark):

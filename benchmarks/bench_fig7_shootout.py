@@ -13,22 +13,18 @@ one-way packet delay.  The shape assertions encode the paper's findings:
 * BBR performs surprisingly well: high throughput at moderate delay.
 """
 
-from repro.experiments.algorithms import paper_algorithms
-from repro.experiments.runner import run_single_flow
+from repro.experiments.algorithms import run_shootout
 from repro.traces.presets import isp_trace
 
-from _report import DURATION, MEASURE_START, emit, emit_flow_csv, flow_row
+from _report import DURATION, JOBS, MEASURE_START, emit, emit_flow_csv, flow_row
 
 
 def _shootout(mode):
     down = isp_trace("A", mode, duration=60.0)
     up = isp_trace("A", mode, duration=60.0, direction="uplink")
-    results = {}
-    for name, factory in paper_algorithms().items():
-        results[name] = run_single_flow(
-            factory, down, up, duration=DURATION, measure_start=MEASURE_START,
-        )
-    return results
+    return run_shootout(
+        down, up, duration=DURATION, measure_start=MEASURE_START, n_jobs=JOBS,
+    )
 
 
 def _check_shapes(results):

@@ -10,7 +10,7 @@ latency onto the target diagonal on volatile (mobile) traces.
 from repro.experiments.frontier import nfl_convergence
 from repro.traces.presets import isp_trace
 
-from _report import DURATION, MEASURE_START, emit
+from _report import DURATION, JOBS, MEASURE_START, emit
 
 TARGETS_MS = (20, 40, 60, 80, 100, 120)
 
@@ -25,6 +25,7 @@ def _run():
             targets=[t / 1000.0 for t in TARGETS_MS],
             duration=DURATION,
             measure_start=MEASURE_START,
+            n_jobs=JOBS,
         )
     return rows
 

@@ -1,0 +1,121 @@
+"""Execution-harness performance: event-loop rate and batch scaling.
+
+Two probes for the PERF registry entry:
+
+* a micro-benchmark of the simulator hot path (schedule / fire, cancel,
+  and periodic-timer reschedule), reported as events per second;
+* wall-clock for the same Figure-10-style frontier batch at
+  ``n_jobs`` ∈ {1, 2, 4}, asserting that the results are bit-identical
+  at every job count (determinism is the layer's core contract).
+
+Speed-ups are only meaningful relative to the host's core count, which
+is recorded alongside the numbers: on a single-core runner the parallel
+rows measure process-pool overhead, not speed-up.
+"""
+
+import os
+import time
+
+from repro.experiments.frontier import sweep_frontier
+from repro.sim.engine import Simulator
+from repro.traces.presets import isp_trace
+
+from _report import emit
+
+#: A small frontier grid keeps the 3-job-count sweep under a minute.
+TARGETS = [t / 1000.0 for t in range(20, 101, 10)]
+SWEEP_DURATION = 10.0
+SWEEP_WARMUP = 2.0
+JOB_COUNTS = (1, 2, 4)
+
+EVENTS = 100_000
+
+
+def _engine_rates():
+    """Events/sec for the three hot operations of the event loop."""
+    rates = {}
+
+    # Plain schedule + fire.
+    sim = Simulator()
+    fired = [0]
+
+    def on_fire():
+        fired[0] += 1
+
+    for i in range(EVENTS):
+        sim.schedule_at(i * 1e-6, on_fire)
+    start = time.perf_counter()
+    sim.run()
+    rates["schedule+fire"] = fired[0] / (time.perf_counter() - start)
+
+    # Lazy cancellation: half the scheduled events are cancelled before
+    # the loop reaches them (the RTO re-arm pattern).
+    sim = Simulator()
+    events = [sim.schedule_at(i * 1e-6, on_fire) for i in range(EVENTS)]
+    for event in events[::2]:
+        event.cancel()
+    start = time.perf_counter()
+    sim.run()
+    rates["cancel-half"] = EVENTS / (time.perf_counter() - start)
+
+    # Reschedule in place (the pacing-tick pattern).
+    sim = Simulator()
+    ticks = [0]
+
+    def on_tick():
+        ticks[0] += 1
+        if ticks[0] < EVENTS:
+            sim.reschedule(timer, 1e-6)
+
+    timer = sim.schedule(1e-6, on_tick)
+    start = time.perf_counter()
+    sim.run()
+    rates["reschedule"] = ticks[0] / (time.perf_counter() - start)
+    return rates
+
+
+def _frontier_times():
+    """(n_jobs → seconds, points) for the same batch at each job count."""
+    down = isp_trace("A", "mobile", duration=30.0)
+    up = isp_trace("A", "mobile", duration=30.0, direction="uplink")
+    timings = {}
+    reference = None
+    for n_jobs in JOB_COUNTS:
+        start = time.perf_counter()
+        points = sweep_frontier(
+            down, up, targets=TARGETS,
+            duration=SWEEP_DURATION, measure_start=SWEEP_WARMUP,
+            n_jobs=n_jobs,
+        )
+        timings[n_jobs] = time.perf_counter() - start
+        key = [(p.throughput_kbps, p.mean_delay_ms, p.p95_delay_ms) for p in points]
+        if reference is None:
+            reference = key
+        else:
+            assert key == reference, f"n_jobs={n_jobs} changed the results"
+    return timings
+
+
+def _run():
+    return _engine_rates(), _frontier_times()
+
+
+def test_parallel_scaling(benchmark):
+    rates, timings = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    lines = [f"host cores: {os.cpu_count()}"]
+    lines.append("-- event loop --")
+    for op, rate in rates.items():
+        lines.append(f"{op:15s} {rate / 1e6:8.2f} M events/s")
+    lines.append(f"-- frontier batch ({len(TARGETS)} runs) --")
+    serial = timings[JOB_COUNTS[0]]
+    for n_jobs, seconds in timings.items():
+        lines.append(
+            f"n_jobs={n_jobs}  {seconds:7.2f} s  speedup {serial / seconds:5.2f}x"
+        )
+    emit("parallel_scaling", lines)
+
+    # Sanity floors, far below any real machine, to catch regressions
+    # that make the loop pathological rather than to measure the host.
+    assert rates["schedule+fire"] > 1e4
+    assert all(seconds > 0 for seconds in timings.values())

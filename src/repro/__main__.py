@@ -17,7 +17,7 @@ from typing import Optional
 
 from repro.core.adaptive import AdaptivePropRate
 from repro.core.proprate import PropRate
-from repro.experiments.algorithms import paper_algorithms
+from repro.experiments.algorithms import paper_algorithms, run_shootout
 from repro.experiments.frontier import sweep_frontier
 from repro.experiments.registry import describe_all
 from repro.experiments.runner import run_single_flow
@@ -82,12 +82,13 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 def _cmd_shootout(args: argparse.Namespace) -> None:
     downlink, uplink = _load_traces(args.trace)
+    results = run_shootout(
+        downlink, uplink,
+        duration=args.duration, measure_start=args.warmup,
+        n_jobs=args.jobs,
+    )
     print(f"{'Algorithm':10s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
-    for name, factory in paper_algorithms().items():
-        result = run_single_flow(
-            factory, downlink, uplink,
-            duration=args.duration, measure_start=args.warmup,
-        )
+    for name, result in results.items():
         print(
             f"{name:10s} {result.throughput_kbps:10.1f} "
             f"{result.delay.mean_ms:8.1f} {result.delay.p95_ms:8.1f}"
@@ -100,6 +101,7 @@ def _cmd_frontier(args: argparse.Namespace) -> None:
     points = sweep_frontier(
         downlink, uplink, targets=targets,
         duration=args.duration, measure_start=args.warmup,
+        n_jobs=args.jobs,
     )
     print(f"{'target ms':>9s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
     for p in points:
@@ -147,12 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="PropRate target buffer delay (ms)")
     p_run.set_defaults(func=_cmd_run)
 
+    def _jobs(p):
+        p.add_argument(
+            "--jobs", type=int, default=1,
+            help="worker processes (1 = serial, 0 = all cores); results "
+            "are identical at any job count",
+        )
+
     p_shoot = sub.add_parser("shootout", help="Figure-7 line-up")
     _common(p_shoot)
+    _jobs(p_shoot)
     p_shoot.set_defaults(func=_cmd_shootout)
 
     p_front = sub.add_parser("frontier", help="Figure-10 sweep")
     _common(p_front)
+    _jobs(p_front)
     p_front.add_argument("--low", type=int, default=12, help="lowest target (ms)")
     p_front.add_argument("--high", type=int, default=120, help="highest target (ms)")
     p_front.add_argument("--step", type=int, default=12, help="grid step (ms)")

@@ -111,6 +111,9 @@ class PropRate(RateCongestionControl):
     name = "PropRate"
     sending_regulation = "Rate-based (+ window-capped)"
     congestion_trigger = "Buffer Delay"
+    # on_tick is the in-flight safety cap: it can only zero the pacing
+    # rate, so idle ticks (rate already zero) are unobservable.
+    idle_tick_safe = True
 
     def __init__(
         self,

@@ -16,6 +16,15 @@ from repro.experiments.algorithms import (
     PR_TARGETS,
     paper_algorithms,
     proprate_factory,
+    run_shootout,
+)
+from repro.experiments.parallel import (
+    CcSpec,
+    RunOutcome,
+    RunSpec,
+    collect,
+    proprate_spec,
+    run_batch,
 )
 from repro.experiments.cpu import instrument, instrumented_factory
 from repro.experiments.frontier import (
@@ -37,6 +46,7 @@ from repro.experiments.runner import (
 from repro.experiments.scenarios import (
     baseline_shift,
     contention_vs_cubic,
+    run_scenario_grid,
     self_contention,
     shallow_buffer,
     throughput_share,
@@ -46,14 +56,18 @@ from repro.experiments.scenarios import (
 
 __all__ = [
     "EXPERIMENTS",
+    "CcSpec",
     "ConvergencePoint",
     "Experiment",
     "FlowResult",
     "FlowSpec",
     "FrontierPoint",
     "PR_TARGETS",
+    "RunOutcome",
+    "RunSpec",
     "baseline_shift",
     "cellular_path_config",
+    "collect",
     "contention_vs_cubic",
     "describe_all",
     "instrument",
@@ -62,7 +76,11 @@ __all__ = [
     "paper_algorithms",
     "paper_frontier_targets",
     "proprate_factory",
+    "proprate_spec",
+    "run_batch",
     "run_experiment",
+    "run_scenario_grid",
+    "run_shootout",
     "run_single_flow",
     "self_contention",
     "shallow_buffer",

@@ -7,7 +7,9 @@ the figures.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.traces.trace import Trace
 
 from repro.core.proprate import PropRate
 from repro.tcp.congestion import (
@@ -63,3 +65,37 @@ def paper_algorithms(include_proprate: bool = True) -> Dict[str, CcFactory]:
 def baseline_names() -> List[str]:
     """The non-PropRate algorithms, in table order."""
     return list(paper_algorithms(include_proprate=False))
+
+
+def run_shootout(
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    names: Optional[Sequence[str]] = None,
+    duration: float = 40.0,
+    measure_start: float = 5.0,
+    n_jobs: int = 1,
+):
+    """Run the Figure-7 line-up over one trace; name → :class:`FlowResult`.
+
+    Each algorithm is an independent simulation, so ``n_jobs`` fans the
+    line-up out over worker processes; results are identical to the
+    serial run and returned in line-up order.
+    """
+    # Imported here: the parallel layer resolves CcSpecs through
+    # paper_algorithms(), so the import must not be circular.
+    from repro.experiments.parallel import CcSpec, RunSpec, collect, run_batch
+
+    lineup = list(names) if names is not None else list(paper_algorithms())
+    specs = [
+        RunSpec(
+            cc=CcSpec(name),
+            downlink=downlink_trace,
+            uplink=uplink_trace,
+            duration=duration,
+            measure_start=measure_start,
+            name=name,
+        )
+        for name in lineup
+    ]
+    results = collect(run_batch(specs, n_jobs=n_jobs))
+    return dict(zip(lineup, results))

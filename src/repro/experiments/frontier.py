@@ -13,8 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
-from repro.core.proprate import PropRate
-from repro.experiments.runner import FlowResult, run_single_flow
+from repro.experiments.parallel import (
+    RunSpec,
+    collect,
+    proprate_spec,
+    run_batch,
+)
+from repro.experiments.runner import FlowResult
 from repro.traces.trace import Trace
 
 
@@ -52,22 +57,31 @@ def sweep_frontier(
     duration: float = 30.0,
     measure_start: float = 4.0,
     enable_feedback: bool = True,
+    n_jobs: int = 1,
 ) -> List[FrontierPoint]:
-    """Run PropRate across a grid of t̄_buff targets (Figure 10)."""
-    points = []
-    for target in targets if targets is not None else paper_frontier_targets():
-        result = run_single_flow(
-            lambda t=target: PropRate(
-                target_buffer_delay=t, enable_feedback=enable_feedback
-            ),
-            downlink_trace,
-            uplink_trace,
+    """Run PropRate across a grid of t̄_buff targets (Figure 10).
+
+    ``n_jobs`` fans the grid out over worker processes (the points are
+    independent simulations); results are identical to the serial run
+    and returned in target order.
+    """
+    grid = list(targets) if targets is not None else paper_frontier_targets()
+    specs = [
+        RunSpec(
+            cc=proprate_spec(target, enable_feedback=enable_feedback),
+            downlink=downlink_trace,
+            uplink=uplink_trace,
             duration=duration,
             measure_start=measure_start,
             name=f"PR({target * 1000:.0f}ms)",
         )
-        points.append(FrontierPoint(target_tbuff=target, result=result))
-    return points
+        for target in grid
+    ]
+    results = collect(run_batch(specs, n_jobs=n_jobs))
+    return [
+        FrontierPoint(target_tbuff=target, result=result)
+        for target, result in zip(grid, results)
+    ]
 
 
 @dataclass(frozen=True)
@@ -90,33 +104,40 @@ def nfl_convergence(
     duration: float = 30.0,
     measure_start: float = 4.0,
     propagation_delay: float = 0.020,
+    n_jobs: int = 1,
 ) -> List[ConvergencePoint]:
     """Figure 9: achieved vs target buffer delay, with and without NFL.
 
     The achieved buffer delay is the externally measured mean one-way
     delay minus the propagation delay — ground truth, not the sender's
-    own estimate.
+    own estimate.  ``n_jobs`` parallelizes the (feedback × target) grid.
     """
     if targets is None:
         targets = [t / 1000.0 for t in range(20, 121, 20)]
+    grid = [
+        (with_nfl, target)
+        for with_nfl in (True, False)
+        for target in targets
+    ]
+    specs = [
+        RunSpec(
+            cc=proprate_spec(target, enable_feedback=with_nfl),
+            downlink=downlink_trace,
+            uplink=uplink_trace,
+            duration=duration,
+            measure_start=measure_start,
+        )
+        for with_nfl, target in grid
+    ]
+    results = collect(run_batch(specs, n_jobs=n_jobs))
     points = []
-    for with_nfl in (True, False):
-        for target in targets:
-            result = run_single_flow(
-                lambda t=target, nfl=with_nfl: PropRate(
-                    target_buffer_delay=t, enable_feedback=nfl
-                ),
-                downlink_trace,
-                uplink_trace,
-                duration=duration,
-                measure_start=measure_start,
+    for (with_nfl, target), result in zip(grid, results):
+        achieved = max(0.0, result.delay.mean - propagation_delay)
+        points.append(
+            ConvergencePoint(
+                target_tbuff=target,
+                achieved_tbuff=achieved,
+                with_feedback=with_nfl,
             )
-            achieved = max(0.0, result.delay.mean - propagation_delay)
-            points.append(
-                ConvergencePoint(
-                    target_tbuff=target,
-                    achieved_tbuff=achieved,
-                    with_feedback=with_nfl,
-                )
-            )
+        )
     return points

@@ -1,0 +1,348 @@
+"""Process-pool execution of experiment batches.
+
+Every paper artifact is an embarrassingly parallel set of independent
+simulations (the Figure-10 frontier is 43 of them).  This module maps
+picklable run specifications onto worker processes:
+
+* :class:`CcSpec` names a congestion-control configuration by registry
+  name plus keyword parameters, so no factory closures ever cross a
+  process boundary; workers rebuild the algorithm locally.
+* :class:`RunSpec` is one single-flow run — congestion control, trace
+  references, and path/flow parameters.  Traces travel as content-keyed
+  references (:mod:`repro.traces.cache`); the dispatcher deduplicates
+  them into a table shipped once per worker, and each worker
+  materializes every distinct trace exactly once per process.
+* :func:`run_batch` executes any sequence of spec objects (anything
+  with an ``execute()`` method and optional ``downlink``/``uplink``
+  reference fields) and returns :class:`RunOutcome`\\ s **in submission
+  order**, regardless of worker scheduling.
+
+Determinism: the serial (``n_jobs=1``) and parallel paths run the same
+``execute()`` code against traces materialized by the same cache, and
+each simulation is fully deterministic, so results are bit-identical
+across job counts.
+
+Failure handling: an exception inside a spec is caught in the worker
+and reported on that spec's outcome; the rest of the batch completes.
+If a worker process dies outright (breaking the pool), the outcomes
+whose results were lost report the breakage — completed work from other
+chunks is preserved either way.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.experiments.runner import (
+    DEFAULT_PROP_DELAY,
+    FlowResult,
+    run_single_flow,
+)
+from repro.sim.queues import DEFAULT_BUFFER_PACKETS
+from repro.tcp.congestion.base import CongestionControl
+from repro.traces import cache as trace_cache
+from repro.traces.cache import TraceRef, as_ref
+from repro.traces.trace import Trace
+
+__all__ = [
+    "CcSpec",
+    "RunSpec",
+    "RunOutcome",
+    "run_batch",
+    "collect",
+    "resolve_trace",
+    "detach_results",
+    "resolve_n_jobs",
+]
+
+#: A trace field: a reference, a not-yet-referenced Trace, or a content
+#: key into the batch's deduplicated trace table.
+RefOrKey = Union[TraceRef, Trace, str]
+
+
+# ----------------------------------------------------------------------
+# Congestion-control specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CcSpec:
+    """A picklable congestion-control configuration.
+
+    ``name`` is either ``"PropRate"`` (with ``params`` forwarded to the
+    constructor) or any entry of
+    :func:`repro.experiments.algorithms.paper_algorithms` — ``"CUBIC"``,
+    ``"BBR"``, ``"PR(M)"``, and so on.  ``params`` is a tuple of
+    ``(keyword, value)`` pairs so the spec stays hashable.
+    """
+
+    name: str
+    params: Tuple[Tuple[str, Any], ...] = ()
+
+    def build(self) -> CongestionControl:
+        from repro.core.proprate import PropRate
+        from repro.experiments.algorithms import paper_algorithms
+
+        params = dict(self.params)
+        if self.name == "PropRate":
+            return PropRate(**params)
+        factory = paper_algorithms().get(self.name)
+        if factory is None:
+            raise ValueError(f"unknown congestion control {self.name!r}")
+        if params:
+            if isinstance(factory, type):
+                return factory(**params)
+            raise ValueError(f"{self.name!r} does not accept parameters")
+        return factory()
+
+
+def proprate_spec(target: float, **kwargs: Any) -> CcSpec:
+    """A :class:`CcSpec` for PropRate at a fixed t̄_buff."""
+    params = (("target_buffer_delay", target),) + tuple(sorted(kwargs.items()))
+    return CcSpec("PropRate", params)
+
+
+# ----------------------------------------------------------------------
+# Run specs and outcomes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RunSpec:
+    """One single-flow cellular run (the :func:`run_single_flow` shape)."""
+
+    cc: CcSpec
+    downlink: RefOrKey
+    uplink: Optional[RefOrKey] = None
+    duration: float = 40.0
+    measure_start: float = 5.0
+    name: str = ""
+    buffer_packets: int = DEFAULT_BUFFER_PACKETS
+    prop_delay: float = DEFAULT_PROP_DELAY
+    aqm: str = "droptail"
+
+    def execute(self) -> FlowResult:
+        down = resolve_trace(self.downlink)
+        up = resolve_trace(self.uplink) if self.uplink is not None else None
+        result = run_single_flow(
+            self.cc.build,
+            down,
+            up,
+            duration=self.duration,
+            measure_start=self.measure_start,
+            name=self.name or self.cc.name,
+            buffer_packets=self.buffer_packets,
+            prop_delay=self.prop_delay,
+            aqm=self.aqm,
+        )
+        return result.detached()
+
+
+@dataclass
+class RunOutcome:
+    """One spec's fate: its (detached) result, or the failure report."""
+
+    index: int
+    spec: Any
+    result: Optional[Any] = None
+    error: Optional[str] = field(repr=False, default=None)
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def collect(outcomes: Sequence[RunOutcome]) -> List[Any]:
+    """Results in submission order; raises if any spec failed."""
+    failed = [o for o in outcomes if not o.ok]
+    if failed:
+        first = failed[0]
+        raise RuntimeError(
+            f"{len(failed)}/{len(outcomes)} runs failed; first "
+            f"(spec #{first.index}):\n{first.error}"
+        )
+    return [o.result for o in outcomes]
+
+
+# ----------------------------------------------------------------------
+# Trace-reference plumbing
+# ----------------------------------------------------------------------
+#: The batch's deduplicated {content key -> reference} table.  Installed
+#: in workers by the pool initializer and in-process by the serial path.
+_TRACE_TABLE: Dict[str, TraceRef] = {}
+
+
+def resolve_trace(ref: RefOrKey) -> Trace:
+    """Materialize a trace field through the per-process cache."""
+    if isinstance(ref, str):
+        ref = _TRACE_TABLE[ref]
+    return trace_cache.get(ref)
+
+
+def _strip_specs(
+    specs: Sequence[Any],
+) -> Tuple[List[Any], Dict[str, TraceRef]]:
+    """Replace in-spec traces/references by content keys.
+
+    Returns the rewritten specs plus the deduplicated reference table;
+    each distinct trace is pickled to each worker once, via the table,
+    however many specs use it.
+    """
+    table: Dict[str, TraceRef] = {}
+    stripped: List[Any] = []
+    for spec in specs:
+        updates = {}
+        for fieldname in ("downlink", "uplink"):
+            value = getattr(spec, fieldname, None)
+            if value is None or isinstance(value, str):
+                continue
+            ref = as_ref(value)
+            table[ref.key] = ref
+            updates[fieldname] = ref.key
+        stripped.append(replace(spec, **updates) if updates else spec)
+    return stripped, table
+
+
+def _install_table(table: Dict[str, TraceRef]) -> None:
+    _TRACE_TABLE.clear()
+    _TRACE_TABLE.update(table)
+
+
+def detach_results(value: Any) -> Any:
+    """Detach every :class:`FlowResult` in a result structure.
+
+    Scenario drivers return tuples/dicts of results; the live simulation
+    handles they carry cannot cross a process boundary.
+    """
+    if isinstance(value, FlowResult):
+        return value.detached()
+    if isinstance(value, tuple):
+        return tuple(detach_results(v) for v in value)
+    if isinstance(value, list):
+        return [detach_results(v) for v in value]
+    if isinstance(value, dict):
+        return {k: detach_results(v) for k, v in value.items()}
+    return value
+
+
+# ----------------------------------------------------------------------
+# Batch execution
+# ----------------------------------------------------------------------
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """None/0 -> all cores; joblib-style negatives count from the end."""
+    cores = os.cpu_count() or 1
+    if n_jobs is None or n_jobs == 0:
+        return cores
+    if n_jobs < 0:
+        return max(1, cores + 1 + n_jobs)
+    return n_jobs
+
+
+def _run_entry(entry: Tuple[int, Any]) -> Tuple[int, Any, Optional[str]]:
+    index, spec = entry
+    try:
+        return index, spec.execute(), None
+    except Exception:  # noqa: BLE001 - reported on the outcome
+        return index, None, traceback.format_exc()
+
+
+def _run_chunk(
+    chunk: List[Tuple[int, Any]],
+) -> List[Tuple[int, Any, Optional[str]]]:
+    return [_run_entry(entry) for entry in chunk]
+
+
+def _init_worker(table: Dict[str, TraceRef]) -> None:
+    _install_table(table)
+
+
+def run_batch(
+    specs: Sequence[Any],
+    n_jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    start_method: Optional[str] = None,
+) -> List[RunOutcome]:
+    """Execute ``specs`` and return outcomes in submission order.
+
+    Parameters
+    ----------
+    specs:
+        Objects with an ``execute() -> picklable`` method; fields named
+        ``downlink``/``uplink`` are treated as trace references and
+        deduplicated into a once-per-worker table.
+    n_jobs:
+        Worker processes.  ``1`` runs serially in-process (no pool);
+        ``None``/``0`` uses every core; negative counts from the end
+        (``-1`` = all cores).
+    chunksize:
+        Specs per worker task.  Defaults to ~4 tasks per worker, which
+        amortizes dispatch without starving the pool on uneven runs.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` where
+        available (cheap, inherits imports) and the platform default
+        elsewhere.
+    """
+    entries = list(enumerate(specs))
+    if not entries:
+        return []
+    stripped, table = _strip_specs([s for _, s in entries])
+    entries = [(i, s) for (i, _), s in zip(entries, stripped)]
+    jobs = resolve_n_jobs(n_jobs)
+    _install_table(table)  # serial path + fork parent share the table
+
+    if jobs == 1 or len(entries) == 1:
+        rows = [_run_entry(entry) for entry in entries]
+        return _to_outcomes(rows, entries)
+
+    if chunksize is None:
+        chunksize = max(1, math.ceil(len(entries) / (jobs * 4)))
+    chunks = [
+        entries[i : i + chunksize] for i in range(0, len(entries), chunksize)
+    ]
+
+    if start_method is None and "fork" in multiprocessing.get_all_start_methods():
+        start_method = "fork"
+    context = (
+        multiprocessing.get_context(start_method) if start_method else None
+    )
+
+    rows: List[Tuple[int, Any, Optional[str]]] = []
+    with ProcessPoolExecutor(
+        max_workers=min(jobs, len(chunks)),
+        mp_context=context,
+        initializer=_init_worker,
+        initargs=(table,),
+    ) as pool:
+        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
+        for chunk, future in zip(chunks, futures):
+            try:
+                rows.extend(future.result())
+            except BrokenProcessPool as exc:
+                # A worker died mid-chunk (hard crash, not a Python
+                # exception).  Report the specs whose results were lost;
+                # other chunks' futures keep their completed results.
+                for index, _ in chunk:
+                    rows.append(
+                        (index, None, f"worker process died: {exc!r}")
+                    )
+            except Exception:  # noqa: BLE001 - e.g. unpicklable result
+                err = traceback.format_exc()
+                for index, _ in chunk:
+                    rows.append((index, None, err))
+    return _to_outcomes(rows, entries)
+
+
+def _to_outcomes(
+    rows: List[Tuple[int, Any, Optional[str]]],
+    entries: List[Tuple[int, Any]],
+) -> List[RunOutcome]:
+    spec_by_index = dict(entries)
+    outcomes = [
+        RunOutcome(index=i, spec=spec_by_index[i], result=r, error=e)
+        for i, r, e in rows
+    ]
+    outcomes.sort(key=lambda o: o.index)
+    return outcomes

@@ -148,6 +148,15 @@ _EXPERIMENTS = [
         modules=("repro.sim.queues", "repro.experiments.scenarios"),
         bench="benchmarks/bench_disc_shallow_aqm.py",
     ),
+    Experiment(
+        id="PERF",
+        artifact="Execution harness",
+        description="Parallel batch execution over worker processes: "
+        "engine events/sec and frontier wall-clock scaling at "
+        "n_jobs ∈ {1, 2, 4}",
+        modules=("repro.experiments.parallel", "repro.traces.cache"),
+        bench="benchmarks/bench_parallel_scaling.py",
+    ),
 ]
 
 EXPERIMENTS: Dict[str, Experiment] = {e.id: e for e in _EXPERIMENTS}

@@ -9,7 +9,7 @@ packet delay over a measurement window.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
 from repro.metrics.collector import DeliveryCollector
@@ -62,7 +62,14 @@ class FlowSpec:
 
 @dataclass
 class FlowResult:
-    """Reduced outcome of one flow."""
+    """Reduced outcome of one flow.
+
+    ``collector`` and ``sender`` expose the live simulation objects for
+    in-process inspection; they hold the whole simulator graph and are
+    therefore not picklable.  Results that cross a process boundary (the
+    :mod:`repro.experiments.parallel` layer) carry ``None`` in both —
+    see :meth:`detached`.
+    """
 
     name: str
     throughput: float               # bytes/second over the window
@@ -73,11 +80,17 @@ class FlowResult:
     rto_count: int
     measure_start: float
     measure_end: float
-    collector: DeliveryCollector = field(repr=False, default=None)
-    sender: TcpSender = field(repr=False, default=None)
+    collector: Optional[DeliveryCollector] = field(repr=False, default=None)
+    sender: Optional[TcpSender] = field(repr=False, default=None)
     #: Bottleneck capacity (bytes/s) over the measurement window of this
     #: flow's data direction, when the topology can provide it.
     capacity: Optional[float] = None
+
+    def detached(self) -> "FlowResult":
+        """A copy without the unpicklable simulation handles."""
+        if self.collector is None and self.sender is None:
+            return self
+        return replace(self, collector=None, sender=None)
 
     @property
     def throughput_kbps(self) -> float:

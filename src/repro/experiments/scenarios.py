@@ -15,7 +15,11 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.experiments.parallel import CcSpec, RefOrKey
 
 from repro.experiments.runner import (
     CcFactory,
@@ -251,3 +255,81 @@ def throughput_share(results: List[FlowResult]) -> List[float]:
     if total <= 0:
         return [0.0 for _ in results]
     return [r.throughput / total for r in results]
+
+
+# ----------------------------------------------------------------------
+# Batch execution over worker processes
+# ----------------------------------------------------------------------
+#: Name → driver, for picklable scenario references.
+SCENARIOS = {
+    "self_contention": self_contention,
+    "contention_vs_cubic": contention_vs_cubic,
+    "uplink_congestion": uplink_congestion,
+    "wired_path": wired_path,
+    "shallow_buffer": shallow_buffer,
+    "baseline_shift": baseline_shift,
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario × algorithm cell, picklable for process pools.
+
+    ``scenario`` names an entry of :data:`SCENARIOS`; ``cc`` rebuilds
+    the algorithm in the worker; traces travel as references.
+    ``wired_path`` takes no traces — leave ``downlink`` as ``None`` and
+    pass ``region`` through ``options``.
+    """
+
+    scenario: str
+    cc: "CcSpec"
+    downlink: Optional["RefOrKey"] = None
+    uplink: Optional["RefOrKey"] = None
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    def execute(self):
+        from repro.experiments.parallel import detach_results, resolve_trace
+
+        driver = SCENARIOS[self.scenario]
+        args: list = [self.cc.build]
+        if self.downlink is not None:
+            args.append(resolve_trace(self.downlink))
+            if self.uplink is not None:
+                args.append(resolve_trace(self.uplink))
+        outcome = driver(*args, **dict(self.options))
+        return detach_results(outcome)
+
+
+def run_scenario_grid(
+    scenario: str,
+    algorithms: Dict[str, "CcSpec"],
+    downlink_trace: Optional[Trace] = None,
+    uplink_trace: Optional[Trace] = None,
+    n_jobs: int = 1,
+    **options: object,
+) -> Dict[str, object]:
+    """Run one scenario for several algorithms, optionally in parallel.
+
+    ``algorithms`` maps a label to the :class:`~repro.experiments.
+    parallel.CcSpec` to run; the return maps each label to whatever the
+    scenario driver returns (detached of simulation handles).
+    """
+    from repro.experiments.parallel import collect, run_batch
+
+    if scenario not in SCENARIOS:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; have {sorted(SCENARIOS)}"
+        )
+    labels = list(algorithms)
+    specs = [
+        ScenarioSpec(
+            scenario=scenario,
+            cc=algorithms[label],
+            downlink=downlink_trace,
+            uplink=uplink_trace,
+            options=tuple(sorted(options.items())),
+        )
+        for label in labels
+    ]
+    results = collect(run_batch(specs, n_jobs=n_jobs))
+    return dict(zip(labels, results))

@@ -19,7 +19,7 @@ import numpy as np
 from repro.sim.packet import Packet
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DeliveryRecord:
     """One unique segment delivery."""
 

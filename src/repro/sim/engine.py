@@ -7,44 +7,73 @@ evaluation relies on (every benchmark is seeded and repeatable).
 
 The engine knows nothing about networking; links, queues and TCP endpoints
 are built on top of it.
+
+Hot-path notes
+--------------
+Scheduling dominates the simulator's wall time, so :class:`Event` is its
+own heap entry: a 3-slot list ``[time, seq, callback]``.  ``heapq`` then
+orders entries with C-level list comparison (time, then the unique seq —
+the callback element is never reached), eliminating a Python ``__lt__``
+call per comparison.  Cancellation is lazy — the callback slot is set to
+None and the entry is skipped when popped — and the heap is compacted
+when dead entries outnumber live ones, so timer churn (RTO re-arming on
+every ACK) cannot bloat the queue.  Periodic timers re-arm by reusing
+their just-popped entry (:meth:`Simulator.reschedule`), avoiding one
+allocation per tick.
 """
 
 from __future__ import annotations
 
-import heapq
 import itertools
-from typing import Any, Callable, List, Optional, Tuple
+from heapq import heapify, heappop, heappush
+from typing import Callable, List, Optional
 
 
-class Event:
+class Event(list):
     """A scheduled callback.
 
     Events are returned by :meth:`Simulator.schedule` and can be cancelled
     with :meth:`cancel`.  Cancellation is lazy: the entry stays in the heap
     and is skipped when popped, which is O(1) and adequate for the timer
     churn TCP retransmission produces.
+
+    The event *is* its heap entry — ``[time, seq, callback]`` — so the
+    heap compares entries without entering Python code.  ``time``/``seq``/
+    ``callback``/``cancelled`` remain available as read-only attributes.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ()
 
     def __init__(self, time: float, seq: int, callback: Callable[[], None]):
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.cancelled = False
+        super().__init__((time, seq, callback))
+
+    @property
+    def time(self) -> float:
+        return self[0]
+
+    @property
+    def seq(self) -> int:
+        return self[1]
+
+    @property
+    def callback(self) -> Optional[Callable[[], None]]:
+        return self[2]
+
+    @property
+    def cancelled(self) -> bool:
+        return self[2] is None
 
     def cancel(self) -> None:
         """Prevent the callback from running.  Idempotent."""
-        self.cancelled = True
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
+        self[2] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        state = " cancelled" if self.cancelled else ""
-        return f"<Event t={self.time:.6f}{state}>"
+        state = " cancelled" if self[2] is None else ""
+        return f"<Event t={self[0]:.6f}{state}>"
+
+
+#: Heap size below which compaction is never attempted.
+_COMPACT_MIN = 1024
 
 
 class Simulator:
@@ -67,6 +96,7 @@ class Simulator:
         self._counter = itertools.count()
         self._running = False
         self._events_processed = 0
+        self._compact_at = _COMPACT_MIN
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -88,8 +118,41 @@ class Simulator:
                 f"cannot schedule in the past: {time} < now={self.now}"
             )
         event = Event(time, next(self._counter), callback)
-        heapq.heappush(self._heap, event)
+        heap = self._heap
+        heappush(heap, event)
+        if len(heap) >= self._compact_at:
+            self._compact()
         return event
+
+    def reschedule(self, event: Event, delay: float) -> Event:
+        """Re-arm a just-popped event ``delay`` seconds from now.
+
+        Fast path for periodic timers: the caller must guarantee ``event``
+        is *not* currently in the heap (its callback is the one running).
+        The entry is reused in place — no allocation — with a fresh
+        insertion-order seq, so the semantics are identical to cancelling
+        and scheduling anew.
+        """
+        if delay < 0:
+            delay = 0.0
+        event[0] = self.now + delay
+        event[1] = next(self._counter)
+        heappush(self._heap, event)
+        return event
+
+    def _compact(self) -> None:
+        """Drop lazily-cancelled entries when they dominate the heap.
+
+        Runs at most every time the heap doubles past the last threshold,
+        so the O(n) scan is amortized O(1) per scheduled event.
+        """
+        heap = self._heap
+        live = [e for e in heap if e[2] is not None]
+        if 2 * len(live) <= len(heap):
+            # In-place so references held by a running ``run`` stay valid.
+            heap[:] = live
+            heapify(heap)
+        self._compact_at = max(_COMPACT_MIN, 2 * len(heap))
 
     # ------------------------------------------------------------------
     # Execution
@@ -102,17 +165,19 @@ class Simulator:
         consecutive ``run`` calls compose.
         """
         self._running = True
+        heap = self._heap
         try:
-            while self._heap:
-                event = self._heap[0]
-                if until is not None and event.time > until:
+            while heap:
+                event = heap[0]
+                if until is not None and event[0] > until:
                     break
-                heapq.heappop(self._heap)
-                if event.cancelled:
+                heappop(heap)
+                callback = event[2]
+                if callback is None:
                     continue
-                self.now = event.time
+                self.now = event[0]
                 self._events_processed += 1
-                event.callback()
+                callback()
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -120,13 +185,15 @@ class Simulator:
 
     def step(self) -> bool:
         """Run the single next pending event.  Returns False if none."""
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
+        heap = self._heap
+        while heap:
+            event = heappop(heap)
+            callback = event[2]
+            if callback is None:
                 continue
-            self.now = event.time
+            self.now = event[0]
             self._events_processed += 1
-            event.callback()
+            callback()
             return True
         return False
 
@@ -136,7 +203,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of queued, not-yet-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return sum(1 for e in self._heap if e[2] is not None)
 
     @property
     def events_processed(self) -> int:
@@ -145,9 +212,12 @@ class Simulator:
 
     def peek_next_time(self) -> Optional[float]:
         """Time of the next live event, or None if the queue is empty."""
-        for event in sorted(self._heap):
-            if not event.cancelled:
-                return event.time
+        heap = self._heap
+        while heap:
+            if heap[0][2] is None:
+                heappop(heap)  # dead head: discard while we're looking
+                continue
+            return heap[0][0]
         return None
 
 
@@ -157,7 +227,9 @@ class PeriodicTimer:
     Used for the sender's pacing tick (the kernel-tick analogue).  The
     callback receives no arguments; cancel with :meth:`stop`.  The timer
     re-arms itself *before* invoking the callback so the callback may
-    safely call :meth:`stop`.
+    safely call :meth:`stop`.  Re-arming reuses the fired heap entry
+    (:meth:`Simulator.reschedule`), so a steady timer allocates nothing
+    per tick.
     """
 
     def __init__(
@@ -180,7 +252,8 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if self._stopped:
             return
-        self._event = self.sim.schedule(self.interval, self._fire)
+        # The firing event was just popped; reuse it for the next tick.
+        self._event = self.sim.reschedule(self._event, self.interval)
         self.callback()
 
     def stop(self) -> None:

@@ -13,9 +13,8 @@ service rate, used for the Figure-13 inter-continental experiments.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
-
-import numpy as np
+from bisect import bisect_left
+from typing import Callable, List, Optional
 
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import Packet
@@ -70,6 +69,9 @@ class CellularLink(Link):
         self.loop = loop
         self.name = name
         self._times = trace.opportunity_times
+        # Plain-float copy: scalar indexing and bisect on a Python list
+        # beat numpy scalar extraction on this per-packet path.
+        self._times_list: List[float] = trace.opportunity_times.tolist()
         self._period = trace.duration
         self._cycle = 0  # how many whole trace periods have elapsed
         self._index = 0  # next opportunity index within the current cycle
@@ -97,20 +99,25 @@ class CellularLink(Link):
         empty (they are wasted by definition; we count them lazily).
         """
         now = self.sim.now
+        times = self._times_list
+        size = len(times)
         while True:
             base = self._cycle * self._period
-            # Jump the index to the first opportunity at/after now.
             local = now - base
-            idx = int(np.searchsorted(self._times, local, side="left"))
+            idx = self._index
+            # Busy-link fast path: the pending opportunity is still ahead.
+            if idx < size and times[idx] >= local:
+                return base + times[idx]
+            # Jump the index to the first opportunity at/after now.
+            idx = bisect_left(times, local, idx)
             if idx > self._index:
                 self.wasted_opportunities += idx - self._index
                 self._index = idx
-            if self._index < self._times.size:
-                return base + float(self._times[self._index])
+            if idx < size:
+                return base + times[idx]
             if not self.loop:
                 return float("inf")
-            self.wasted_opportunities += 0  # end of cycle: roll over
-            self._cycle += 1
+            self._cycle += 1  # end of cycle: roll over
             self._index = 0
 
     def _arm_service(self) -> None:

@@ -26,7 +26,7 @@ ACK_PACKET_BYTES = 60
 _packet_ids = itertools.count()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SackBlock:
     """A SACK block over segment indices: ``[start, end)`` received."""
 
@@ -45,7 +45,7 @@ class SackBlock:
         return self.end - self.start
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """A simulated TCP packet (data segment or ACK).
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from typing import Optional, Protocol, runtime_checkable
 
 
-@dataclass
+@dataclass(slots=True)
 class AckSample:
     """Everything an algorithm may learn from one ACK.
 
@@ -171,11 +171,26 @@ class RateCongestionControl(CongestionControl):
     is_rate_based = True
     sending_regulation = "Rate-based"
 
+    #: Declares that ``on_tick`` is a pure in-flight-cap watchdog: it can
+    #: only *zero* the pacing rate and mutates no other state, so ticks
+    #: are unobservable while the rate is already zero.  The sender then
+    #: suspends the pacing tick during fully idle stretches (zero rate,
+    #: empty byte budget, no pending burst) and resumes it — on the exact
+    #: tick phase — at the next ACK or RTO.  Algorithms whose ``on_tick``
+    #: drives real state (e.g. PCC's monitor intervals) must leave this
+    #: False.  Classes that do not override ``on_tick`` are always safe.
+    idle_tick_safe: bool = False
+
     def __init__(self) -> None:
         super().__init__()
         self.pacing_rate: float = 0.0
         self.round_mode: str = "down"
         self._pending_burst: int = 0
+
+    @property
+    def pending_burst(self) -> int:
+        """Packets queued for immediate transmission at the next tick."""
+        return self._pending_burst
 
     def request_burst(self, packets: int) -> None:
         """Ask the sender to emit ``packets`` segments immediately."""

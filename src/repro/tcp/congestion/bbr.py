@@ -47,6 +47,9 @@ class Bbr(RateCongestionControl):
     name = "BBR"
     sending_regulation = "Rate-based"
     congestion_trigger = "NA"
+    # on_tick is the cwnd_gain×BDP in-flight cap: it can only zero the
+    # pacing rate, so idle ticks are unobservable.
+    idle_tick_safe = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -41,6 +41,8 @@ class Proteus(RateCongestionControl):
     name = "PROTEUS"
     sending_regulation = "Rate-based"
     congestion_trigger = "Rate Forecast"
+    # on_tick is an in-flight cap that can only zero the pacing rate.
+    idle_tick_safe = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -35,6 +35,8 @@ class Rre(RateCongestionControl):
     name = "RRE"
     sending_regulation = "Rate-based"
     congestion_trigger = "Buffer Delay"
+    # on_tick is an in-flight cap that can only zero the pacing rate.
+    idle_tick_safe = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -24,7 +24,7 @@ from __future__ import annotations
 import heapq
 from typing import Callable, Dict, List, Optional
 
-from repro.sim.engine import Event, PeriodicTimer, Simulator
+from repro.sim.engine import Event, Simulator
 from repro.sim.packet import (
     DATA_PACKET_BYTES,
     MSS,
@@ -121,12 +121,16 @@ class TcpSender:
         self._loss_ptr = 0  # every seq below is acked, SACKed or marked lost
         self._dupacks = 0
         self._recovery_point: Optional[int] = None
+        self._window_based = isinstance(cc, WindowCongestionControl)
 
         # Estimators and timers.
         self.rto_estimator = RtoEstimator()
         self._rto_event: Optional[Event] = None
+        self._rto_deadline = 0.0
         self._app_poll_event: Optional[Event] = None
-        self._tick_timer: Optional[PeriodicTimer] = None
+        self._tick_event: Optional[Event] = None
+        self._tick_passive = False  # on_tick unobservable while idle
+        self._tick_next = 0.0       # next tick time while suspended
         self._budget = 0.0  # paced byte budget (may dip negative: deficit)
 
         # Counters.
@@ -181,17 +185,21 @@ class TcpSender:
         self.cc.bind(self)
         self.cc.on_connection_start()
         if self.cc.is_rate_based:
-            self._tick_timer = PeriodicTimer(
-                self.sim, self.tick, self._on_tick, start_delay=0.0
+            cc = self.cc
+            self._tick_passive = (
+                type(cc).on_tick is RateCongestionControl.on_tick
+                or cc.idle_tick_safe
             )
+            self._tick_event = self.sim.schedule(0.0, self._tick_fire)
         else:
             self._fill_window()
 
     def stop(self) -> None:
         """Halt all activity (end of an experiment)."""
         self.complete = True
-        if self._tick_timer is not None:
-            self._tick_timer.stop()
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
         if self._rto_event is not None:
             self._rto_event.cancel()
             self._rto_event = None
@@ -281,6 +289,60 @@ class TcpSender:
         if not self.complete:
             self._fill_window()
 
+    def _tick_fire(self) -> None:
+        """Pacing-tick heartbeat: re-arm (reusing the fired heap entry),
+        then run one tick.  Re-arming *before* the tick preserves event
+        ordering: the next tick's seq precedes anything this tick
+        schedules at the same instant."""
+        event = self._tick_event
+        if event is None:
+            return
+        self._tick_event = self.sim.reschedule(event, self.tick)
+        self._on_tick()
+
+    def _suspend_tick_if_idle(self, cc: RateCongestionControl) -> None:
+        """Park the pacing tick while ticks are provably no-ops.
+
+        Requires an ``idle_tick_safe`` (or non-overridden) ``on_tick``,
+        zero pacing rate, no pending probe burst, and a byte budget too
+        small to release a packet under the current rounding mode.  Under
+        those conditions only an ACK or an RTO can change the sender's
+        state, and both resume the tick on its exact phase — so the
+        simulation is bit-identical with or without the suspension.
+        """
+        if (
+            self._tick_passive
+            and cc.pacing_rate <= 0.0
+            and cc.pending_burst == 0
+            and (
+                self._budget <= 1e-9
+                if cc.round_mode == "up"
+                else self._budget < self._packet_bytes
+            )
+        ):
+            event = self._tick_event
+            if event is not None:
+                self._tick_next = event[0]
+                event.cancel()
+                self._tick_event = None
+
+    def _resume_tick(self) -> None:
+        """Reschedule a suspended pacing tick at its next phase point.
+
+        The float chain ``t += tick`` reproduces exactly the times the
+        periodic re-arm would have produced had the tick kept firing.
+        """
+        if self._tick_event is not None or not self.cc.is_rate_based:
+            return
+        if self.complete or not self.started:
+            return
+        t = self._tick_next
+        tick = self.tick
+        now = self.sim.now
+        while t < now:
+            t += tick
+        self._tick_event = self.sim.schedule_at(t, self._tick_fire)
+
     def _on_tick(self) -> None:
         """Rate-based dispatch: one pacing tick (paper §4.3)."""
         if self.complete:
@@ -317,6 +379,7 @@ class TcpSender:
         if sent < count:
             # Application-limited: do not accumulate credit.
             self._budget = min(self._budget, float(self._packet_bytes))
+        self._suspend_tick_if_idle(cc)
 
     # ------------------------------------------------------------------
     # ACK processing
@@ -325,6 +388,8 @@ class TcpSender:
         """Handle an ACK arriving from the reverse path."""
         if self.complete or not self.started:
             return
+        if self._tick_event is None and self.cc.is_rate_based:
+            self._resume_tick()
         self.acks_received += 1
         now = self.sim.now
         ack = packet.ack
@@ -334,8 +399,14 @@ class TcpSender:
 
         recovery_exited = False
         if newly_acked:
-            for seq in range(self.snd_una, ack):
-                self._on_seq_acked(seq)
+            if not self._sacked and not self._rtx_state:
+                # Loss-free fast path: every acked segment is a plain
+                # in-flight transmission.
+                pipe = self._pipe - newly_acked
+                self._pipe = pipe if pipe > 0 else 0
+            else:
+                for seq in range(self.snd_una, ack):
+                    self._on_seq_acked(seq)
             self.snd_una = ack
             self._sacked.remove_below(ack)
             self._loss_ptr = max(self._loss_ptr, ack)
@@ -397,7 +468,8 @@ class TcpSender:
         if self.total_segments is not None and self.snd_una >= self.total_segments:
             self._finish()
             return
-        self._fill_window()
+        if self._window_based:
+            self._fill_window()
 
     def _process_sacks(self, packet: Packet, cumulative_ack: int) -> int:
         """Fold SACK blocks into the scoreboard; returns newly SACKed count."""
@@ -470,14 +542,42 @@ class TcpSender:
     # RTO
     # ------------------------------------------------------------------
     def _arm_rto(self) -> None:
-        self._rto_event = self.sim.schedule(self.rto_estimator.rto, self._on_rto)
+        """Set the RTO deadline, scheduling a timer event only if needed.
+
+        The deadline moves on every cumulative ACK, but the heap entry is
+        reused lazily: an event that fires before the current deadline
+        just re-schedules itself (no flow state is touched), so steady
+        ACK processing allocates no timer events.
+        """
+        deadline = self.sim.now + self.rto_estimator.rto
+        self._rto_deadline = deadline
+        event = self._rto_event
+        if event is None:
+            self._rto_event = self.sim.schedule_at(deadline, self._rto_fire)
+        elif event[0] > deadline:
+            # The RTO shrank below the queued fire time; a late timer
+            # would miss the real timeout, so replace the entry.
+            event.cancel()
+            self._rto_event = self.sim.schedule_at(deadline, self._rto_fire)
 
     def _rearm_rto(self) -> None:
-        if self._rto_event is not None:
-            self._rto_event.cancel()
-            self._rto_event = None
         if self.snd_una < self.next_seq:
             self._arm_rto()
+        elif self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _rto_fire(self) -> None:
+        self._rto_event = None
+        if self.complete:
+            return
+        if self.sim.now < self._rto_deadline:
+            # Stale wakeup: the deadline moved while this entry was queued.
+            self._rto_event = self.sim.schedule_at(
+                self._rto_deadline, self._rto_fire
+            )
+            return
+        self._on_rto()
 
     def _on_rto(self) -> None:
         """Retransmission timeout: collapse and return to Slow Start."""
@@ -485,6 +585,8 @@ class TcpSender:
         if self.complete or self.snd_una >= self.next_seq:
             return
         self.rto_count += 1
+        if self._tick_event is None and self.cc.is_rate_based:
+            self._resume_tick()
         self.rto_estimator.on_timeout()
         for seq in range(self.snd_una, self.next_seq):
             if seq in self._sacked:

@@ -165,7 +165,13 @@ def generate_cellular_trace(spec: TraceSpec) -> Trace:
         rates *= mean_t / cur_mean
 
     times = _rates_to_opportunities(rates, spec.step)
-    return Trace(times, spec.duration, name=spec.name)
+    trace = Trace(times, spec.duration, name=spec.name)
+    # Remember the recipe: a seeded spec is a complete, compact stand-in
+    # for the trace itself, which lets the parallel execution layer ship
+    # a few dataclass fields to workers instead of the opportunity array
+    # (see repro.traces.cache).
+    trace.source_spec = spec
+    return trace
 
 
 def _rates_to_opportunities(rates: np.ndarray, step: float) -> np.ndarray:

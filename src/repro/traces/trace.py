@@ -81,6 +81,11 @@ class Trace:
         self.opportunity_times = times
         self.duration = float(duration)
         self.name = name
+        #: Generation recipe, when this trace came from a seeded
+        #: :class:`~repro.traces.generator.TraceSpec` (set by the
+        #: generator).  Lets :mod:`repro.traces.cache` reference the
+        #: trace by its compact spec instead of its opportunity array.
+        self.source_spec = None
 
     # ------------------------------------------------------------------
     # Statistics

@@ -1,0 +1,251 @@
+"""The process-pool execution layer and the trace cache.
+
+The layer's contract has three legs:
+
+* determinism — a batch returns bit-identical ``FlowResult`` numbers at
+  every job count, because workers run the same ``execute()`` code
+  against traces materialized by the same content-keyed cache;
+* ordering — outcomes come back in submission order regardless of how
+  the pool scheduled the chunks;
+* containment — one spec raising (or a worker dying) fails that spec's
+  outcome, not the batch.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.experiments.algorithms import run_shootout
+from repro.experiments.frontier import sweep_frontier
+from repro.experiments.parallel import (
+    CcSpec,
+    RunSpec,
+    collect,
+    detach_results,
+    proprate_spec,
+    resolve_n_jobs,
+    run_batch,
+)
+from repro.experiments.runner import FlowResult, run_single_flow
+from repro.traces import cache as trace_cache
+from repro.traces.cache import DataTraceRef, SpecTraceRef, as_ref
+from repro.traces.generator import TraceSpec, generate_cellular_trace
+from repro.traces.presets import isp_trace
+from repro.traces.trace import Trace
+
+DURATION = 6.0
+WARMUP = 1.0
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    trace_cache.clear_cache()
+    yield
+    trace_cache.clear_cache()
+
+
+def _down():
+    return isp_trace("A", "stationary", duration=20.0)
+
+
+def _up():
+    return isp_trace("A", "stationary", duration=20.0, direction="uplink")
+
+
+def _flow_key(result: FlowResult):
+    return (
+        result.throughput,
+        result.delay.mean,
+        result.delay.p95,
+        result.delivered_bytes,
+        result.bottleneck_drops,
+        result.retransmissions,
+        result.rto_count,
+    )
+
+
+# ----------------------------------------------------------------------
+# Trace references and the per-process cache
+# ----------------------------------------------------------------------
+class TestTraceCache:
+    def test_generated_trace_becomes_spec_ref(self):
+        trace = _down()
+        ref = as_ref(trace)
+        assert isinstance(ref, SpecTraceRef)
+        # The compact form ships the generator spec, not the samples.
+        assert len(pickle.dumps(ref)) < 1000
+
+    def test_spec_ref_regenerates_identical_trace(self):
+        spec = TraceSpec(
+            name="t", mean_throughput=800e3, std_throughput=300e3,
+            duration=10.0, seed=7,
+        )
+        ref = as_ref(spec)
+        original = generate_cellular_trace(spec)
+        rebuilt = trace_cache.get(ref)
+        np.testing.assert_array_equal(
+            rebuilt.opportunity_times, original.opportunity_times
+        )
+
+    def test_raw_trace_becomes_data_ref(self):
+        times = np.sort(np.random.default_rng(3).uniform(0.0, 5.0, 200))
+        trace = Trace(times, duration=5.0, name="raw")
+        ref = as_ref(trace)
+        assert isinstance(ref, DataTraceRef)
+        rebuilt = trace_cache.get(ref)
+        np.testing.assert_array_equal(rebuilt.opportunity_times, times)
+
+    def test_cache_materializes_each_key_once(self):
+        ref = as_ref(_down())
+        first = trace_cache.get(ref)
+        second = trace_cache.get(ref)
+        assert first is second
+        assert trace_cache.cache_len() == 1
+
+    def test_equal_content_same_key(self):
+        assert as_ref(_down()).key == as_ref(_down()).key
+        assert as_ref(_down()).key != as_ref(_up()).key
+
+
+# ----------------------------------------------------------------------
+# Serial/parallel equivalence
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    def test_frontier_identical_across_job_counts(self):
+        down, up = _down(), _up()
+        kwargs = dict(
+            targets=[0.020, 0.040, 0.080],
+            duration=DURATION,
+            measure_start=WARMUP,
+        )
+        serial = sweep_frontier(down, up, n_jobs=1, **kwargs)
+        parallel = sweep_frontier(down, up, n_jobs=2, **kwargs)
+        assert [
+            (p.target_tbuff, p.throughput_kbps, p.mean_delay_ms, p.p95_delay_ms)
+            for p in serial
+        ] == [
+            (p.target_tbuff, p.throughput_kbps, p.mean_delay_ms, p.p95_delay_ms)
+            for p in parallel
+        ]
+
+    def test_shootout_identical_across_job_counts(self):
+        down = _down()
+        names = ["PR(M)", "CUBIC", "BBR"]
+        kwargs = dict(names=names, duration=DURATION, measure_start=WARMUP)
+        serial = run_shootout(down, n_jobs=1, **kwargs)
+        parallel = run_shootout(down, n_jobs=2, **kwargs)
+        assert list(serial) == names == list(parallel)
+        for name in names:
+            assert _flow_key(serial[name]) == _flow_key(parallel[name]), name
+
+    def test_batch_matches_direct_run_single_flow(self):
+        down = _down()
+        spec = RunSpec(
+            cc=proprate_spec(0.040),
+            downlink=down,
+            duration=DURATION,
+            measure_start=WARMUP,
+        )
+        (batched,) = collect(run_batch([spec], n_jobs=1))
+        direct = run_single_flow(
+            spec.cc.build, down,
+            duration=DURATION, measure_start=WARMUP, name="PropRate",
+        )
+        assert _flow_key(batched) == _flow_key(direct)
+
+
+# ----------------------------------------------------------------------
+# Ordering, failure containment, detachment
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _BoomSpec:
+    """A spec that always fails inside the worker."""
+
+    message: str = "kaboom"
+
+    def execute(self):
+        raise ValueError(self.message)
+
+
+class TestRunBatch:
+    def _specs(self, n=5):
+        down = _down()
+        return [
+            RunSpec(
+                cc=proprate_spec(0.020 + 0.010 * i),
+                downlink=down,
+                duration=3.0,
+                measure_start=1.0,
+                name=f"run-{i}",
+            )
+            for i in range(n)
+        ]
+
+    def test_outcomes_in_submission_order(self):
+        outcomes = run_batch(self._specs(), n_jobs=2, chunksize=1)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert [o.result.name for o in outcomes] == [f"run-{i}" for i in range(5)]
+
+    def test_spec_failure_does_not_lose_the_batch(self):
+        specs = self._specs(3)
+        specs.insert(1, _BoomSpec())
+        outcomes = run_batch(specs, n_jobs=2, chunksize=1)
+        assert [o.ok for o in outcomes] == [True, False, True, True]
+        assert "kaboom" in outcomes[1].error
+        assert outcomes[1].result is None
+        assert all(o.result is not None for o in outcomes if o.ok)
+
+    def test_collect_raises_listing_failures(self):
+        outcomes = run_batch([_BoomSpec(), _BoomSpec("pow")], n_jobs=1)
+        with pytest.raises(RuntimeError, match=r"2/2 runs failed"):
+            collect(outcomes)
+
+    def test_results_cross_the_boundary_detached(self):
+        outcomes = run_batch(self._specs(2), n_jobs=2, chunksize=1)
+        for outcome in outcomes:
+            assert outcome.result.collector is None
+            assert outcome.result.sender is None
+
+    def test_serial_results_also_detached(self):
+        (outcome,) = run_batch(self._specs(1), n_jobs=1)
+        assert outcome.result.collector is None
+        assert outcome.result.sender is None
+
+    def test_empty_batch(self):
+        assert run_batch([], n_jobs=4) == []
+
+    def test_detach_results_recurses(self):
+        down = _down()
+        result = run_single_flow(
+            proprate_spec(0.040).build, down, duration=3.0, measure_start=1.0
+        )
+        assert result.sender is not None
+        nested = {"a": (result, [result]), "b": 3}
+        detached = detach_results(nested)
+        assert detached["a"][0].sender is None
+        assert detached["a"][1][0].collector is None
+        assert detached["b"] == 3
+        # The original is untouched; detaching is copy-on-write.
+        assert result.sender is not None
+
+    def test_resolve_n_jobs(self, monkeypatch):
+        monkeypatch.setattr("repro.experiments.parallel.os.cpu_count", lambda: 8)
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(None) == 8
+        assert resolve_n_jobs(0) == 8
+        assert resolve_n_jobs(-1) == 8
+        assert resolve_n_jobs(-2) == 7
+
+    def test_cc_spec_rejects_unknown_algorithm(self):
+        with pytest.raises(ValueError, match="unknown congestion control"):
+            CcSpec("NotAnAlgorithm").build()
+
+    def test_traces_deduplicated_into_table(self):
+        # Five specs sharing one downlink trace must cache one entry.
+        run_batch(self._specs(5), n_jobs=1)
+        assert trace_cache.cache_len() == 1
