@@ -70,6 +70,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
     result = run_single_flow(
         factory, downlink, uplink,
         duration=args.duration, measure_start=args.warmup,
+        audit=True if args.audit else None,
     )
     print(
         f"{args.algorithm} on {args.trace}: "
@@ -86,6 +87,7 @@ def _cmd_shootout(args: argparse.Namespace) -> None:
         downlink, uplink,
         duration=args.duration, measure_start=args.warmup,
         n_jobs=args.jobs,
+        audit=True if args.audit else None,
     )
     print(f"{'Algorithm':10s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
     for name, result in results.items():
@@ -102,6 +104,7 @@ def _cmd_frontier(args: argparse.Namespace) -> None:
         downlink, uplink, targets=targets,
         duration=args.duration, measure_start=args.warmup,
         n_jobs=args.jobs,
+        audit=True if args.audit else None,
     )
     print(f"{'target ms':>9s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
     for p in points:
@@ -141,6 +144,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--trace", choices=TRACE_CHOICES, default="A-stationary")
         p.add_argument("--duration", type=float, default=30.0)
         p.add_argument("--warmup", type=float, default=4.0)
+        p.add_argument(
+            "--audit", action="store_true",
+            help="run the repro.debug invariant auditor alongside the "
+            "simulation (results are unchanged; violations abort with a "
+            "JSON flight-recorder trace)",
+        )
 
     p_run = sub.add_parser("run", help="run one flow")
     _common(p_run)

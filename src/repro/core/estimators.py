@@ -75,13 +75,27 @@ class ReceiveRateEstimator:
 
     def on_ack(self, receiver_ts: float, delivered_bytes: int) -> None:
         """Fold one ACK into the estimator."""
-        if self._samples and receiver_ts < self._samples[-1][0]:
-            return  # receiver clock should be monotone; ignore stragglers
-        if self._samples and receiver_ts == self._samples[-1][0]:
-            # Same receiver tick: keep the latest cumulative count.
-            self._samples[-1] = (receiver_ts, max(self._samples[-1][1], delivered_bytes))
-        else:
-            self._samples.append((receiver_ts, delivered_bytes))
+        if self._samples:
+            last_ts = self._samples[-1][0]
+            if receiver_ts < last_ts:
+                return  # receiver clock should be monotone; ignore stragglers
+            if receiver_ts == last_ts:
+                # Same receiver tick: keep the latest cumulative count.
+                self._samples[-1] = (
+                    receiver_ts,
+                    max(self._samples[-1][1], delivered_bytes),
+                )
+                self._trim(receiver_ts)
+                self._update_rate()
+                return
+            if receiver_ts - last_ts > self.max_span:
+                # The whole window predates the cap: a rate formed
+                # across the gap would average over the idle period.
+                # Expire it and rebuild from fresh timestamps; the EWMA
+                # (if primed) carries the estimate across the gap.
+                self._samples.clear()
+                self.instantaneous_rate = None
+        self._samples.append((receiver_ts, delivered_bytes))
         self._trim(receiver_ts)
         self._update_rate()
 
@@ -154,6 +168,7 @@ class BufferDelayEstimator:
         self._min_filter = SlidingWindowMin(window)
         self._smooth = Ewma(self.SMOOTH_ALPHA)
         self.last_rd: Optional[float] = None
+        self.last_time: Optional[float] = None
         self.tbuff: Optional[float] = None
         self.samples = 0
 
@@ -165,6 +180,7 @@ class BufferDelayEstimator:
         """Fold one RD sample; returns the updated t_buff estimate."""
         self.samples += 1
         self.last_rd = relative_one_way_delay
+        self.last_time = now
         rd_min = self._min_filter.update(now, relative_one_way_delay)
         self.tbuff = max(0.0, relative_one_way_delay - rd_min)
         self._smooth.update(self.tbuff)
@@ -179,14 +195,17 @@ class BufferDelayEstimator:
         self._min_filter.reset()
         self._smooth.reset()
         if self.last_rd is not None:
-            # Seed with the latest observation so the next t_buff is 0
-            # relative to the new baseline until better data arrives.
+            # Seed with the latest observation so rd_min is defined
+            # immediately and the current t_buff reads 0 relative to
+            # the new baseline until better (lower-RD) data arrives.
+            self._min_filter.update(self.last_time, self.last_rd)
             self.tbuff = 0.0
 
     def reset(self) -> None:
         self._min_filter.reset()
         self._smooth.reset()
         self.last_rd = None
+        self.last_time = None
         self.tbuff = None
         self.samples = 0
 
@@ -232,3 +251,7 @@ class MaxFilterRateEstimator(ReceiveRateEstimator):
         super().reset(keep_rate=keep_rate)
         if not keep_rate:
             self._max_filter.reset()
+            # The timestamp must fall with the filter: a stale _last_ts
+            # would expire fresh post-reset samples against the previous
+            # measurement epoch's clock.
+            self._last_ts = None

@@ -94,24 +94,33 @@ class ThresholdFeedbackLoop:
 
         Returns the (possibly updated) threshold.  ``state_is_fill`` is
         accepted for telemetry/compatibility but does not gate the
-        update (see the module docstring).
+        update (see the module docstring).  ``now`` drives the
+        ``min_update_interval`` gate; without it the sample only feeds
+        ``t_actual`` and T is never moved.
         """
         t_actual = self._t_actual.update(max(0.0, t_sample))
         if not self.enabled:
             return self.threshold
-        if now is not None:
-            if now - self._last_update < self.min_update_interval:
-                return self.threshold
-            self._last_update = now
+        if now is None:
+            # Without a clock the interval gate cannot be evaluated;
+            # fail closed (track t_actual, leave T alone) rather than
+            # slewing the threshold at an unbounded cadence.
+            return self.threshold
+        if now - self._last_update < self.min_update_interval:
+            return self.threshold
 
         error = t_actual - self.target
         step = math.log1p(abs(error) * _MS) / _MS  # seconds
         if error > 0:
             self.threshold -= step
-            self.updates += 1
         elif error < 0:
             self.threshold += step
-            self.updates += 1
+        else:
+            # A perfectly on-target sample is a no-op; it must not
+            # consume the min_update_interval budget.
+            return self.threshold
+        self.updates += 1
+        self._last_update = now
         self.threshold = max(self.min_threshold, min(self.max_threshold, self.threshold))
         return self.threshold
 

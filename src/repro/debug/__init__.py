@@ -1,0 +1,36 @@
+"""Runtime correctness instrumentation (invariant auditor + recorder).
+
+Enable per call with ``audit=True`` on the experiment entry points, per
+process with ``REPRO_AUDIT=1`` (the benchmarks and workers inherit it),
+or from the CLI with ``--audit``.  See DESIGN.md, "The audit layer".
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.debug.auditor import InvariantAuditor, InvariantViolation
+from repro.debug.recorder import FlightRecorder
+
+__all__ = [
+    "AUDIT_ENV",
+    "FlightRecorder",
+    "InvariantAuditor",
+    "InvariantViolation",
+    "audit_enabled",
+]
+
+#: Environment switch: any value but ""/"0"/"false" enables auditing in
+#: every run whose ``audit`` argument is left at None.
+AUDIT_ENV = "REPRO_AUDIT"
+
+
+def audit_enabled(audit=None) -> bool:
+    """Resolve an ``audit`` knob: explicit wins, else the environment."""
+    if audit is not None:
+        return bool(audit)
+    return os.environ.get(AUDIT_ENV, "").strip().lower() not in (
+        "",
+        "0",
+        "false",
+    )

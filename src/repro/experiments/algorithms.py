@@ -74,12 +74,15 @@ def run_shootout(
     duration: float = 40.0,
     measure_start: float = 5.0,
     n_jobs: int = 1,
+    audit: Optional[bool] = None,
 ):
     """Run the Figure-7 line-up over one trace; name → :class:`FlowResult`.
 
     Each algorithm is an independent simulation, so ``n_jobs`` fans the
     line-up out over worker processes; results are identical to the
-    serial run and returned in line-up order.
+    serial run and returned in line-up order.  ``audit`` enables the
+    :mod:`repro.debug` invariant auditor per run (None defers to the
+    REPRO_AUDIT environment switch, inherited by workers).
     """
     # Imported here: the parallel layer resolves CcSpecs through
     # paper_algorithms(), so the import must not be circular.
@@ -94,6 +97,7 @@ def run_shootout(
             duration=duration,
             measure_start=measure_start,
             name=name,
+            audit=audit,
         )
         for name in lineup
     ]

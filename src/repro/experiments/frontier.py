@@ -58,12 +58,14 @@ def sweep_frontier(
     measure_start: float = 4.0,
     enable_feedback: bool = True,
     n_jobs: int = 1,
+    audit: Optional[bool] = None,
 ) -> List[FrontierPoint]:
     """Run PropRate across a grid of t̄_buff targets (Figure 10).
 
     ``n_jobs`` fans the grid out over worker processes (the points are
     independent simulations); results are identical to the serial run
-    and returned in target order.
+    and returned in target order.  ``audit`` enables the invariant
+    auditor per point (None defers to REPRO_AUDIT).
     """
     grid = list(targets) if targets is not None else paper_frontier_targets()
     specs = [
@@ -74,6 +76,7 @@ def sweep_frontier(
             duration=duration,
             measure_start=measure_start,
             name=f"PR({target * 1000:.0f}ms)",
+            audit=audit,
         )
         for target in grid
     ]
@@ -105,6 +108,7 @@ def nfl_convergence(
     measure_start: float = 4.0,
     propagation_delay: float = 0.020,
     n_jobs: int = 1,
+    audit: Optional[bool] = None,
 ) -> List[ConvergencePoint]:
     """Figure 9: achieved vs target buffer delay, with and without NFL.
 
@@ -126,6 +130,7 @@ def nfl_convergence(
             uplink=uplink_trace,
             duration=duration,
             measure_start=measure_start,
+            audit=audit,
         )
         for with_nfl, target in grid
     ]

@@ -123,6 +123,9 @@ class RunSpec:
     buffer_packets: int = DEFAULT_BUFFER_PACKETS
     prop_delay: float = DEFAULT_PROP_DELAY
     aqm: str = "droptail"
+    #: Invariant auditing (:mod:`repro.debug`): None defers to the
+    #: REPRO_AUDIT environment switch, which worker processes inherit.
+    audit: Optional[bool] = None
 
     def execute(self) -> FlowResult:
         down = resolve_trace(self.downlink)
@@ -137,6 +140,7 @@ class RunSpec:
             buffer_packets=self.buffer_packets,
             prop_delay=self.prop_delay,
             aqm=self.aqm,
+            audit=self.audit,
         )
         return result.detached()
 

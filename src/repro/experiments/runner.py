@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
+from repro.debug import InvariantViolation, audit_enabled
 from repro.metrics.collector import DeliveryCollector
 from repro.tcp.application import Application
 from repro.metrics.stats import DelaySummary, delay_summary
@@ -161,17 +162,32 @@ def run_experiment(
     measure_start: float = 5.0,
     measure_end: Optional[float] = None,
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
+    audit: Optional[bool] = None,
 ) -> List[FlowResult]:
     """Run ``flows`` over one shared path and reduce the results.
 
     ``measure_start``/``measure_end`` bound the statistics window
     (defaults: 5 s warm-up, end of run); per-flow overrides win.
+
+    ``audit`` attaches the :mod:`repro.debug` invariant auditor (None
+    defers to the ``REPRO_AUDIT`` environment switch).  Auditing is
+    observation-only — results are bit-identical either way — and a
+    violation raises :class:`~repro.debug.InvariantViolation` after
+    dumping a flight-recorder trace.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
     sim = Simulator()
     path = DuplexPath(sim, path_config)
     harnessed = []
+
+    auditor = None
+    forward_audit = reverse_audit = None
+    if audit_enabled(audit):
+        from repro.debug import InvariantAuditor
+
+        auditor = InvariantAuditor(sim)
+        forward_audit, reverse_audit = auditor.attach_path(path)
 
     for flow_id, spec in enumerate(flows):
         name = spec.name or f"flow{flow_id}"
@@ -202,9 +218,26 @@ def run_experiment(
         else:
             path.attach_flow(flow_id, sender.on_ack_packet, receiver.receive)
         sim.schedule_at(spec.start, sender.start)
+        if auditor is not None:
+            auditor.attach_flow(
+                sender,
+                receiver,
+                data_link=(
+                    forward_audit if spec.direction == "down" else reverse_audit
+                ),
+            )
         harnessed.append((spec, name, collector, sender))
 
-    sim.run(until=duration)
+    try:
+        sim.run(until=duration)
+        if auditor is not None:
+            auditor.final_check()
+    except InvariantViolation:
+        raise
+    except Exception as exc:
+        if auditor is not None:
+            auditor.record_exception(exc)
+        raise
 
     results: List[FlowResult] = []
     for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
@@ -259,6 +292,7 @@ def run_single_flow(
     prop_delay: float = DEFAULT_PROP_DELAY,
     aqm: str = "droptail",
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
+    audit: Optional[bool] = None,
 ) -> FlowResult:
     """Convenience wrapper: one downlink flow over a cellular path."""
     config = cellular_path_config(
@@ -274,5 +308,6 @@ def run_single_flow(
         duration=duration,
         measure_start=measure_start,
         ts_granularity=ts_granularity,
+        audit=audit,
     )
     return results[0]

@@ -44,6 +44,7 @@ def self_contention(
     downlink_trace: Trace,
     uplink_trace: Optional[Trace] = None,
     name: str = "",
+    audit: Optional[bool] = None,
 ) -> Tuple[FlowResult, FlowResult]:
     """Two flows of the same algorithm share the path (Figure 12(a)).
 
@@ -72,6 +73,7 @@ def self_contention(
         cellular_path_config(downlink_trace, uplink_trace),
         flows,
         duration=end,
+        audit=audit,
     )
     return results[0], results[1]
 
@@ -82,6 +84,7 @@ def contention_vs_cubic(
     uplink_trace: Optional[Trace] = None,
     cubic_first: bool = True,
     name: str = "algo",
+    audit: Optional[bool] = None,
 ) -> Dict[str, FlowResult]:
     """One algorithm against CUBIC cross traffic (Figure 12(b)).
 
@@ -112,6 +115,7 @@ def contention_vs_cubic(
         cellular_path_config(downlink_trace, uplink_trace),
         ordered,
         duration=end,
+        audit=audit,
     )
     return {r.name: r for r in results}
 
@@ -123,6 +127,7 @@ def uplink_congestion(
     duration: float = 40.0,
     measure_start: float = 5.0,
     name: str = "down",
+    audit: Optional[bool] = None,
 ) -> Dict[str, FlowResult]:
     """Figure 14: a download races a CUBIC upload saturating the uplink.
 
@@ -140,6 +145,7 @@ def uplink_congestion(
         flows,
         duration=duration,
         measure_start=measure_start,
+        audit=audit,
     )
     return {r.name: r for r in results}
 
@@ -150,6 +156,7 @@ def wired_path(
     duration: float = 30.0,
     measure_start: float = 3.0,
     name: str = "",
+    audit: Optional[bool] = None,
 ) -> FlowResult:
     """Figure 13: a single flow over an inter-continental wired path.
 
@@ -165,6 +172,7 @@ def wired_path(
         [FlowSpec(cc_factory=cc_factory, name=name or region)],
         duration=duration,
         measure_start=measure_start,
+        audit=audit,
     )
     return results[0]
 
@@ -177,6 +185,7 @@ def shallow_buffer(
     duration: float = 30.0,
     measure_start: float = 3.0,
     name: str = "",
+    audit: Optional[bool] = None,
 ) -> FlowResult:
     """§6 discussion: shallow bottleneck buffers and CoDel AQM."""
     config = cellular_path_config(
@@ -187,6 +196,7 @@ def shallow_buffer(
         [FlowSpec(cc_factory=cc_factory, name=name or "flow")],
         duration=duration,
         measure_start=measure_start,
+        audit=audit,
     )
     return results[0]
 
@@ -199,6 +209,7 @@ def baseline_shift(
     duration: float = 30.0,
     measure_start: float = 4.0,
     name: str = "",
+    audit: Optional[bool] = None,
 ) -> FlowResult:
     """§4.1: shift the underlying one-way delay mid-flow (handover).
 
@@ -207,6 +218,7 @@ def baseline_shift(
     estimate read too high until the old RD minimum ages out of the
     estimator's window; a negative one self-heals immediately.
     """
+    from repro.debug import InvariantViolation, audit_enabled
     from repro.sim.engine import Simulator
     from repro.sim.network import DuplexPath
     from repro.metrics.collector import DeliveryCollector
@@ -217,19 +229,39 @@ def baseline_shift(
     sim = Simulator()
     config = cellular_path_config(downlink_trace)
     path = DuplexPath(sim, config)
+
+    auditor = None
+    forward_audit = None
+    if audit_enabled(audit):
+        from repro.debug import InvariantAuditor
+
+        auditor = InvariantAuditor(sim)
+        forward_audit, _ = auditor.attach_path(path)
+
     collector = DeliveryCollector()
     receiver = TcpReceiver(
         sim, 0, send_ack=path.send_reverse, on_data=collector.on_data
     )
     sender = TcpSender(sim, 0, cc_factory(), send_packet=path.send_forward)
     path.attach_flow(0, receiver.receive, sender.on_ack_packet)
+    if auditor is not None:
+        auditor.attach_flow(sender, receiver, data_link=forward_audit)
     sender.start()
 
     def shift() -> None:
         path.forward_link.prop_delay += shift_delta
 
     sim.schedule_at(shift_at, shift)
-    sim.run(until=duration)
+    try:
+        sim.run(until=duration)
+        if auditor is not None:
+            auditor.final_check()
+    except InvariantViolation:
+        raise
+    except Exception as exc:
+        if auditor is not None:
+            auditor.record_exception(exc)
+        raise
 
     delays = collector.delays(measure_start, duration)
     window = max(1e-9, duration - measure_start)
@@ -286,6 +318,9 @@ class ScenarioSpec:
     downlink: Optional["RefOrKey"] = None
     uplink: Optional["RefOrKey"] = None
     options: Tuple[Tuple[str, object], ...] = ()
+    #: Invariant auditing (:mod:`repro.debug`): None defers to the
+    #: REPRO_AUDIT environment switch, which worker processes inherit.
+    audit: Optional[bool] = None
 
     def execute(self):
         from repro.experiments.parallel import detach_results, resolve_trace
@@ -296,7 +331,10 @@ class ScenarioSpec:
             args.append(resolve_trace(self.downlink))
             if self.uplink is not None:
                 args.append(resolve_trace(self.uplink))
-        outcome = driver(*args, **dict(self.options))
+        kwargs = dict(self.options)
+        if self.audit is not None:
+            kwargs["audit"] = self.audit
+        outcome = driver(*args, **kwargs)
         return detach_results(outcome)
 
 
@@ -306,13 +344,16 @@ def run_scenario_grid(
     downlink_trace: Optional[Trace] = None,
     uplink_trace: Optional[Trace] = None,
     n_jobs: int = 1,
+    audit: Optional[bool] = None,
     **options: object,
 ) -> Dict[str, object]:
     """Run one scenario for several algorithms, optionally in parallel.
 
     ``algorithms`` maps a label to the :class:`~repro.experiments.
     parallel.CcSpec` to run; the return maps each label to whatever the
-    scenario driver returns (detached of simulation handles).
+    scenario driver returns (detached of simulation handles).  ``audit``
+    enables invariant auditing per cell (None defers to REPRO_AUDIT,
+    which worker processes inherit).
     """
     from repro.experiments.parallel import collect, run_batch
 
@@ -328,6 +369,7 @@ def run_scenario_grid(
             downlink=downlink_trace,
             uplink=uplink_trace,
             options=tuple(sorted(options.items())),
+            audit=audit,
         )
         for label in labels
     ]

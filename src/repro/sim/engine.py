@@ -97,6 +97,22 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._compact_at = _COMPACT_MIN
+        #: Observer invoked after an event's callback ran
+        #: (:mod:`repro.debug`).  Must not mutate simulation state.
+        #: Attach before calling :meth:`run`; the loop reads it once.
+        #: Without :attr:`audit_ring` it fires on every event; with a
+        #: ring it fires every ``stride`` events (the ring captures the
+        #: per-event record inline, so the hook only needs to run its
+        #: periodic sweep).
+        self.audit_hook: Optional[Callable[[Event], None]] = None
+        #: Optional inline event-trace ring:
+        #: ``(times, details, count_cell, mask, countdown_cell, stride)``.
+        #: After each callback the loop stores ``(now, callback)`` into
+        #: slot ``count & mask`` and bumps ``count_cell[0]`` — plain
+        #: list-slot stores, no Python call on the per-event path.
+        #: ``countdown_cell[0]`` counts down from ``stride``; at zero it
+        #: is reset and :attr:`audit_hook` is invoked.
+        self.audit_ring: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -166,6 +182,10 @@ class Simulator:
         """
         self._running = True
         heap = self._heap
+        audit = self.audit_hook
+        ring = self.audit_ring
+        if ring is not None:
+            ring_t, ring_cb, ring_n, ring_mask, countdown, stride = ring
         try:
             while heap:
                 event = heap[0]
@@ -175,9 +195,27 @@ class Simulator:
                 callback = event[2]
                 if callback is None:
                     continue
-                self.now = event[0]
+                now = event[0]
+                self.now = now
                 self._events_processed += 1
                 callback()
+                # NOTE: record `now`/`callback` locals, not event[0]/
+                # event[2] — the callback may have rescheduled its own
+                # entry (reuse mutates the slots in place).
+                if ring is not None:
+                    n = ring_n[0]
+                    i = n & ring_mask
+                    ring_t[i] = now
+                    ring_cb[i] = callback
+                    ring_n[0] = n + 1
+                    c = countdown[0] - 1
+                    if c:
+                        countdown[0] = c
+                    else:
+                        countdown[0] = stride
+                        audit(event)
+                elif audit is not None:
+                    audit(event)
             if until is not None and until > self.now:
                 self.now = until
         finally:
@@ -191,9 +229,26 @@ class Simulator:
             callback = event[2]
             if callback is None:
                 continue
-            self.now = event[0]
+            now = event[0]
+            self.now = now
             self._events_processed += 1
             callback()
+            ring = self.audit_ring
+            if ring is not None:
+                ring_t, ring_cb, ring_n, ring_mask, countdown, stride = ring
+                n = ring_n[0]
+                i = n & ring_mask
+                ring_t[i] = now
+                ring_cb[i] = callback
+                ring_n[0] = n + 1
+                c = countdown[0] - 1
+                if c:
+                    countdown[0] = c
+                else:
+                    countdown[0] = stride
+                    self.audit_hook(event)
+            elif self.audit_hook is not None:
+                self.audit_hook(event)
             return True
         return False
 

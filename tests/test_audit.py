@@ -1,0 +1,312 @@
+"""Tests for the :mod:`repro.debug` invariant auditor and flight recorder.
+
+The positive direction — audited runs are clean and bit-identical to
+unaudited ones — and the negative direction: deliberately corrupted
+simulator state must trip the matching check and dump a parseable
+flight-recorder trace.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.core.proprate import PropRate
+from repro.debug import (
+    AUDIT_ENV,
+    FlightRecorder,
+    InvariantAuditor,
+    InvariantViolation,
+    audit_enabled,
+)
+from repro.debug.recorder import TRACE_DIR_ENV
+from repro.experiments.runner import cellular_path_config, run_single_flow
+from repro.sim.engine import Simulator
+from repro.sim.network import DuplexPath
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.sender import TcpSender
+from repro.traces.generator import constant_rate_trace
+
+DURATION = 6.0
+WARMUP = 1.0
+
+
+def _trace(rate: float = 750_000.0, duration: float = DURATION + 2.0):
+    return constant_rate_trace(rate, duration)
+
+
+# ----------------------------------------------------------------------
+# Flight recorder
+# ----------------------------------------------------------------------
+class TestFlightRecorder:
+    def test_ring_retains_last_n(self):
+        rec = FlightRecorder(capacity=4)
+        for i in range(10):
+            rec.record(float(i), "k", i)
+        assert len(rec) == 4
+        assert rec.recorded == 10
+        snap = rec.snapshot()
+        assert [e["detail"] for e in snap] == [6, 7, 8, 9]
+        assert [e["t"] for e in snap] == [6.0, 7.0, 8.0, 9.0]
+
+    def test_snapshot_renders_live_objects(self):
+        rec = FlightRecorder(capacity=4)
+
+        def some_callback():
+            pass  # pragma: no cover - never called
+
+        rec.record(1.0, "event", some_callback)
+        (entry,) = rec.snapshot()
+        assert "some_callback" in entry["detail"]
+
+    def test_engine_ring_merges_by_time(self):
+        rec = FlightRecorder(capacity=8)
+        # Engine entries arrive via the inline ring.
+        for i, t in enumerate([0.0, 1.0, 2.0]):
+            j = rec.ring_count[0] & (rec.ring_capacity - 1)
+            rec.ring_times[j] = t
+            rec.ring_details[j] = f"cb{i}"
+            rec.ring_count[0] += 1
+        rec.record(1.0, "sender", {"una": 3})
+        snap = rec.snapshot()
+        assert [e["kind"] for e in snap] == ["event", "event", "sender", "event"]
+        assert rec.recorded == 4
+
+    def test_dump_writes_parseable_json(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        rec = FlightRecorder(capacity=4)
+        rec.record(0.5, "k", "detail")
+        path = rec.dump(violations=[{"check": "x", "message": "boom"}])
+        assert path.startswith(str(tmp_path))
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["format"].startswith("repro.debug.flight-recorder")
+        assert payload["violations"][0]["check"] == "x"
+        assert payload["events"][0]["detail"] == "detail"
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+
+# ----------------------------------------------------------------------
+# The REPRO_AUDIT switch
+# ----------------------------------------------------------------------
+class TestAuditEnabled:
+    def test_explicit_flag_wins(self, monkeypatch):
+        monkeypatch.setenv(AUDIT_ENV, "1")
+        assert audit_enabled(False) is False
+        monkeypatch.delenv(AUDIT_ENV)
+        assert audit_enabled(True) is True
+
+    @pytest.mark.parametrize("value,expected", [
+        ("1", True), ("true", True), ("TRUE", True), ("yes", True),
+        ("0", False), ("", False), ("false", False), ("False", False),
+    ])
+    def test_env_values(self, monkeypatch, value, expected):
+        monkeypatch.setenv(AUDIT_ENV, value)
+        assert audit_enabled() is expected
+
+    def test_unset_env_is_off(self, monkeypatch):
+        monkeypatch.delenv(AUDIT_ENV, raising=False)
+        assert audit_enabled() is False
+        assert audit_enabled(None) is False
+
+
+# ----------------------------------------------------------------------
+# Clean audited runs
+# ----------------------------------------------------------------------
+class TestCleanRun:
+    def test_audited_run_is_clean_and_bit_identical(self):
+        kwargs = dict(duration=DURATION, measure_start=WARMUP)
+        plain = run_single_flow(
+            lambda: PropRate(target_buffer_delay=0.040), _trace(),
+            audit=False, **kwargs,
+        )
+        audited = run_single_flow(
+            lambda: PropRate(target_buffer_delay=0.040), _trace(),
+            audit=True, **kwargs,
+        )
+        assert audited.throughput == plain.throughput
+        assert audited.delivered_bytes == plain.delivered_bytes
+        assert audited.delay.mean == plain.delay.mean
+        assert audited.retransmissions == plain.retransmissions
+
+    def test_env_switch_attaches_auditor(self, monkeypatch):
+        attached = []
+        real = InvariantAuditor
+
+        class Spy(real):
+            def __init__(self, *args, **kw):
+                super().__init__(*args, **kw)
+                attached.append(self)
+
+        import repro.debug
+
+        monkeypatch.setattr(repro.debug, "InvariantAuditor", Spy)
+        monkeypatch.setenv(AUDIT_ENV, "1")
+        run_single_flow(
+            lambda: PropRate(target_buffer_delay=0.040), _trace(),
+            duration=2.0, measure_start=0.5,
+        )
+        (auditor,) = attached
+        assert auditor.sweeps > 0
+        assert auditor._events_seen > 0
+        assert auditor.violations == []
+
+
+# ----------------------------------------------------------------------
+# Injected corruption must trip the matching check
+# ----------------------------------------------------------------------
+def _wire(strict: bool = True):
+    """A manually wired single-flow simulation with the auditor attached."""
+    sim = Simulator()
+    path = DuplexPath(sim, cellular_path_config(_trace()))
+    auditor = InvariantAuditor(sim, strict=strict)
+    forward_audit, _ = auditor.attach_path(path)
+    receiver = TcpReceiver(sim, 0, send_ack=path.send_reverse)
+    sender = TcpSender(
+        sim, 0, PropRate(target_buffer_delay=0.040),
+        send_packet=path.send_forward,
+    )
+    path.attach_flow(0, receiver.receive, sender.on_ack_packet)
+    auditor.attach_flow(sender, receiver, data_link=forward_audit)
+    sender.start()
+    return sim, path, sender, auditor
+
+
+class TestInjectedViolations:
+    def test_conservation_leak_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, auditor = _wire()
+
+        def leak():
+            path.forward_link.queue.enqueued += 1
+
+        sim.schedule_at(2.0, leak)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "conservation"
+        # The dumped trace is parseable and carries context.
+        trace_path = exc_info.value.trace_path
+        assert trace_path is not None and os.path.exists(trace_path)
+        with open(trace_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["violations"][0]["check"] == "conservation"
+        assert len(payload["events"]) > 0
+        assert payload["context"]["events_seen"] > 0
+
+    def test_stalled_rto_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, auditor = _wire()
+
+        def stall():
+            assert sender.snd_una < sender.next_seq  # data genuinely unACKed
+            sender._rto_event.cancel()
+            auditor.sweep(full=True)
+
+        sim.schedule_at(2.0, stall)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "timer-liveness"
+
+    def test_parked_pacing_tick_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, auditor = _wire()
+
+        def park():
+            assert sender.cc.pacing_rate > 0.0
+            sender._tick_event.cancel()
+            auditor.sweep(full=True)
+
+        sim.schedule_at(2.0, park)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "timer-liveness"
+        assert "tick" in exc_info.value.detail
+
+    def test_snd_una_regression_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, auditor = _wire()
+
+        def regress():
+            assert sender.snd_una > 0
+            auditor.sweep(full=True)  # sync the auditor's last-seen una
+            sender.snd_una -= 1
+            auditor.sweep(full=True)
+
+        sim.schedule_at(2.0, regress)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "ack-monotone"
+
+    def test_non_strict_accumulates_without_raising(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, auditor = _wire(strict=False)
+        sim.schedule_at(2.0, lambda: setattr(
+            path.forward_link.queue, "enqueued",
+            path.forward_link.queue.enqueued + 1,
+        ))
+        sim.run(until=2.5)
+        auditor.final_check()
+        assert auditor.violations
+        assert all(v["check"] == "conservation" for v in auditor.violations)
+        # All dumps go to one file, rewritten in place.
+        assert auditor.trace_path is not None
+        with open(auditor.trace_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert payload["violations"] == auditor.violations
+
+    def test_record_exception_dumps_trace(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, auditor = _wire()
+
+        def boom():
+            raise RuntimeError("engine callback exploded")
+
+        sim.schedule_at(2.0, boom)
+        with pytest.raises(RuntimeError):
+            sim.run(until=4.0)
+        trace_path = auditor.record_exception(RuntimeError("engine callback exploded"))
+        with open(trace_path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        assert "engine callback exploded" in payload["context"]["exception"]
+
+
+# ----------------------------------------------------------------------
+# Batch / parallel plumbing
+# ----------------------------------------------------------------------
+class TestBatchPlumbing:
+    def test_shootout_audited_serial_and_parallel(self):
+        from repro.experiments.algorithms import run_shootout
+
+        kwargs = dict(
+            names=["PR(M)", "CUBIC"], duration=3.0, measure_start=0.5,
+        )
+        serial = run_shootout(_trace(), n_jobs=1, audit=True, **kwargs)
+        parallel = run_shootout(_trace(), n_jobs=2, audit=True, **kwargs)
+        for name in kwargs["names"]:
+            assert serial[name].throughput == parallel[name].throughput
+
+    def test_scenario_grid_audited(self):
+        from repro.experiments.parallel import CcSpec
+        from repro.experiments.scenarios import run_scenario_grid
+
+        results = run_scenario_grid(
+            "wired_path",
+            {"cubic": CcSpec("CUBIC")},
+            n_jobs=1,
+            audit=True,
+            duration=3.0,
+            measure_start=0.5,
+        )
+        assert results["cubic"].throughput > 0
+
+    def test_frontier_audited(self):
+        from repro.experiments.frontier import sweep_frontier
+
+        points = sweep_frontier(
+            _trace(), targets=[0.040], duration=3.0, measure_start=0.5,
+            audit=True,
+        )
+        assert points[0].throughput_kbps > 0

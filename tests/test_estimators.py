@@ -3,7 +3,11 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.estimators import BufferDelayEstimator, ReceiveRateEstimator
+from repro.core.estimators import (
+    BufferDelayEstimator,
+    MaxFilterRateEstimator,
+    ReceiveRateEstimator,
+)
 
 
 class TestReceiveRateEstimator:
@@ -63,6 +67,28 @@ class TestReceiveRateEstimator:
             est.on_ack(i * 0.1, i * 1500)
         first_ts = est._samples[0][0]
         assert first_ts >= 9.9 - 0.5 - 1e-9
+
+    def test_idle_gap_expires_whole_window(self):
+        est = ReceiveRateEstimator()  # max_span=0.5
+        est.on_ack(0.0, 0)
+        est.on_ack(0.1, 50_000)
+        assert est.instantaneous_rate == pytest.approx(500_000.0)
+        # A 3 s idle gap: a rate formed across it would average over the
+        # silence (10 kB/s here) instead of the true burst rate.
+        est.on_ack(3.1, 80_000)
+        assert est.instantaneous_rate is None
+        assert est.distinct_timestamps == 1
+        assert est.rate == pytest.approx(500_000.0)  # EWMA carries over
+        # The next ACK pairs with the post-gap sample only.
+        est.on_ack(3.2, 130_000)
+        assert est.instantaneous_rate == pytest.approx(500_000.0)
+
+    def test_idle_gap_on_cold_estimator(self):
+        est = ReceiveRateEstimator()
+        est.on_ack(0.0, 0)
+        est.on_ack(3.0, 1500)  # gap > max_span before any rate formed
+        assert not est.has_estimate
+        assert est.distinct_timestamps == 1
 
     def test_constant_rate_estimated_exactly(self):
         est = ReceiveRateEstimator()
@@ -162,6 +188,23 @@ class TestBufferDelayEstimator:
         # After the rebase the next sample defines a fresh baseline.
         assert est.on_ack(0.2, 0.060) == 0.0
 
+    def test_rebase_seeds_baseline_from_last_sample(self):
+        est = BufferDelayEstimator()
+        est.on_ack(0.0, 0.020)
+        est.on_ack(0.1, 0.060)
+        est.rebase()
+        # The latest RD becomes the new baseline immediately — t_buff
+        # must read 0 now, not stay undefined until the next ACK.
+        assert est.rd_min == pytest.approx(0.060)
+        assert est.tbuff == 0.0
+        assert est.on_ack(0.2, 0.070) == pytest.approx(0.010)
+
+    def test_rebase_before_any_sample_is_noop(self):
+        est = BufferDelayEstimator()
+        est.rebase()
+        assert est.rd_min is None
+        assert est.tbuff is None
+
     def test_reset_clears_everything(self):
         est = BufferDelayEstimator()
         est.on_ack(0.0, 0.020)
@@ -175,3 +218,34 @@ class TestBufferDelayEstimator:
         est = BufferDelayEstimator()
         est.on_ack(0.0, 0.020)
         assert est.on_ack(0.1, 0.015) >= 0.0
+
+
+class TestMaxFilterRateEstimator:
+    def test_windowed_max_of_instantaneous_rates(self):
+        est = MaxFilterRateEstimator(filter_window=2.0)
+        est.on_ack(0.0, 0)
+        est.on_ack(0.1, 50_000)  # 500 kB/s
+        est.on_ack(0.2, 80_000)  # window rate drops
+        assert est.rate == pytest.approx(500_000.0)
+
+    def test_reset_clears_filter_epoch(self):
+        est = MaxFilterRateEstimator(filter_window=2.0)
+        est.on_ack(10.0, 0)
+        est.on_ack(10.1, 50_000)
+        est.reset()
+        assert est.rate is None
+        assert est._last_ts is None
+        # A fresh measurement epoch with an earlier clock must rebuild
+        # cleanly — a stale _last_ts would expire the new samples
+        # against the previous epoch's timebase.
+        est.on_ack(0.0, 0)
+        est.on_ack(0.1, 30_000)
+        assert est.rate == pytest.approx(300_000.0)
+
+    def test_reset_keep_rate_preserves_filter(self):
+        est = MaxFilterRateEstimator(filter_window=2.0)
+        est.on_ack(0.0, 0)
+        est.on_ack(0.1, 50_000)
+        rate = est.rate
+        est.reset(keep_rate=True)
+        assert est.rate == rate

@@ -74,6 +74,27 @@ class TestThresholdAdjustment:
         loop.on_window_sample(0.100, now=1.5)
         assert loop.threshold < t1
 
+    def test_on_target_sample_does_not_consume_budget(self):
+        loop = ThresholdFeedbackLoop(target=0.040, min_update_interval=1.0)
+        # A perfectly on-target sample is a no-op...
+        loop.on_window_sample(0.040, now=0.0)
+        assert loop.threshold == 0.040
+        assert loop.updates == 0
+        # ...so the very next off-target sample may move T immediately
+        # rather than being rate-limited against a move that never
+        # happened.
+        loop.on_window_sample(0.100, now=0.5)
+        assert loop.threshold < 0.040
+        assert loop.updates == 1
+
+    def test_clockless_sample_never_moves_threshold(self):
+        loop = ThresholdFeedbackLoop(target=0.040)
+        for _ in range(50):
+            loop.on_window_sample(0.200)  # no `now`: gate can't run
+        assert loop.t_actual is not None  # still tracked for reporting
+        assert loop.threshold == 0.040
+        assert loop.updates == 0
+
     def test_updates_counter(self):
         loop = ThresholdFeedbackLoop(target=0.040, min_update_interval=0.0)
         loop.on_window_sample(0.100, now=0.0)
