@@ -11,7 +11,16 @@ Sprout/PCC/Verus are simplified models that omit the authors' heavy
 inference, and per-callback wall time in Python mostly tracks callback
 *frequency*.  The bench reports the measured numbers without asserting
 the paper's ordering.
+
+Reduced mode: setting ``REPRO_BENCH_REDUCED=1`` shrinks the transfer
+and trims the line-up to a representative cheap/expensive subset — this
+is the workload behind the CI perf-smoke gate
+(``scripts/perf_smoke.py``), which tracks the aggregate simulator
+events/second of the run against a checked-in baseline.
 """
+
+import os
+import time
 
 from repro.experiments.algorithms import paper_algorithms
 from repro.experiments.cpu import instrumented_factory
@@ -20,42 +29,77 @@ from repro.traces.presets import isp_trace
 
 from _report import emit
 
-DURATION = 15.0
+#: REPRO_BENCH_REDUCED=1 selects the CI smoke configuration.
+REDUCED = os.environ.get("REPRO_BENCH_REDUCED", "") not in ("", "0")
+
+DURATION = 5.0 if REDUCED else 15.0
 
 #: Table 4's cheap control loops vs expensive forecast/utility loops.
 CHEAP = ("PR(M)", "CUBIC", "BBR", "RRE", "NewReno", "Vegas", "Westwood", "LEDBAT")
 EXPENSIVE = ("Sprout", "PCC", "Verus")
 
+#: The reduced line-up keeps members of both cost classes.
+REDUCED_NAMES = ("PR(M)", "CUBIC", "BBR", "Sprout", "PCC", "Verus")
 
-def _measure():
+
+def workload_algorithms():
+    """Name → factory for the configured (full or reduced) line-up."""
+    algorithms = paper_algorithms()
+    if REDUCED:
+        return {n: algorithms[n] for n in REDUCED_NAMES}
+    return algorithms
+
+
+def run_workload(duration: float = DURATION):
+    """Run the Table-4 workload; (costs, total events, wall seconds).
+
+    ``costs`` maps algorithm → (control s per sim-s, calls, KB/s); the
+    event total and wall clock feed the perf-smoke events/sec gate.
+    """
     down = isp_trace("A", "stationary", duration=60.0)
     up = isp_trace("A", "stationary", duration=60.0, direction="uplink")
     costs = {}
-    for name, factory in paper_algorithms().items():
+    total_events = 0
+    wall_start = time.perf_counter()
+    for name, factory in workload_algorithms().items():
         result = run_single_flow(
             instrumented_factory(factory), down, up,
-            duration=DURATION, measure_start=2.0,
+            duration=duration, measure_start=2.0,
         )
         cc = result.sender.cc
+        total_events += result.sender.sim.events_processed
         costs[name] = (
-            cc.control_seconds / DURATION,
+            cc.control_seconds / duration,
             cc.control_calls,
             result.throughput_kbps,
         )
-    return costs
+    return costs, total_events, time.perf_counter() - wall_start
+
+
+def events_per_second(duration: float = DURATION) -> float:
+    """Aggregate simulator events/sec over the workload (smoke metric)."""
+    _, events, wall = run_workload(duration)
+    return events / wall
 
 
 def test_table4_control_overhead(benchmark):
-    costs = benchmark.pedantic(_measure, rounds=1, iterations=1)
-    lines = [f"{'Algorithm':10s} {'ctrl ms/sim-s':>14s} {'calls':>9s} {'tput KB/s':>10s}"]
+    costs, events, wall = benchmark.pedantic(
+        run_workload, rounds=1, iterations=1
+    )
+    mode = "reduced" if REDUCED else "full"
+    lines = [f"mode: {mode}   events/sec: {events / wall:,.0f}"]
+    lines.append(
+        f"{'Algorithm':10s} {'ctrl ms/sim-s':>14s} {'calls':>9s} {'tput KB/s':>10s}"
+    )
     for name, (per_s, calls, tput) in sorted(
         costs.items(), key=lambda kv: kv[1][0]
     ):
         lines.append(f"{name:10s} {per_s * 1000:14.3f} {calls:9d} {tput:10.1f}")
     emit("table4_cpu", lines)
 
-    cheap_max = max(costs[name][0] for name in CHEAP)
-    expensive_mean = sum(costs[name][0] for name in EXPENSIVE) / len(EXPENSIVE)
+    cheap_max = max(costs[name][0] for name in CHEAP if name in costs)
+    expensive = [costs[name][0] for name in EXPENSIVE if name in costs]
+    expensive_mean = sum(expensive) / len(expensive)
     # Expensive algorithms must cost meaningfully more control time than
     # the cheapest loops, normalised per delivered byte would be starker;
     # per-second is the conservative check.

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI determinism gate for the batch scheduler.
+
+The batch layer's core promise: ``run_batch(..., n_jobs=1)`` and
+``n_jobs=4`` produce bit-identical ``FlowResult`` summaries, whatever
+order the work-stealing queue completes specs in.  This script runs a
+small Figure-10 frontier grid both ways (plus the streaming
+``iter_frontier`` face) and fails loudly on the first diverging field.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_determinism.py
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.frontier import iter_frontier, sweep_frontier
+from repro.traces.presets import isp_trace
+
+TARGETS = [0.020, 0.040, 0.060, 0.080]
+DURATION = 6.0
+WARMUP = 1.0
+
+
+def main() -> int:
+    down = isp_trace("A", "mobile", duration=20.0)
+    up = isp_trace("A", "mobile", duration=20.0, direction="uplink")
+    kwargs = dict(
+        targets=TARGETS, duration=DURATION, measure_start=WARMUP
+    )
+
+    serial = sweep_frontier(down, up, n_jobs=1, **kwargs)
+    parallel = sweep_frontier(down, up, n_jobs=4, retries=1, **kwargs)
+    streamed = sorted(
+        iter_frontier(down, up, n_jobs=4, retries=1, **kwargs),
+        key=lambda p: p.target_tbuff,
+    )
+
+    failures = 0
+    for label, candidate in (("n_jobs=4", parallel), ("iter_frontier", streamed)):
+        for ref, got in zip(serial, candidate):
+            if ref.result.summary() != got.result.summary():
+                failures += 1
+                print(
+                    f"DIVERGENCE [{label}] target "
+                    f"{ref.target_tbuff * 1000:.0f}ms:\n"
+                    f"  serial:   {ref.result.summary()}\n"
+                    f"  parallel: {got.result.summary()}",
+                    file=sys.stderr,
+                )
+    if failures:
+        print(f"determinism gate FAILED: {failures} diverging points",
+              file=sys.stderr)
+        return 1
+    print(
+        f"determinism gate OK: {len(TARGETS)} frontier points bit-identical "
+        f"across n_jobs=1, n_jobs=4, and streaming collection"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

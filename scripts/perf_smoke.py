@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI perf-smoke gate: the Table-4 workload's simulator events/second.
+
+Runs ``benchmarks/bench_table4_cpu.py``'s workload in reduced mode
+(``REPRO_BENCH_REDUCED=1``) and compares the aggregate events/sec
+against the checked-in baseline, failing on a >30% regression.  The
+baseline is deliberately taken on a slow reference host so that noisy
+CI runners fail only on real regressions in the simulation hot path.
+
+Usage::
+
+    PYTHONPATH=src python scripts/perf_smoke.py --check     # CI gate
+    PYTHONPATH=src python scripts/perf_smoke.py --update    # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+BASELINE = REPO / "benchmarks" / "baselines" / "perf_smoke.json"
+
+#: Allowed slowdown relative to baseline before the gate fails.
+TOLERANCE = 0.30
+
+
+def measure() -> float:
+    # Reduced mode must be set before the bench module is imported —
+    # it freezes its configuration at import time.
+    os.environ.setdefault("REPRO_BENCH_REDUCED", "1")
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    import bench_table4_cpu
+
+    # One throwaway pass warms the trace cache and JIT-ish caches
+    # (interned bytecode, numpy buffers), then the measured pass.
+    bench_table4_cpu.events_per_second()
+    return bench_table4_cpu.events_per_second()
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    group = parser.add_mutually_exclusive_group(required=True)
+    group.add_argument("--check", action="store_true",
+                       help="fail if events/sec regressed >30%% vs baseline")
+    group.add_argument("--update", action="store_true",
+                       help="rewrite the baseline from this host")
+    args = parser.parse_args()
+
+    rate = measure()
+    if args.update:
+        BASELINE.parent.mkdir(parents=True, exist_ok=True)
+        BASELINE.write_text(json.dumps({
+            "events_per_sec": round(rate),
+            "workload": "bench_table4_cpu reduced (REPRO_BENCH_REDUCED=1)",
+            "tolerance": TOLERANCE,
+            "host": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        }, indent=2) + "\n")
+        print(f"baseline updated: {rate:,.0f} events/sec -> {BASELINE}")
+        return 0
+
+    baseline = json.loads(BASELINE.read_text())
+    floor = baseline["events_per_sec"] * (1.0 - TOLERANCE)
+    verdict = "OK" if rate >= floor else "FAILED"
+    print(
+        f"perf smoke {verdict}: {rate:,.0f} events/sec "
+        f"(baseline {baseline['events_per_sec']:,}, floor {floor:,.0f})"
+    )
+    return 0 if rate >= floor else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional
+import time
+from typing import Callable, Optional
 
 from repro.core.adaptive import AdaptivePropRate
 from repro.core.proprate import PropRate
@@ -64,6 +65,44 @@ def _algorithm_factory(name: str, target_ms: Optional[float]):
     )
 
 
+def _progress_printer(total: int, stream=None) -> Callable:
+    """A ``done/total + ETA`` line, redrawn as each outcome lands.
+
+    The returned callback plugs into the batch layer's ``on_outcome``
+    hook; the ETA extrapolates from the mean completion rate so far,
+    which is what a work-stealing queue makes meaningful (completions
+    arrive roughly uniformly even on long-tailed grids).
+    """
+    stream = stream if stream is not None else sys.stderr
+    start = time.monotonic()
+    done = [0]
+
+    def on_outcome(outcome) -> None:
+        done[0] += 1
+        elapsed = time.monotonic() - start
+        eta = elapsed / done[0] * (total - done[0])
+        state = "ok" if outcome.ok else "FAILED"
+        stream.write(
+            f"\r[{done[0]}/{total}] {state} #{outcome.index}"
+            f"  elapsed {elapsed:6.1f}s  eta {eta:6.1f}s "
+        )
+        if done[0] == total:
+            stream.write("\n")
+        stream.flush()
+
+    return on_outcome
+
+
+def _batch_kwargs(args: argparse.Namespace, total: int) -> dict:
+    """The scheduler knobs shared by every batch command."""
+    return dict(
+        n_jobs=args.jobs,
+        timeout=args.timeout,
+        retries=args.retries,
+        on_outcome=_progress_printer(total) if args.progress else None,
+    )
+
+
 def _cmd_run(args: argparse.Namespace) -> None:
     downlink, uplink = _load_traces(args.trace)
     factory = _algorithm_factory(args.algorithm, args.target)
@@ -83,11 +122,12 @@ def _cmd_run(args: argparse.Namespace) -> None:
 
 def _cmd_shootout(args: argparse.Namespace) -> None:
     downlink, uplink = _load_traces(args.trace)
+    lineup = list(paper_algorithms())
     results = run_shootout(
         downlink, uplink,
         duration=args.duration, measure_start=args.warmup,
-        n_jobs=args.jobs,
         audit=True if args.audit else None,
+        **_batch_kwargs(args, len(lineup)),
     )
     print(f"{'Algorithm':10s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
     for name, result in results.items():
@@ -103,8 +143,8 @@ def _cmd_frontier(args: argparse.Namespace) -> None:
     points = sweep_frontier(
         downlink, uplink, targets=targets,
         duration=args.duration, measure_start=args.warmup,
-        n_jobs=args.jobs,
         audit=True if args.audit else None,
+        **_batch_kwargs(args, len(targets)),
     )
     print(f"{'target ms':>9s} {'tput KB/s':>10s} {'mean ms':>8s} {'p95 ms':>8s}")
     for p in points:
@@ -163,6 +203,22 @@ def build_parser() -> argparse.ArgumentParser:
             "--jobs", type=int, default=1,
             help="worker processes (1 = serial, 0 = all cores); results "
             "are identical at any job count",
+        )
+        p.add_argument(
+            "--timeout", type=float, default=None, metavar="SECONDS",
+            help="per-run wall-clock budget; a run that exceeds it has "
+            "its worker killed and reports a timeout (enforced with "
+            "--jobs >= 2)",
+        )
+        p.add_argument(
+            "--retries", type=int, default=0, metavar="N",
+            help="re-dispatch a run lost to a timeout or worker crash "
+            "up to N times before reporting the failure",
+        )
+        p.add_argument(
+            "--no-progress", dest="progress", action="store_false",
+            default=True,
+            help="suppress the live done/total + ETA line on stderr",
         )
 
     p_shoot = sub.add_parser("shootout", help="Figure-7 line-up")

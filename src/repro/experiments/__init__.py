@@ -23,6 +23,7 @@ from repro.experiments.parallel import (
     RunOutcome,
     RunSpec,
     collect,
+    iter_batch,
     proprate_spec,
     run_batch,
 )
@@ -30,6 +31,7 @@ from repro.experiments.cpu import instrument, instrumented_factory
 from repro.experiments.frontier import (
     ConvergencePoint,
     FrontierPoint,
+    iter_frontier,
     nfl_convergence,
     paper_frontier_targets,
     sweep_frontier,
@@ -72,6 +74,8 @@ __all__ = [
     "describe_all",
     "instrument",
     "instrumented_factory",
+    "iter_batch",
+    "iter_frontier",
     "nfl_convergence",
     "paper_algorithms",
     "paper_frontier_targets",

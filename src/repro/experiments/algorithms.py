@@ -75,6 +75,9 @@ def run_shootout(
     measure_start: float = 5.0,
     n_jobs: int = 1,
     audit: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome=None,
 ):
     """Run the Figure-7 line-up over one trace; name → :class:`FlowResult`.
 
@@ -82,7 +85,11 @@ def run_shootout(
     line-up out over worker processes; results are identical to the
     serial run and returned in line-up order.  ``audit`` enables the
     :mod:`repro.debug` invariant auditor per run (None defers to the
-    REPRO_AUDIT environment switch, inherited by workers).
+    REPRO_AUDIT environment switch, inherited by workers).  ``timeout``
+    (per-run wall clock), ``retries`` (bounded re-dispatch of runs lost
+    to a timeout or worker death), and ``on_outcome`` (streaming
+    progress callback) forward to
+    :func:`repro.experiments.parallel.run_batch`.
     """
     # Imported here: the parallel layer resolves CcSpecs through
     # paper_algorithms(), so the import must not be circular.
@@ -101,5 +108,13 @@ def run_shootout(
         )
         for name in lineup
     ]
-    results = collect(run_batch(specs, n_jobs=n_jobs))
+    results = collect(
+        run_batch(
+            specs,
+            n_jobs=n_jobs,
+            timeout=timeout,
+            retries=retries,
+            on_outcome=on_outcome,
+        )
+    )
     return dict(zip(lineup, results))

@@ -11,11 +11,13 @@ loop.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 from repro.experiments.parallel import (
+    OutcomeCallback,
     RunSpec,
     collect,
+    iter_batch,
     proprate_spec,
     run_batch,
 )
@@ -50,25 +52,16 @@ class FrontierPoint:
         return self.result.delay.p95_ms
 
 
-def sweep_frontier(
+def _frontier_specs(
     downlink_trace: Trace,
-    uplink_trace: Optional[Trace] = None,
-    targets: Optional[Sequence[float]] = None,
-    duration: float = 30.0,
-    measure_start: float = 4.0,
-    enable_feedback: bool = True,
-    n_jobs: int = 1,
-    audit: Optional[bool] = None,
-) -> List[FrontierPoint]:
-    """Run PropRate across a grid of t̄_buff targets (Figure 10).
-
-    ``n_jobs`` fans the grid out over worker processes (the points are
-    independent simulations); results are identical to the serial run
-    and returned in target order.  ``audit`` enables the invariant
-    auditor per point (None defers to REPRO_AUDIT).
-    """
-    grid = list(targets) if targets is not None else paper_frontier_targets()
-    specs = [
+    uplink_trace: Optional[Trace],
+    grid: Sequence[float],
+    duration: float,
+    measure_start: float,
+    enable_feedback: bool,
+    audit: Optional[bool],
+) -> List[RunSpec]:
+    return [
         RunSpec(
             cc=proprate_spec(target, enable_feedback=enable_feedback),
             downlink=downlink_trace,
@@ -80,11 +73,95 @@ def sweep_frontier(
         )
         for target in grid
     ]
-    results = collect(run_batch(specs, n_jobs=n_jobs))
+
+
+def sweep_frontier(
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    targets: Optional[Sequence[float]] = None,
+    duration: float = 30.0,
+    measure_start: float = 4.0,
+    enable_feedback: bool = True,
+    n_jobs: int = 1,
+    audit: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome: Optional[OutcomeCallback] = None,
+) -> List[FrontierPoint]:
+    """Run PropRate across a grid of t̄_buff targets (Figure 10).
+
+    ``n_jobs`` fans the grid out over worker processes (the points are
+    independent simulations); results are identical to the serial run
+    and returned in target order.  ``audit`` enables the invariant
+    auditor per point (None defers to REPRO_AUDIT).  ``timeout``,
+    ``retries``, and ``on_outcome`` forward to
+    :func:`repro.experiments.parallel.run_batch`; use
+    :func:`iter_frontier` to consume points as they complete instead of
+    waiting for the whole grid.
+    """
+    grid = list(targets) if targets is not None else paper_frontier_targets()
+    specs = _frontier_specs(
+        downlink_trace, uplink_trace, grid, duration, measure_start,
+        enable_feedback, audit,
+    )
+    results = collect(
+        run_batch(
+            specs,
+            n_jobs=n_jobs,
+            timeout=timeout,
+            retries=retries,
+            on_outcome=on_outcome,
+        )
+    )
     return [
         FrontierPoint(target_tbuff=target, result=result)
         for target, result in zip(grid, results)
     ]
+
+
+def iter_frontier(
+    downlink_trace: Trace,
+    uplink_trace: Optional[Trace] = None,
+    targets: Optional[Sequence[float]] = None,
+    duration: float = 30.0,
+    measure_start: float = 4.0,
+    enable_feedback: bool = True,
+    n_jobs: int = 1,
+    audit: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome: Optional[OutcomeCallback] = None,
+) -> Iterator[FrontierPoint]:
+    """Stream Figure-10 points **in completion order**.
+
+    The streaming face of :func:`sweep_frontier`: each
+    :class:`FrontierPoint` is yielded the moment its simulation lands,
+    so a consumer can plot/persist the frontier incrementally while the
+    long deep-buffer targets are still running.  A failed point (after
+    ``retries`` re-dispatches) raises ``RuntimeError`` with the worker
+    traceback.  Point values are bit-identical to the serial sweep —
+    only the arrival order differs.
+    """
+    grid = list(targets) if targets is not None else paper_frontier_targets()
+    specs = _frontier_specs(
+        downlink_trace, uplink_trace, grid, duration, measure_start,
+        enable_feedback, audit,
+    )
+    for outcome in iter_batch(
+        specs,
+        n_jobs=n_jobs,
+        timeout=timeout,
+        retries=retries,
+        on_outcome=on_outcome,
+    ):
+        if not outcome.ok:
+            raise RuntimeError(
+                f"frontier target {grid[outcome.index] * 1000:.0f}ms "
+                f"failed:\n{outcome.error}"
+            )
+        yield FrontierPoint(
+            target_tbuff=grid[outcome.index], result=outcome.result
+        )
 
 
 @dataclass(frozen=True)
@@ -109,12 +186,17 @@ def nfl_convergence(
     propagation_delay: float = 0.020,
     n_jobs: int = 1,
     audit: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome: Optional[OutcomeCallback] = None,
 ) -> List[ConvergencePoint]:
     """Figure 9: achieved vs target buffer delay, with and without NFL.
 
     The achieved buffer delay is the externally measured mean one-way
     delay minus the propagation delay — ground truth, not the sender's
-    own estimate.  ``n_jobs`` parallelizes the (feedback × target) grid.
+    own estimate.  ``n_jobs`` parallelizes the (feedback × target) grid;
+    ``timeout``/``retries``/``on_outcome`` forward to
+    :func:`repro.experiments.parallel.run_batch`.
     """
     if targets is None:
         targets = [t / 1000.0 for t in range(20, 121, 20)]
@@ -134,7 +216,15 @@ def nfl_convergence(
         )
         for with_nfl, target in grid
     ]
-    results = collect(run_batch(specs, n_jobs=n_jobs))
+    results = collect(
+        run_batch(
+            specs,
+            n_jobs=n_jobs,
+            timeout=timeout,
+            retries=retries,
+            on_outcome=on_outcome,
+        )
+    )
     points = []
     for (with_nfl, target), result in zip(grid, results):
         achieved = max(0.0, result.delay.mean - propagation_delay)

@@ -12,33 +12,55 @@ picklable run specifications onto worker processes:
   references (:mod:`repro.traces.cache`); the dispatcher deduplicates
   them into a table shipped once per worker, and each worker
   materializes every distinct trace exactly once per process.
-* :func:`run_batch` executes any sequence of spec objects (anything
+* :func:`iter_batch` executes any sequence of spec objects (anything
   with an ``execute()`` method and optional ``downlink``/``uplink``
-  reference fields) and returns :class:`RunOutcome`\\ s **in submission
-  order**, regardless of worker scheduling.
+  reference fields), yielding :class:`RunOutcome`\\ s **as they
+  complete**.
+* :func:`run_batch` is the in-order façade on top of :func:`iter_batch`
+  — same execution, outcomes sorted back into submission order.
+
+Scheduling: specs are dispatched one at a time from a shared queue with
+at most ``n_jobs`` in flight, so an idle worker always takes the next
+undone spec — work-stealing across long-tailed grids falls out of the
+queue discipline instead of static chunk pre-cutting.  Long LTE
+deep-buffer runs no longer pin a pre-assigned chunk of short runs
+behind them.
 
 Determinism: the serial (``n_jobs=1``) and parallel paths run the same
 ``execute()`` code against traces materialized by the same cache, and
 each simulation is fully deterministic, so results are bit-identical
-across job counts.
+across job counts and completion orders.
 
 Failure handling: an exception inside a spec is caught in the worker
 and reported on that spec's outcome; the rest of the batch completes.
-If a worker process dies outright (breaking the pool), the outcomes
-whose results were lost report the breakage — completed work from other
-chunks is preserved either way.
+A result that cannot cross the process boundary (unpicklable) fails
+only the offending spec.  If a worker process dies outright (breaking
+the pool) or a spec exceeds its wall-clock ``timeout``, the pool is
+torn down and respawned, and the lost specs are retried up to
+``retries`` times before their outcomes report the loss.
 """
 
 from __future__ import annotations
 
-import math
 import multiprocessing
 import os
+import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.experiments.runner import (
     DEFAULT_PROP_DELAY,
@@ -55,6 +77,7 @@ __all__ = [
     "CcSpec",
     "RunSpec",
     "RunOutcome",
+    "iter_batch",
     "run_batch",
     "collect",
     "resolve_trace",
@@ -65,6 +88,9 @@ __all__ = [
 #: A trace field: a reference, a not-yet-referenced Trace, or a content
 #: key into the batch's deduplicated trace table.
 RefOrKey = Union[TraceRef, Trace, str]
+
+#: Progress hook: called with each outcome as it completes.
+OutcomeCallback = Callable[["RunOutcome"], None]
 
 
 # ----------------------------------------------------------------------
@@ -147,12 +173,18 @@ class RunSpec:
 
 @dataclass
 class RunOutcome:
-    """One spec's fate: its (detached) result, or the failure report."""
+    """One spec's fate: its (detached) result, or the failure report.
+
+    ``attempts`` counts executions that were charged against the spec —
+    1 for a clean run, more when a timeout or worker death consumed a
+    retry before the recorded result/error.
+    """
 
     index: int
     spec: Any
     result: Optional[Any] = None
     error: Optional[str] = field(repr=False, default=None)
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -168,7 +200,7 @@ def collect(outcomes: Sequence[RunOutcome]) -> List[Any]:
             f"{len(failed)}/{len(outcomes)} runs failed; first "
             f"(spec #{first.index}):\n{first.error}"
         )
-    return [o.result for o in outcomes]
+    return [o.result for o in sorted(outcomes, key=lambda o: o.index)]
 
 
 # ----------------------------------------------------------------------
@@ -253,23 +285,52 @@ def _run_entry(entry: Tuple[int, Any]) -> Tuple[int, Any, Optional[str]]:
         return index, None, traceback.format_exc()
 
 
-def _run_chunk(
-    chunk: List[Tuple[int, Any]],
-) -> List[Tuple[int, Any, Optional[str]]]:
-    return [_run_entry(entry) for entry in chunk]
-
-
 def _init_worker(table: Dict[str, TraceRef]) -> None:
     _install_table(table)
 
 
-def run_batch(
+@dataclass
+class _Task:
+    """Dispatcher-side state for one spec: identity plus charged losses."""
+
+    index: int
+    spec: Any
+    failures: int = 0  # timeouts + worker deaths charged so far
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard: terminate workers, then force-kill stragglers.
+
+    Needed to enforce wall-clock timeouts — a spec stuck inside
+    ``execute()`` never returns to the executor, so the only way to
+    reclaim the worker is to kill the process.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    for proc in processes:
+        proc.terminate()
+    deadline = time.monotonic() + 5.0
+    for proc in processes:
+        proc.join(max(0.0, deadline - time.monotonic()))
+        if proc.is_alive():  # pragma: no cover - SIGTERM normally suffices
+            proc.kill()
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def iter_batch(
     specs: Sequence[Any],
     n_jobs: Optional[int] = 1,
-    chunksize: Optional[int] = None,
     start_method: Optional[str] = None,
-) -> List[RunOutcome]:
-    """Execute ``specs`` and return outcomes in submission order.
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome: Optional[OutcomeCallback] = None,
+) -> Iterator[RunOutcome]:
+    """Execute ``specs``, yielding outcomes **in completion order**.
+
+    This is the streaming core of the batch layer: specs are dispatched
+    one at a time from a shared queue with at most ``n_jobs`` in flight,
+    so workers that finish short runs immediately steal the next undone
+    spec while long-tailed runs are still going, and each outcome is
+    yielded (and reported to ``on_outcome``) the moment it lands.
 
     Parameters
     ----------
@@ -281,31 +342,44 @@ def run_batch(
         Worker processes.  ``1`` runs serially in-process (no pool);
         ``None``/``0`` uses every core; negative counts from the end
         (``-1`` = all cores).
-    chunksize:
-        Specs per worker task.  Defaults to ~4 tasks per worker, which
-        amortizes dispatch without starving the pool on uneven runs.
     start_method:
         ``multiprocessing`` start method; defaults to ``fork`` where
         available (cheap, inherits imports) and the platform default
         elsewhere.
+    timeout:
+        Per-spec wall-clock budget in seconds, measured from dispatch to
+        a worker.  A spec that exceeds it has its pool torn down (the
+        only way to reclaim a stuck worker) and counts one charged loss;
+        other in-flight specs are re-queued without charge.  Enforced on
+        the pool path only — the serial path cannot interrupt a running
+        simulation.
+    retries:
+        How many charged losses (timeout or worker death) a spec may
+        absorb before its outcome reports the failure.  Ordinary Python
+        exceptions inside ``execute()`` are deterministic and are *not*
+        retried.
+    on_outcome:
+        Called with each :class:`RunOutcome` as it completes — progress
+        bars, incremental persistence, early aborts by raising.
     """
     entries = list(enumerate(specs))
     if not entries:
-        return []
+        return
     stripped, table = _strip_specs([s for _, s in entries])
     entries = [(i, s) for (i, _), s in zip(entries, stripped)]
     jobs = resolve_n_jobs(n_jobs)
     _install_table(table)  # serial path + fork parent share the table
 
-    if jobs == 1 or len(entries) == 1:
-        rows = [_run_entry(entry) for entry in entries]
-        return _to_outcomes(rows, entries)
+    def emit(outcome: RunOutcome) -> RunOutcome:
+        if on_outcome is not None:
+            on_outcome(outcome)
+        return outcome
 
-    if chunksize is None:
-        chunksize = max(1, math.ceil(len(entries) / (jobs * 4)))
-    chunks = [
-        entries[i : i + chunksize] for i in range(0, len(entries), chunksize)
-    ]
+    if jobs == 1 or (len(entries) == 1 and timeout is None):
+        for index, spec in entries:
+            _, result, error = _run_entry((index, spec))
+            yield emit(RunOutcome(index=index, spec=spec, result=result, error=error))
+        return
 
     if start_method is None and "fork" in multiprocessing.get_all_start_methods():
         start_method = "fork"
@@ -313,40 +387,166 @@ def run_batch(
         multiprocessing.get_context(start_method) if start_method else None
     )
 
-    rows: List[Tuple[int, Any, Optional[str]]] = []
-    with ProcessPoolExecutor(
-        max_workers=min(jobs, len(chunks)),
-        mp_context=context,
-        initializer=_init_worker,
-        initargs=(table,),
-    ) as pool:
-        futures = [pool.submit(_run_chunk, chunk) for chunk in chunks]
-        for chunk, future in zip(chunks, futures):
-            try:
-                rows.extend(future.result())
-            except BrokenProcessPool as exc:
-                # A worker died mid-chunk (hard crash, not a Python
-                # exception).  Report the specs whose results were lost;
-                # other chunks' futures keep their completed results.
-                for index, _ in chunk:
-                    rows.append(
-                        (index, None, f"worker process died: {exc!r}")
-                    )
-            except Exception:  # noqa: BLE001 - e.g. unpicklable result
-                err = traceback.format_exc()
-                for index, _ in chunk:
-                    rows.append((index, None, err))
-    return _to_outcomes(rows, entries)
+    queue = deque(_Task(i, s) for i, s in entries)
+    workers = min(jobs, len(entries))
+    pool: Optional[ProcessPoolExecutor] = None
+    inflight: Dict[Any, Tuple[_Task, Optional[float]]] = {}
+
+    def settle_loss(task: _Task, reason: str) -> Optional[RunOutcome]:
+        """Charge a timeout/death to ``task``; re-queue or report it."""
+        task.failures += 1
+        if task.failures <= retries:
+            queue.append(task)
+            return None
+        return RunOutcome(
+            index=task.index,
+            spec=task.spec,
+            error=reason,
+            attempts=task.failures,
+        )
+
+    def harvest(future: Any, task: _Task) -> Optional[RunOutcome]:
+        """Turn a done future into an outcome (None = re-queued)."""
+        try:
+            _, result, error = future.result()
+        except BrokenProcessPool as exc:
+            return settle_loss(task, f"worker process died: {exc!r}")
+        except Exception:  # noqa: BLE001 - e.g. unpicklable result
+            return RunOutcome(
+                index=task.index,
+                spec=task.spec,
+                error=traceback.format_exc(),
+                attempts=task.failures + 1,
+            )
+        return RunOutcome(
+            index=task.index,
+            spec=task.spec,
+            result=result,
+            error=error,
+            attempts=task.failures + 1,
+        )
+
+    try:
+        while queue or inflight:
+            if pool is None:
+                pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    mp_context=context,
+                    initializer=_init_worker,
+                    initargs=(table,),
+                )
+            while queue and len(inflight) < workers:
+                task = queue.popleft()
+                future = pool.submit(_run_entry, (task.index, task.spec))
+                deadline = (
+                    None if timeout is None else time.monotonic() + timeout
+                )
+                inflight[future] = (task, deadline)
+
+            wait_for = None
+            if timeout is not None:
+                now = time.monotonic()
+                wait_for = max(
+                    0.0,
+                    min(d for _, d in inflight.values() if d is not None) - now,
+                )
+            done, _ = wait(
+                set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
+            )
+
+            broken = False
+            for future in done:
+                task, _ = inflight.pop(future)
+                outcome = harvest(future, task)
+                if outcome is None:
+                    broken = True  # loss re-queued ⇒ the pool is dead
+                    continue
+                if not outcome.ok and "worker process died" in (outcome.error or ""):
+                    broken = True
+                yield emit(outcome)
+
+            if broken:
+                # One BrokenProcessPool means every in-flight future is
+                # lost — drain them (keeping any that did complete with
+                # real results), then respawn the pool.
+                for future in list(inflight):
+                    task, _ = inflight.pop(future)
+                    if future.done():
+                        outcome = harvest(future, task)
+                        if outcome is not None:
+                            yield emit(outcome)
+                    else:
+                        future.cancel()
+                        outcome = settle_loss(task, "worker process died")
+                        if outcome is not None:
+                            yield emit(outcome)
+                pool.shutdown(wait=False, cancel_futures=True)
+                pool = None
+                continue
+
+            if not done and timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline) in inflight.items()
+                    if deadline is not None and deadline <= now
+                ]
+                if not expired:
+                    continue
+                # A stuck spec can only be reclaimed by killing its
+                # worker, which takes the whole pool down; innocent
+                # bystanders are re-queued without a charged loss.
+                _kill_pool(pool)
+                pool = None
+                expired_set = set(expired)
+                for future in list(inflight):
+                    task, _ = inflight.pop(future)
+                    future.cancel()
+                    if future in expired_set:
+                        outcome = settle_loss(
+                            task,
+                            f"timed out after {timeout:.6g}s "
+                            f"(attempt {task.failures + 1})",
+                        )
+                        if outcome is not None:
+                            yield emit(outcome)
+                    else:
+                        queue.appendleft(task)
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
 
-def _to_outcomes(
-    rows: List[Tuple[int, Any, Optional[str]]],
-    entries: List[Tuple[int, Any]],
+def run_batch(
+    specs: Sequence[Any],
+    n_jobs: Optional[int] = 1,
+    chunksize: Optional[int] = None,
+    start_method: Optional[str] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome: Optional[OutcomeCallback] = None,
 ) -> List[RunOutcome]:
-    spec_by_index = dict(entries)
-    outcomes = [
-        RunOutcome(index=i, spec=spec_by_index[i], result=r, error=e)
-        for i, r, e in rows
-    ]
+    """Execute ``specs`` and return outcomes in submission order.
+
+    The in-order façade over :func:`iter_batch` — identical execution
+    and robustness semantics (work-stealing dispatch, ``timeout``,
+    ``retries``, ``on_outcome``), with the completed outcomes sorted
+    back into submission order before returning.
+
+    ``chunksize`` is accepted for backwards compatibility and ignored:
+    the scheduler dispatches one spec per task from a shared queue, so
+    there is no longer a static chunk size to tune.
+    """
+    del chunksize  # pre-work-stealing knob; dispatch is per-spec now
+    outcomes = list(
+        iter_batch(
+            specs,
+            n_jobs=n_jobs,
+            start_method=start_method,
+            timeout=timeout,
+            retries=retries,
+            on_outcome=on_outcome,
+        )
+    )
     outcomes.sort(key=lambda o: o.index)
     return outcomes

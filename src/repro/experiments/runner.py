@@ -93,6 +93,29 @@ class FlowResult:
             return self
         return replace(self, collector=None, sender=None)
 
+    def summary(self) -> tuple:
+        """The reduced numbers as a comparable tuple.
+
+        This is the determinism contract of the batch layer: two runs of
+        the same spec — serial or parallel, any job count, any
+        completion order — must produce bit-identical summaries.  The
+        CI determinism gate and the equivalence tests compare exactly
+        this tuple.
+        """
+        return (
+            self.name,
+            self.throughput,
+            self.delay.mean,
+            self.delay.p95,
+            self.delivered_bytes,
+            self.bottleneck_drops,
+            self.retransmissions,
+            self.rto_count,
+            self.measure_start,
+            self.measure_end,
+            self.capacity,
+        )
+
     @property
     def throughput_kbps(self) -> float:
         """Throughput in the paper's units (KB/s, K = 1000)."""

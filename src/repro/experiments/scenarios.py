@@ -345,6 +345,9 @@ def run_scenario_grid(
     uplink_trace: Optional[Trace] = None,
     n_jobs: int = 1,
     audit: Optional[bool] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    on_outcome=None,
     **options: object,
 ) -> Dict[str, object]:
     """Run one scenario for several algorithms, optionally in parallel.
@@ -353,7 +356,10 @@ def run_scenario_grid(
     parallel.CcSpec` to run; the return maps each label to whatever the
     scenario driver returns (detached of simulation handles).  ``audit``
     enables invariant auditing per cell (None defers to REPRO_AUDIT,
-    which worker processes inherit).
+    which worker processes inherit).  ``timeout`` (per-cell wall
+    clock), ``retries`` (bounded re-dispatch after a timeout or worker
+    death), and ``on_outcome`` (streaming progress callback) forward to
+    :func:`repro.experiments.parallel.run_batch`.
     """
     from repro.experiments.parallel import collect, run_batch
 
@@ -373,5 +379,13 @@ def run_scenario_grid(
         )
         for label in labels
     ]
-    results = collect(run_batch(specs, n_jobs=n_jobs))
+    results = collect(
+        run_batch(
+            specs,
+            n_jobs=n_jobs,
+            timeout=timeout,
+            retries=retries,
+            on_outcome=on_outcome,
+        )
+    )
     return dict(zip(labels, results))

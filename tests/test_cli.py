@@ -25,6 +25,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "CUBIC", "--trace", "nope"])
 
+    def test_scheduler_flag_defaults(self):
+        args = build_parser().parse_args(["frontier"])
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.progress is True
+
+    def test_scheduler_flags_parse(self):
+        args = build_parser().parse_args(
+            ["shootout", "--jobs", "4", "--timeout", "30",
+             "--retries", "2", "--no-progress"]
+        )
+        assert args.jobs == 4
+        assert args.timeout == 30.0
+        assert args.retries == 2
+        assert args.progress is False
+
 
 class TestCommands:
     def test_traces_command(self, capsys):
@@ -55,3 +71,17 @@ class TestCommands:
               "--duration", "4", "--warmup", "1"])
         out = capsys.readouterr().out
         assert "target ms" in out
+
+    def test_frontier_progress_line(self, capsys):
+        main(["frontier", "--low", "20", "--high", "40", "--step", "20",
+              "--duration", "3", "--warmup", "1", "--jobs", "2",
+              "--retries", "1"])
+        captured = capsys.readouterr()
+        assert "target ms" in captured.out
+        assert "[2/2]" in captured.err  # live done/total + ETA line
+        assert "eta" in captured.err
+
+    def test_frontier_no_progress(self, capsys):
+        main(["frontier", "--low", "40", "--high", "40", "--step", "10",
+              "--duration", "3", "--warmup", "1", "--no-progress"])
+        assert capsys.readouterr().err == ""

@@ -1,31 +1,38 @@
-"""The process-pool execution layer and the trace cache.
+"""The work-stealing batch scheduler and the trace cache.
 
-The layer's contract has three legs:
+The layer's contract has four legs:
 
 * determinism — a batch returns bit-identical ``FlowResult`` numbers at
   every job count, because workers run the same ``execute()`` code
   against traces materialized by the same content-keyed cache;
-* ordering — outcomes come back in submission order regardless of how
-  the pool scheduled the chunks;
-* containment — one spec raising (or a worker dying) fails that spec's
-  outcome, not the batch.
+* ordering — ``iter_batch`` streams outcomes in completion order, and
+  ``run_batch`` restores submission order on top of it;
+* containment — one spec raising (or returning something unpicklable)
+  fails that spec's outcome, not the batch;
+* robustness — specs lost to a worker death or a wall-clock timeout are
+  re-dispatched up to ``retries`` times on a respawned pool.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 import pickle
+import signal
+import time
 from dataclasses import dataclass
 
 import numpy as np
 import pytest
 
 from repro.experiments.algorithms import run_shootout
-from repro.experiments.frontier import sweep_frontier
+from repro.experiments.frontier import iter_frontier, sweep_frontier
 from repro.experiments.parallel import (
     CcSpec,
     RunSpec,
     collect,
     detach_results,
+    iter_batch,
     proprate_spec,
     resolve_n_jobs,
     run_batch,
@@ -186,6 +193,7 @@ class TestRunBatch:
         ]
 
     def test_outcomes_in_submission_order(self):
+        # chunksize is a retired knob: still accepted, now a no-op.
         outcomes = run_batch(self._specs(), n_jobs=2, chunksize=1)
         assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
         assert [o.result.name for o in outcomes] == [f"run-{i}" for i in range(5)]
@@ -249,3 +257,209 @@ class TestRunBatch:
         # Five specs sharing one downlink trace must cache one entry.
         run_batch(self._specs(5), n_jobs=1)
         assert trace_cache.cache_len() == 1
+
+
+# ----------------------------------------------------------------------
+# Streaming collection and work-stealing dispatch
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SleepSpec:
+    """A spec whose duration is its payload — scheduling probes."""
+
+    seconds: float
+    tag: int = 0
+
+    def execute(self):
+        time.sleep(self.seconds)
+        return self.tag
+
+
+@dataclass(frozen=True)
+class _KillOnceSpec:
+    """SIGKILLs its worker on the first attempt, succeeds after."""
+
+    flag: str
+    tag: int = 0
+
+    def execute(self):
+        if not os.path.exists(self.flag):
+            with open(self.flag, "w"):
+                pass
+            os.kill(os.getpid(), signal.SIGKILL)
+        return self.tag
+
+
+@dataclass(frozen=True)
+class _StallOnceSpec:
+    """Hangs far past any timeout on the first attempt, then succeeds."""
+
+    flag: str
+    tag: int = 0
+
+    def execute(self):
+        if not os.path.exists(self.flag):
+            with open(self.flag, "w"):
+                pass
+            time.sleep(300.0)
+        return self.tag
+
+
+@dataclass(frozen=True)
+class _UnpicklableResultSpec:
+    """Executes fine but returns something that cannot cross the pipe."""
+
+    def execute(self):
+        return lambda: None
+
+
+class TestStreaming:
+    def test_iter_batch_yields_in_completion_order(self):
+        specs = [_SleepSpec(1.2, 0), _SleepSpec(0.1, 1), _SleepSpec(0.1, 2)]
+        outcomes = list(iter_batch(specs, n_jobs=2))
+        # The long run was dispatched first but must arrive last.
+        assert [o.index for o in outcomes] == [1, 2, 0]
+        assert all(o.ok for o in outcomes)
+        assert [o.result for o in outcomes] == [1, 2, 0]
+
+    def test_run_batch_restores_submission_order(self):
+        specs = [_SleepSpec(0.4 if i == 0 else 0.05, i) for i in range(5)]
+        outcomes = run_batch(specs, n_jobs=2)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+        assert [o.result for o in outcomes] == [0, 1, 2, 3, 4]
+
+    def test_on_outcome_fires_once_per_spec(self):
+        seen = []
+        outcomes = run_batch(
+            [_SleepSpec(0.05, i) for i in range(4)],
+            n_jobs=2,
+            on_outcome=lambda o: seen.append(o.index),
+        )
+        assert sorted(seen) == [0, 1, 2, 3]
+        assert all(o.ok for o in outcomes)
+
+    def test_on_outcome_fires_on_serial_path(self):
+        seen = []
+        run_batch(
+            [_SleepSpec(0.0, i) for i in range(3)],
+            n_jobs=1,
+            on_outcome=lambda o: seen.append(o.index),
+        )
+        assert seen == [0, 1, 2]
+
+    def test_iter_frontier_streams_identical_points(self):
+        down = _down()
+        kwargs = dict(
+            targets=[0.020, 0.040, 0.080],
+            duration=DURATION,
+            measure_start=WARMUP,
+        )
+        swept = sweep_frontier(down, n_jobs=1, **kwargs)
+        streamed = sorted(
+            iter_frontier(down, n_jobs=2, **kwargs),
+            key=lambda p: p.target_tbuff,
+        )
+        assert [
+            (p.target_tbuff, p.result.summary()) for p in swept
+        ] == [
+            (p.target_tbuff, p.result.summary()) for p in streamed
+        ]
+
+
+class TestRobustness:
+    def test_killed_worker_retried_to_success(self, tmp_path):
+        flag = str(tmp_path / "killed")
+        specs = [_KillOnceSpec(flag, 7), _SleepSpec(0.05, 1)]
+        outcomes = run_batch(specs, n_jobs=2, retries=1)
+        assert [o.ok for o in outcomes] == [True, True]
+        assert outcomes[0].result == 7
+        assert outcomes[0].attempts == 2  # one loss charged, then success
+
+    def test_killed_worker_without_retries_reports_loss(self, tmp_path):
+        flag = str(tmp_path / "killed")
+        outcomes = run_batch([_KillOnceSpec(flag, 7)] * 2, n_jobs=2)
+        assert not all(o.ok for o in outcomes)
+        failed = [o for o in outcomes if not o.ok]
+        assert all("worker process died" in o.error for o in failed)
+
+    def test_timeout_reports_and_other_specs_survive(self):
+        specs = [_SleepSpec(300.0, 0), _SleepSpec(0.05, 1)]
+        outcomes = run_batch(specs, n_jobs=2, timeout=0.75)
+        assert not outcomes[0].ok
+        assert "timed out after" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].result == 1
+
+    def test_timeout_retry_recovers(self, tmp_path):
+        flag = str(tmp_path / "stalled")
+        specs = [_StallOnceSpec(flag, 9), _SleepSpec(0.05, 1)]
+        outcomes = run_batch(specs, n_jobs=2, timeout=0.75, retries=1)
+        assert [o.ok for o in outcomes] == [True, True]
+        assert outcomes[0].result == 9
+        assert outcomes[0].attempts == 2
+
+    def test_unpicklable_result_fails_only_offender(self):
+        # Regression: the chunked dispatcher stamped the pickling error
+        # onto every spec that shared the offender's chunk.
+        specs = [
+            _SleepSpec(0.05, 0),
+            _UnpicklableResultSpec(),
+            _SleepSpec(0.05, 2),
+            _SleepSpec(0.05, 3),
+        ]
+        outcomes = run_batch(specs, n_jobs=2)
+        assert [o.ok for o in outcomes] == [True, False, True, True]
+        assert outcomes[1].result is None
+        assert [o.result for o in outcomes if o.ok] == [0, 2, 3]
+
+    def test_deterministic_exceptions_are_not_retried(self):
+        outcomes = run_batch(
+            [_BoomSpec(), _SleepSpec(0.05, 1)], n_jobs=2, retries=3
+        )
+        assert not outcomes[0].ok
+        assert "kaboom" in outcomes[0].error
+        assert outcomes[0].attempts == 1  # failed once, never re-dispatched
+        assert outcomes[1].ok
+
+
+@pytest.mark.skipif(
+    "spawn" not in multiprocessing.get_all_start_methods(),
+    reason="platform has no spawn start method",
+)
+class TestSpawnStartMethod:
+    def test_spawn_matches_serial_results(self):
+        down = _down()
+        specs = [
+            RunSpec(
+                cc=proprate_spec(0.020 + 0.020 * i),
+                downlink=down,
+                duration=3.0,
+                measure_start=1.0,
+                name=f"spawned-{i}",
+            )
+            for i in range(3)
+        ]
+        serial = collect(run_batch(specs, n_jobs=1))
+        spawned = collect(
+            run_batch(specs, n_jobs=2, start_method="spawn")
+        )
+        assert [r.summary() for r in serial] == [
+            r.summary() for r in spawned
+        ]
+
+    def test_spawn_streams_and_detaches(self):
+        down = _down()
+        specs = [
+            RunSpec(
+                cc=proprate_spec(0.040),
+                downlink=down,
+                duration=2.0,
+                measure_start=0.5,
+                name=f"s{i}",
+            )
+            for i in range(2)
+        ]
+        outcomes = list(iter_batch(specs, n_jobs=2, start_method="spawn"))
+        assert sorted(o.index for o in outcomes) == [0, 1]
+        for outcome in outcomes:
+            assert outcome.ok
+            assert outcome.result.collector is None
+            assert outcome.result.sender is None
