@@ -7,6 +7,8 @@ Commands
 ``frontier``   sweep PropRate's target buffer delay (Figure 10)
 ``traces``     print Table-2 statistics for the synthetic traces
 ``experiments`` list the paper-artifact → benchmark registry
+``trace``      summarize (or diff) telemetry traces written with
+               ``--telemetry`` (see docs/observability.md)
 """
 
 from __future__ import annotations
@@ -100,6 +102,7 @@ def _batch_kwargs(args: argparse.Namespace, total: int) -> dict:
         timeout=args.timeout,
         retries=args.retries,
         on_outcome=_progress_printer(total) if args.progress else None,
+        telemetry=args.telemetry,
     )
 
 
@@ -110,6 +113,7 @@ def _cmd_run(args: argparse.Namespace) -> None:
         factory, downlink, uplink,
         duration=args.duration, measure_start=args.warmup,
         audit=True if args.audit else None,
+        telemetry=args.telemetry,
     )
     print(
         f"{args.algorithm} on {args.trace}: "
@@ -173,6 +177,20 @@ def _cmd_experiments(args: argparse.Namespace) -> None:
     print(describe_all())
 
 
+def _cmd_trace(args: argparse.Namespace) -> None:
+    # Lazy: the analyzer drags in numpy, which the tracer hot path and
+    # the other commands should not pay for at import time.
+    from repro.obs import analyze
+
+    events = analyze.read_trace(args.path)
+    if args.diff is not None:
+        other = analyze.read_trace(args.diff)
+        print(analyze.diff_traces(events, other,
+                                  label_a=args.path, label_b=args.diff))
+    else:
+        print(analyze.summarize_trace(events, label=args.path))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -189,6 +207,13 @@ def build_parser() -> argparse.ArgumentParser:
             help="run the repro.debug invariant auditor alongside the "
             "simulation (results are unchanged; violations abort with a "
             "JSON flight-recorder trace)",
+        )
+        p.add_argument(
+            "--telemetry", metavar="PATH", default=None,
+            help="write a repro.obs JSONL telemetry trace to PATH "
+            "(CC state/NFL/estimator events, queue samples, metrics; "
+            "batch commands merge worker traces into one file); "
+            "inspect it with 'repro trace PATH'",
         )
 
     p_run = sub.add_parser("run", help="run one flow")
@@ -239,12 +264,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_exp = sub.add_parser("experiments", help="paper-artifact registry")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize or diff --telemetry JSONL traces"
+    )
+    p_trace.add_argument("path", help="trace file written with --telemetry")
+    p_trace.add_argument(
+        "--diff", metavar="OTHER", default=None,
+        help="compare against a second trace instead of summarizing",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
     return parser
 
 
 def main(argv=None) -> None:
     args = build_parser().parse_args(argv)
-    args.func(args)
+    try:
+        args.func(args)
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe mid-report; not an error.
+        sys.stderr.close()
+        raise SystemExit(0)
 
 
 if __name__ == "__main__":

@@ -55,6 +55,11 @@ class ReceiveRateEstimator:
     resolution — this is why Slow Start may need to double its burst).
     """
 
+    #: Optional epoch callback (set by telemetry when tracing is
+    #: active): called with a label ("rate-reset" / "rate-reset-keep")
+    #: whenever the measurement window restarts.
+    on_epoch = None
+
     def __init__(
         self,
         window_timestamps: int = RATE_WINDOW_TIMESTAMPS,
@@ -145,6 +150,9 @@ class ReceiveRateEstimator:
         self.instantaneous_rate = None
         if not keep_rate:
             self._ewma.reset()
+        cb = self.on_epoch
+        if cb is not None:
+            cb("rate-reset-keep" if keep_rate else "rate-reset")
 
 
 class BufferDelayEstimator:
@@ -163,6 +171,10 @@ class BufferDelayEstimator:
     """
 
     SMOOTH_ALPHA = 0.25
+
+    #: Optional epoch callback (set by telemetry when tracing is
+    #: active): called with "rdmin-rebase" / "rdmin-reset".
+    on_epoch = None
 
     def __init__(self, window: float = DEFAULT_RDMIN_WINDOW) -> None:
         self._min_filter = SlidingWindowMin(window)
@@ -200,6 +212,9 @@ class BufferDelayEstimator:
             # the new baseline until better (lower-RD) data arrives.
             self._min_filter.update(self.last_time, self.last_rd)
             self.tbuff = 0.0
+        cb = self.on_epoch
+        if cb is not None:
+            cb("rdmin-rebase")
 
     def reset(self) -> None:
         self._min_filter.reset()
@@ -208,6 +223,9 @@ class BufferDelayEstimator:
         self.last_time = None
         self.tbuff = None
         self.samples = 0
+        cb = self.on_epoch
+        if cb is not None:
+            cb("rdmin-reset")
 
 
 class MaxFilterRateEstimator(ReceiveRateEstimator):

@@ -25,6 +25,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
+from repro.obs import CC_NFL
 from repro.util.windows import Ewma
 
 #: Eq. 9 EWMA gain.
@@ -57,6 +58,11 @@ class ThresholdFeedbackLoop:
         When False the loop still tracks ``t_actual`` (for reporting) but
         never moves T — the "w/o NFL" configuration of Figure 9.
     """
+
+    #: Telemetry hookup (set by the owning CC module when tracing is
+    #: active): applied threshold moves emit ``cc.nfl`` events.
+    tracer = None
+    flow: Optional[int] = None
 
     def __init__(
         self,
@@ -122,6 +128,11 @@ class ThresholdFeedbackLoop:
         self.updates += 1
         self._last_update = now
         self.threshold = max(self.min_threshold, min(self.max_threshold, self.threshold))
+        tr = self.tracer
+        if tr is not None:
+            tr.emit(CC_NFL, now, flow=self.flow, threshold=self.threshold,
+                    t_actual=t_actual, target=self.target,
+                    state="fill" if state_is_fill else "drain")
         return self.threshold
 
     def reset(self) -> None:

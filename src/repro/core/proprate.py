@@ -59,6 +59,7 @@ from repro.core.model import (
     PropRateParams,
     params_for_threshold,
 )
+from repro.obs import CC_EPOCH, CC_ESTIMATOR, CC_STATE, current_tracer
 from repro.tcp.congestion.base import AckSample, RateCongestionControl
 
 #: Initial (and Monitor) probe burst size; the paper picks 10 following
@@ -176,6 +177,10 @@ class PropRate(RateCongestionControl):
         self._window_acked = 0
         self.state_transitions = 0
         self.monitor_entries = 0
+        # Telemetry: captured at construction so the hot path pays a
+        # single None check when tracing is off.
+        self._tracer = current_tracer()
+        self._state_entered = 0.0
 
     # ------------------------------------------------------------------
     # Convenience accessors
@@ -236,9 +241,53 @@ class PropRate(RateCongestionControl):
     # Lifecycle
     # ------------------------------------------------------------------
     def on_connection_start(self) -> None:
+        tr = self._tracer
+        host = self.host
+        if tr is not None and host is not None:
+            flow = getattr(host, "flow_id", None)
+            self.feedback.tracer = tr
+            self.feedback.flow = flow
+            self.rate_estimator.on_epoch = (
+                lambda what: tr.emit(CC_EPOCH, host.now, flow=flow,
+                                     estimator="rate", what=what))
+            self.delay_estimator.on_epoch = (
+                lambda what: tr.emit(CC_EPOCH, host.now, flow=flow,
+                                     estimator="rdmin", what=what))
+            self._state_entered = host.now
         self._enter_slow_start()
 
+    def _trace_state(self, prev: PropRateState) -> None:
+        """Emit a ``cc.state`` event and record the dwell of ``prev``."""
+        tr = self._tracer
+        if tr is None:
+            return
+        host = self.host
+        now = host.now if host is not None else 0.0
+        flow = getattr(host, "flow_id", None)
+        dwell = now - self._state_entered
+        if dwell > 0:
+            tr.metrics.histogram(
+                f"flow{flow}.cc.dwell.{prev.value}").observe(dwell)
+        self._state_entered = now
+        tr.emit(CC_STATE, now, flow=flow, state=self.state.value,
+                prev=prev.value, rho=self._rho_hold,
+                tbuff=self.delay_estimator.tbuff_smooth,
+                threshold=self.feedback.threshold)
+
+    def telemetry_close(self, now: float) -> None:
+        """Record the final state's dwell at run end (runner hook)."""
+        tr = self._tracer
+        if tr is None:
+            return
+        flow = getattr(self.host, "flow_id", None)
+        dwell = now - self._state_entered
+        if dwell > 0:
+            tr.metrics.histogram(
+                f"flow{flow}.cc.dwell.{self.state.value}").observe(dwell)
+            self._state_entered = now
+
     def _enter_slow_start(self) -> None:
+        prev = self.state
         self.state = PropRateState.SLOW_START
         self.pacing_rate = 0.0
         self.round_mode = "down"
@@ -250,6 +299,7 @@ class PropRate(RateCongestionControl):
         self.rate_estimator.reset()
         self.feedback.reset()
         self.request_burst(self._burst_size)
+        self._trace_state(prev)
 
     def on_rto(self) -> None:
         """Timeout ⇒ back to Slow Start (Figure 5(b))."""
@@ -271,18 +321,23 @@ class PropRate(RateCongestionControl):
     # State transitions
     # ------------------------------------------------------------------
     def _enter_fill(self) -> None:
+        prev = self.state
         self.state = PropRateState.FILL
         self.round_mode = "up"
         self.state_transitions += 1
+        self._trace_state(prev)
 
     def _enter_drain(self) -> None:
+        prev = self.state
         self.state = PropRateState.DRAIN
         self.round_mode = "down"
         self._drain_sent = 0
         self._drain_entry_tbuff = self.delay_estimator.tbuff_smooth
         self.state_transitions += 1
+        self._trace_state(prev)
 
     def _enter_monitor(self) -> None:
+        prev = self.state
         self.state = PropRateState.MONITOR
         self.round_mode = "down"
         self.monitor_entries += 1
@@ -297,6 +352,7 @@ class PropRate(RateCongestionControl):
         # single burst refines rather than replaces it.
         self.rate_estimator.reset(keep_rate=False)
         self.request_burst(self._burst_size)
+        self._trace_state(prev)
 
     # ------------------------------------------------------------------
     # Events
@@ -499,6 +555,14 @@ class PropRate(RateCongestionControl):
         tbuff = self.delay_estimator.tbuff_smooth
         if tbuff is None:
             return
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(CC_ESTIMATOR, sample.now,
+                    flow=getattr(self.host, "flow_id", None),
+                    rho=self._rho_hold, tbuff=tbuff,
+                    threshold=self.feedback.threshold,
+                    t_actual=self.feedback.t_actual,
+                    state=self.state.value)
         if sample.now - self._nfl_started_at < self.NFL_WARMUP:
             return
         self.feedback.on_window_sample(

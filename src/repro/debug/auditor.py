@@ -47,6 +47,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.debug.recorder import FlightRecorder
+from repro.obs import AUDIT_VIOLATION, current_tracer
 from repro.util.windows import WindowedMax
 
 __all__ = ["InvariantAuditor", "InvariantViolation"]
@@ -457,6 +458,28 @@ class InvariantAuditor:
                 f"but the link only delivered {link.delivered_packets}",
                 link=audit.name,
             )
+        # Byte conservation (the packet-count check cannot see a packet
+        # swapped for one of a different size).
+        enqueued_bytes = getattr(queue, "enqueued_bytes", None)
+        if enqueued_bytes is not None:
+            in_service_bytes = (
+                getattr(link, "_in_service_bytes", 0) if audit.is_wired else 0
+            )
+            codel_bytes = getattr(queue, "codel_dropped_bytes", 0)
+            accounted_bytes = (
+                queue.byte_length + link.delivered_bytes + codel_bytes
+                + in_service_bytes
+            )
+            if enqueued_bytes != accounted_bytes:
+                self._violation(
+                    "conservation-bytes",
+                    f"{audit.name}: {enqueued_bytes} bytes entered the queue "
+                    f"but only {accounted_bytes} are accounted for "
+                    f"(queued={queue.byte_length} "
+                    f"delivered={link.delivered_bytes} codel={codel_bytes} "
+                    f"in_service={in_service_bytes})",
+                    link=audit.name,
+                )
         if full:
             audit.fold(now)
 
@@ -658,6 +681,10 @@ class InvariantAuditor:
         }
         entry.update(context)
         self.violations.append(entry)
+        tr = current_tracer()
+        if tr is not None:
+            tr.emit(AUDIT_VIOLATION, self.sim.now, check=check,
+                    message=message, **context)
         self.trace_path = self.recorder.dump(
             violations=self.violations,
             context={"events_seen": self._events_seen, "sweeps": self.sweeps},

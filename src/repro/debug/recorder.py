@@ -157,4 +157,12 @@ class FlightRecorder:
         }
         with open(path, "w", encoding="utf-8") as fh:
             json.dump(payload, fh, indent=1, default=repr)
+        # Cross-reference the dump in the telemetry trace so one file
+        # tells the whole story of a failed run.
+        from repro.obs import AUDIT_DUMP, current_tracer
+
+        tr = current_tracer()
+        if tr is not None:
+            t = violations[-1]["time"] if violations else 0.0
+            tr.emit(AUDIT_DUMP, t, path=path, violations=len(violations))
         return path

@@ -78,6 +78,7 @@ def run_shootout(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome=None,
+    telemetry: Optional[str] = None,
 ):
     """Run the Figure-7 line-up over one trace; name → :class:`FlowResult`.
 
@@ -89,7 +90,8 @@ def run_shootout(
     (per-run wall clock), ``retries`` (bounded re-dispatch of runs lost
     to a timeout or worker death), and ``on_outcome`` (streaming
     progress callback) forward to
-    :func:`repro.experiments.parallel.run_batch`.
+    :func:`repro.experiments.parallel.run_batch`, as does ``telemetry``
+    (a merged batch trace, :mod:`repro.obs`).
     """
     # Imported here: the parallel layer resolves CcSpecs through
     # paper_algorithms(), so the import must not be circular.
@@ -115,6 +117,7 @@ def run_shootout(
             timeout=timeout,
             retries=retries,
             on_outcome=on_outcome,
+            telemetry=telemetry,
         )
     )
     return dict(zip(lineup, results))

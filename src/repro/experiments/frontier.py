@@ -87,6 +87,7 @@ def sweep_frontier(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
+    telemetry: Optional[str] = None,
 ) -> List[FrontierPoint]:
     """Run PropRate across a grid of t̄_buff targets (Figure 10).
 
@@ -111,6 +112,7 @@ def sweep_frontier(
             timeout=timeout,
             retries=retries,
             on_outcome=on_outcome,
+            telemetry=telemetry,
         )
     )
     return [
@@ -131,6 +133,7 @@ def iter_frontier(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
+    telemetry: Optional[str] = None,
 ) -> Iterator[FrontierPoint]:
     """Stream Figure-10 points **in completion order**.
 
@@ -153,6 +156,7 @@ def iter_frontier(
         timeout=timeout,
         retries=retries,
         on_outcome=on_outcome,
+        telemetry=telemetry,
     ):
         if not outcome.ok:
             raise RuntimeError(
@@ -189,6 +193,7 @@ def nfl_convergence(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
+    telemetry: Optional[str] = None,
 ) -> List[ConvergencePoint]:
     """Figure 9: achieved vs target buffer delay, with and without NFL.
 
@@ -223,6 +228,7 @@ def nfl_convergence(
             timeout=timeout,
             retries=retries,
             on_outcome=on_outcome,
+            telemetry=telemetry,
         )
     )
     points = []

@@ -42,6 +42,7 @@ torn down and respawned, and the lost specs are retried up to
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import time
@@ -62,6 +63,7 @@ from typing import (
     Union,
 )
 
+import repro.obs as obs
 from repro.experiments.runner import (
     DEFAULT_PROP_DELAY,
     FlowResult,
@@ -152,6 +154,10 @@ class RunSpec:
     #: Invariant auditing (:mod:`repro.debug`): None defers to the
     #: REPRO_AUDIT environment switch, which worker processes inherit.
     audit: Optional[bool] = None
+    #: Telemetry trace path for this run (:mod:`repro.obs`).  Normally
+    #: left ``None``; a batch-level ``telemetry=`` target assigns each
+    #: spec a worker part file and merges them at the coordinator.
+    telemetry: Optional[str] = None
 
     def execute(self) -> FlowResult:
         down = resolve_trace(self.downlink)
@@ -167,6 +173,7 @@ class RunSpec:
             prop_delay=self.prop_delay,
             aqm=self.aqm,
             audit=self.audit,
+            telemetry=self.telemetry,
         )
         return result.detached()
 
@@ -298,6 +305,91 @@ class _Task:
     failures: int = 0  # timeouts + worker deaths charged so far
 
 
+class _BatchTelemetry:
+    """Coordinator half of batch telemetry.
+
+    The coordinator owns the batch trace file: it writes ``sched.*``
+    events (wall-clock seconds since batch start — scheduler events have
+    no simulated clock), assigns each spec a worker part file
+    (``<base>.part<index>.jsonl``), and at the end merges the parts back
+    into the batch trace with every record tagged ``"run": <index>``,
+    folding the per-run metrics snapshots into one ``scope="batch"``
+    metrics record.  Workers never coordinate — they just write their
+    own part, which also makes the serial (``n_jobs=1``) path identical.
+    """
+
+    def __init__(self, base: Union[str, os.PathLike]) -> None:
+        self.base = str(base)
+        self.tracer = obs.Tracer(obs.JsonlSink(self.base))
+        self.workers = 1
+        self._t0 = time.monotonic()
+        self._parts: Dict[int, str] = {}
+        self.counters = {
+            "dispatched": 0,
+            "outcomes": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "worker_deaths": 0,
+        }
+        self._counted = {
+            obs.SCHED_DISPATCH: "dispatched",
+            obs.SCHED_OUTCOME: "outcomes",
+            obs.SCHED_RETRY: "retries",
+            obs.SCHED_TIMEOUT: "timeouts",
+            obs.SCHED_WORKER_DEATH: "worker_deaths",
+        }
+
+    def assign(self, index: int, spec: Any) -> Any:
+        """Give ``spec`` a part-file trace path unless it brought its own.
+
+        Only specs that expose a ``telemetry`` field participate; a spec
+        with an explicit path keeps it (and is excluded from the merge).
+        """
+        if getattr(spec, "telemetry", False) is not None:
+            return spec
+        part = f"{self.base}.part{index:04d}.jsonl"
+        self._parts[index] = part
+        return replace(spec, telemetry=part)
+
+    def event(self, kind: str, **fields: Any) -> None:
+        counted = self._counted.get(kind)
+        if counted is not None:
+            self.counters[counted] += 1
+        self.tracer.emit(kind, time.monotonic() - self._t0, **fields)
+
+    def finalize(self) -> None:
+        """Merge worker parts, write the batch metrics record, close."""
+        totals: Dict[str, Any] = {}
+        sink = self.tracer.sink
+        for index in sorted(self._parts):
+            prefix = '{"run":%d,' % index
+            for path in obs.iter_trace_files(self._parts[index]):
+                with open(path, encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.rstrip("\n")
+                        if not line.startswith("{"):
+                            continue
+                        if '"kind":"metrics"' in line:
+                            try:
+                                record = json.loads(line)
+                            except ValueError:
+                                record = {}
+                            snap = record.get("metrics")
+                            if isinstance(snap, dict):
+                                obs.merge_snapshots(totals, snap)
+                        sink.write_line(prefix + line[1:])
+                os.remove(path)
+        metrics = self.tracer.metrics
+        for name, value in self.counters.items():
+            metrics.counter(f"batch.sched.{name}").add(value)
+        metrics.counter("batch.sched.steals").add(
+            max(0, self.counters["dispatched"] - self.workers)
+        )
+        obs.merge_snapshots(totals, metrics.snapshot())
+        self.event(obs.METRICS, scope="batch", metrics=totals)
+        self.tracer.close()
+
+
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
     """Tear a pool down hard: terminate workers, then force-kill stragglers.
 
@@ -323,6 +415,7 @@ def iter_batch(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
+    telemetry: Optional[str] = None,
 ) -> Iterator[RunOutcome]:
     """Execute ``specs``, yielding outcomes **in completion order**.
 
@@ -361,6 +454,13 @@ def iter_batch(
     on_outcome:
         Called with each :class:`RunOutcome` as it completes — progress
         bars, incremental persistence, early aborts by raising.
+    telemetry:
+        Batch trace path (:mod:`repro.obs`).  Each spec exposing a
+        ``telemetry`` field is assigned a worker part file; the
+        coordinator records ``sched.*`` dispatch/retry/timeout events
+        and, when the batch finishes, merges the parts into one trace
+        (records tagged ``"run": <index>``) with an aggregated
+        ``scope="batch"`` metrics record.
     """
     entries = list(enumerate(specs))
     if not entries:
@@ -370,15 +470,34 @@ def iter_batch(
     jobs = resolve_n_jobs(n_jobs)
     _install_table(table)  # serial path + fork parent share the table
 
+    bt = _BatchTelemetry(telemetry) if telemetry is not None else None
+    if bt is not None:
+        entries = [(i, bt.assign(i, s)) for i, s in entries]
+
     def emit(outcome: RunOutcome) -> RunOutcome:
+        if bt is not None:
+            bt.event(
+                obs.SCHED_OUTCOME,
+                spec=outcome.index,
+                ok=outcome.ok,
+                attempts=outcome.attempts,
+            )
         if on_outcome is not None:
             on_outcome(outcome)
         return outcome
 
     if jobs == 1 or (len(entries) == 1 and timeout is None):
-        for index, spec in entries:
-            _, result, error = _run_entry((index, spec))
-            yield emit(RunOutcome(index=index, spec=spec, result=result, error=error))
+        try:
+            for index, spec in entries:
+                if bt is not None:
+                    bt.event(obs.SCHED_DISPATCH, spec=index, attempt=1)
+                _, result, error = _run_entry((index, spec))
+                yield emit(
+                    RunOutcome(index=index, spec=spec, result=result, error=error)
+                )
+        finally:
+            if bt is not None:
+                bt.finalize()
         return
 
     if start_method is None and "fork" in multiprocessing.get_all_start_methods():
@@ -389,14 +508,22 @@ def iter_batch(
 
     queue = deque(_Task(i, s) for i, s in entries)
     workers = min(jobs, len(entries))
+    if bt is not None:
+        bt.workers = workers
     pool: Optional[ProcessPoolExecutor] = None
     inflight: Dict[Any, Tuple[_Task, Optional[float]]] = {}
 
-    def settle_loss(task: _Task, reason: str) -> Optional[RunOutcome]:
+    def settle_loss(
+        task: _Task, reason: str, kind: str = obs.SCHED_WORKER_DEATH
+    ) -> Optional[RunOutcome]:
         """Charge a timeout/death to ``task``; re-queue or report it."""
         task.failures += 1
+        if bt is not None:
+            bt.event(kind, spec=task.index, failures=task.failures)
         if task.failures <= retries:
             queue.append(task)
+            if bt is not None:
+                bt.event(obs.SCHED_RETRY, spec=task.index, failures=task.failures)
             return None
         return RunOutcome(
             index=task.index,
@@ -437,6 +564,12 @@ def iter_batch(
                 )
             while queue and len(inflight) < workers:
                 task = queue.popleft()
+                if bt is not None:
+                    bt.event(
+                        obs.SCHED_DISPATCH,
+                        spec=task.index,
+                        attempt=task.failures + 1,
+                    )
                 future = pool.submit(_run_entry, (task.index, task.spec))
                 deadline = (
                     None if timeout is None else time.monotonic() + timeout
@@ -507,6 +640,7 @@ def iter_batch(
                             task,
                             f"timed out after {timeout:.6g}s "
                             f"(attempt {task.failures + 1})",
+                            kind=obs.SCHED_TIMEOUT,
                         )
                         if outcome is not None:
                             yield emit(outcome)
@@ -515,6 +649,8 @@ def iter_batch(
     finally:
         if pool is not None:
             pool.shutdown(wait=False, cancel_futures=True)
+        if bt is not None:
+            bt.finalize()
 
 
 def run_batch(
@@ -525,13 +661,14 @@ def run_batch(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
+    telemetry: Optional[str] = None,
 ) -> List[RunOutcome]:
     """Execute ``specs`` and return outcomes in submission order.
 
     The in-order façade over :func:`iter_batch` — identical execution
     and robustness semantics (work-stealing dispatch, ``timeout``,
-    ``retries``, ``on_outcome``), with the completed outcomes sorted
-    back into submission order before returning.
+    ``retries``, ``on_outcome``, ``telemetry``), with the completed
+    outcomes sorted back into submission order before returning.
 
     ``chunksize`` is accepted for backwards compatibility and ignored:
     the scheduler dispatches one spec per task from a shared queue, so
@@ -546,6 +683,7 @@ def run_batch(
             timeout=timeout,
             retries=retries,
             on_outcome=on_outcome,
+            telemetry=telemetry,
         )
     )
     outcomes.sort(key=lambda o: o.index)

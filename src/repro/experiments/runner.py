@@ -10,8 +10,10 @@ packet delay over a measurement window.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional
+from time import perf_counter
+from typing import Any, Callable, Dict, List, Optional
 
+import repro.obs as obs
 from repro.debug import InvariantViolation, audit_enabled
 from repro.metrics.collector import DeliveryCollector
 from repro.tcp.application import Application
@@ -86,6 +88,10 @@ class FlowResult:
     #: Bottleneck capacity (bytes/s) over the measurement window of this
     #: flow's data direction, when the topology can provide it.
     capacity: Optional[float] = None
+    #: Telemetry metrics snapshot for this flow (``None`` when telemetry
+    #: was off).  Per-flow keys are prefix-stripped; shared run-level
+    #: keys keep their ``run.`` prefix.
+    metrics: Optional[Dict[str, Any]] = None
 
     def detached(self) -> "FlowResult":
         """A copy without the unpicklable simulation handles."""
@@ -101,8 +107,14 @@ class FlowResult:
         completion order — must produce bit-identical summaries.  The
         CI determinism gate and the equivalence tests compare exactly
         this tuple.
+
+        With telemetry enabled the tuple gains one trailing element:
+        the canonical metrics rendering (wall-clock ``timing`` keys
+        excluded), which is itself deterministic for a given spec.
+        With telemetry off the tuple is identical to pre-telemetry
+        builds.
         """
-        return (
+        base = (
             self.name,
             self.throughput,
             self.delay.mean,
@@ -115,6 +127,9 @@ class FlowResult:
             self.measure_end,
             self.capacity,
         )
+        if self.metrics:
+            base += (obs.canonical_metrics(self.metrics),)
+        return base
 
     @property
     def throughput_kbps(self) -> float:
@@ -178,6 +193,22 @@ def wired_path_config(
     )
 
 
+def _link_meta(cfg: LinkConfig, duration: float) -> Dict[str, Any]:
+    """JSON-ready description of one link for the ``run.start`` event."""
+    if cfg.trace is not None:
+        rate = cfg.trace.capacity_bytes(0.0, duration) / max(duration, 1e-9)
+        kind = "cellular"
+    else:
+        rate = cfg.rate
+        kind = "wired"
+    return {
+        "kind": kind,
+        "rate": rate,
+        "prop_delay": cfg.prop_delay,
+        "buffer_packets": cfg.buffer_packets,
+    }
+
+
 def run_experiment(
     path_config: PathConfig,
     flows: List[FlowSpec],
@@ -186,6 +217,7 @@ def run_experiment(
     measure_end: Optional[float] = None,
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
     audit: Optional[bool] = None,
+    telemetry: Optional[Any] = None,
 ) -> List[FlowResult]:
     """Run ``flows`` over one shared path and reduce the results.
 
@@ -197,9 +229,53 @@ def run_experiment(
     observation-only — results are bit-identical either way — and a
     violation raises :class:`~repro.debug.InvariantViolation` after
     dumping a flight-recorder trace.
+
+    ``telemetry`` enables the :mod:`repro.obs` telemetry spine: a
+    trace-file path (or a live :class:`~repro.obs.Tracer`; None defers
+    to the ``REPRO_TELEMETRY`` environment switch, then to any ambient
+    tracer).  Telemetry is observer-only — with it off, results are
+    bit-identical to pre-telemetry builds; with it on, each
+    :class:`FlowResult` additionally carries a ``metrics`` snapshot and
+    every CC/link/queue event is appended to the trace.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
+
+    tracer, owns_tracer = obs.resolve_tracer(telemetry)
+    if tracer is not None and obs.current_tracer() is not tracer:
+        obs.activate(tracer)
+        activated = True
+    else:
+        activated = False
+    try:
+        return _run_experiment_traced(
+            path_config,
+            flows,
+            duration,
+            measure_start,
+            measure_end,
+            ts_granularity,
+            audit,
+            tracer,
+        )
+    finally:
+        if activated:
+            obs.deactivate()
+        if owns_tracer:
+            tracer.close()
+
+
+def _run_experiment_traced(
+    path_config: PathConfig,
+    flows: List[FlowSpec],
+    duration: float,
+    measure_start: float,
+    measure_end: Optional[float],
+    ts_granularity: float,
+    audit: Optional[bool],
+    tracer,
+) -> List[FlowResult]:
+    wall_start = perf_counter() if tracer is not None else 0.0
     sim = Simulator()
     path = DuplexPath(sim, path_config)
     harnessed = []
@@ -251,6 +327,44 @@ def run_experiment(
             )
         harnessed.append((spec, name, collector, sender))
 
+    samplers = []
+    if tracer is not None:
+        tracer.emit(
+            obs.RUN_START,
+            0.0,
+            duration=duration,
+            measure_start=measure_start,
+            flows=[
+                {
+                    "flow": flow_id,
+                    "name": name,
+                    "cc": type(sender.cc).__name__,
+                    "direction": spec.direction,
+                    "start": spec.start,
+                }
+                for flow_id, (spec, name, collector, sender) in enumerate(harnessed)
+            ],
+            links={
+                "downlink": _link_meta(path_config.downlink, duration),
+                "uplink": _link_meta(path_config.uplink, duration),
+            },
+        )
+        from repro.metrics.telemetry import QueueSampler
+
+        for link_name, link in (
+            ("downlink", path.forward_link),
+            ("uplink", path.reverse_link),
+        ):
+            samplers.append(
+                QueueSampler(
+                    sim,
+                    link.queue,
+                    interval=obs.QUEUE_SAMPLE_INTERVAL,
+                    name=link_name,
+                    tracer=tracer,
+                )
+            )
+
     try:
         sim.run(until=duration)
         if auditor is not None:
@@ -261,6 +375,39 @@ def run_experiment(
         if auditor is not None:
             auditor.record_exception(exc)
         raise
+    finally:
+        for sampler in samplers:
+            sampler.stop()
+
+    snapshot: Optional[Dict[str, Any]] = None
+    if tracer is not None:
+        metrics = tracer.metrics
+        metrics.counter("run.engine.events").add(sim.events_processed)
+        metrics.counter("run.engine.compactions").add(sim.compactions)
+        for link_name, link in (
+            ("downlink", path.forward_link),
+            ("uplink", path.reverse_link),
+        ):
+            peak = getattr(link.queue, "peak_length", None)
+            if peak is None and samplers:
+                sampler = samplers[0 if link_name == "downlink" else 1]
+                peak = max(sampler.lengths, default=0)
+            metrics.gauge(f"run.link.{link_name}.queue_peak").track_max(peak or 0)
+        for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
+            prefix = f"flow{flow_id}."
+            metrics.counter(prefix + "retransmits").add(sender.retransmissions)
+            metrics.counter(prefix + "spurious_rtx").add(sender.spurious_marks)
+            metrics.counter(prefix + "rtos").add(sender.rto_count)
+            metrics.counter(prefix + "acks").add(sender.acks_received)
+            metrics.counter(prefix + "segments_sent").add(sender.segments_sent)
+            metrics.counter(prefix + "lost_total").add(sender.lost_total)
+            close = getattr(sender.cc, "telemetry_close", None)
+            if close is not None:
+                close(sim.now)
+        metrics.gauge("run.timing.wall_s").set(perf_counter() - wall_start)
+        snapshot = metrics.snapshot()
+        tracer.emit(obs.METRICS, sim.now, scope="run", metrics=snapshot)
+        tracer.emit(obs.RUN_END, sim.now, events=sim.events_processed)
 
     results: List[FlowResult] = []
     for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
@@ -299,6 +446,11 @@ def run_experiment(
                 collector=collector,
                 sender=sender,
                 capacity=capacity,
+                metrics=(
+                    obs.flow_metrics_view(snapshot, flow_id)
+                    if snapshot is not None
+                    else None
+                ),
             )
         )
     return results
@@ -316,6 +468,7 @@ def run_single_flow(
     aqm: str = "droptail",
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
     audit: Optional[bool] = None,
+    telemetry: Optional[Any] = None,
 ) -> FlowResult:
     """Convenience wrapper: one downlink flow over a cellular path."""
     config = cellular_path_config(
@@ -332,5 +485,6 @@ def run_single_flow(
         measure_start=measure_start,
         ts_granularity=ts_granularity,
         audit=audit,
+        telemetry=telemetry,
     )
     return results[0]

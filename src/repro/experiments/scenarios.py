@@ -321,6 +321,9 @@ class ScenarioSpec:
     #: Invariant auditing (:mod:`repro.debug`): None defers to the
     #: REPRO_AUDIT environment switch, which worker processes inherit.
     audit: Optional[bool] = None
+    #: Telemetry trace path (:mod:`repro.obs`); assigned by the batch
+    #: layer when a batch-level target is given.
+    telemetry: Optional[str] = None
 
     def execute(self):
         from repro.experiments.parallel import detach_results, resolve_trace
@@ -334,7 +337,16 @@ class ScenarioSpec:
         kwargs = dict(self.options)
         if self.audit is not None:
             kwargs["audit"] = self.audit
-        outcome = driver(*args, **kwargs)
+        if self.telemetry is not None:
+            import repro.obs as obs
+
+            # Scenario drivers build their simulations internally, and
+            # instrumented components bind the ambient tracer at
+            # construction — activate it around the whole driver call.
+            with obs.tracing(self.telemetry):
+                outcome = driver(*args, **kwargs)
+        else:
+            outcome = driver(*args, **kwargs)
         return detach_results(outcome)
 
 
@@ -348,6 +360,7 @@ def run_scenario_grid(
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome=None,
+    telemetry: Optional[str] = None,
     **options: object,
 ) -> Dict[str, object]:
     """Run one scenario for several algorithms, optionally in parallel.
@@ -358,7 +371,8 @@ def run_scenario_grid(
     enables invariant auditing per cell (None defers to REPRO_AUDIT,
     which worker processes inherit).  ``timeout`` (per-cell wall
     clock), ``retries`` (bounded re-dispatch after a timeout or worker
-    death), and ``on_outcome`` (streaming progress callback) forward to
+    death), ``on_outcome`` (streaming progress callback), and
+    ``telemetry`` (merged batch trace, :mod:`repro.obs`) forward to
     :func:`repro.experiments.parallel.run_batch`.
     """
     from repro.experiments.parallel import collect, run_batch
@@ -386,6 +400,7 @@ def run_scenario_grid(
             timeout=timeout,
             retries=retries,
             on_outcome=on_outcome,
+            telemetry=telemetry,
         )
     )
     return dict(zip(labels, results))

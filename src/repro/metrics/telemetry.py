@@ -12,11 +12,13 @@ the model predicts: peak, trough, average and period.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.obs import QUEUE_SAMPLE, current_tracer
 from repro.sim.engine import PeriodicTimer, Simulator
 
 
@@ -26,6 +28,10 @@ class QueueSampler:
     ``queue`` is anything with ``__len__`` (both queue classes and links
     via their ``queue`` attribute).  ``service_rate`` converts packets to
     buffer delay seconds when summarising.
+
+    When telemetry is active (an explicit ``tracer`` or the ambient one)
+    every sample is also emitted as a ``queue.sample`` event tagged with
+    ``name``, feeding the ``repro trace`` sawtooth reconstruction.
     """
 
     def __init__(
@@ -34,15 +40,27 @@ class QueueSampler:
         queue,
         interval: float = 0.005,
         start: float = 0.0,
+        name: str = "queue",
+        tracer=None,
     ) -> None:
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.queue = queue
         self.interval = interval
+        self.name = name
         self.times: List[float] = []
         self.lengths: List[int] = []
         self._sim = sim
         self._timer: Optional[PeriodicTimer] = None
+        self._tracer = tracer if tracer is not None else current_tracer()
+        # Samples dominate a trace's record count (one every 10 ms per
+        # link vs a handful of CC events per RTT), so they bypass the
+        # generic emit path: the invariant parts of the line are
+        # pre-encoded and only (t, len) are spliced in.  repr() of a
+        # finite float is valid JSON.
+        self._fmt = '{"t":%%r,"kind":%s,"link":%s,"len":%%d}' % (
+            json.dumps(QUEUE_SAMPLE), json.dumps(name),
+        )
         sim.schedule_at(start, self._start)
 
     def _start(self) -> None:
@@ -51,8 +69,14 @@ class QueueSampler:
         )
 
     def _sample(self) -> None:
-        self.times.append(self._sim.now)
-        self.lengths.append(len(self.queue))
+        now = self._sim.now
+        n = len(self.queue)
+        self.times.append(now)
+        self.lengths.append(n)
+        tr = self._tracer
+        if tr is not None:
+            tr.sink.write_line(self._fmt % (now, n))
+            tr.events += 1
 
     def stop(self) -> None:
         if self._timer is not None:

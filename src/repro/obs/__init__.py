@@ -1,0 +1,66 @@
+"""Unified telemetry spine: structured events, metrics, JSONL export.
+
+See ``docs/observability.md`` for the event schema and workflows.
+``repro.obs.analyze`` (the ``repro trace`` backend) is intentionally
+not imported here — it depends on :mod:`repro.metrics.telemetry` and
+is loaded lazily by the CLI.
+"""
+
+from repro.obs.events import (
+    ALL_KINDS,
+    AUDIT_DUMP,
+    AUDIT_VIOLATION,
+    CC_EPOCH,
+    CC_ESTIMATOR,
+    CC_LOSS,
+    CC_NFL,
+    CC_RECOVERY,
+    CC_RTO,
+    CC_STATE,
+    FORMAT,
+    LINK_HANDOVER,
+    LINK_OUTAGE,
+    LINK_RECOVER,
+    META,
+    METRICS,
+    QUEUE_SAMPLE,
+    RUN_END,
+    RUN_START,
+    SCHED_DISPATCH,
+    SCHED_OUTCOME,
+    SCHED_RETRY,
+    SCHED_TIMEOUT,
+    SCHED_WORKER_DEATH,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    canonical_metrics,
+    flow_metrics_view,
+    merge_snapshots,
+    merge_value,
+)
+from repro.obs.sink import JsonlSink, encode, iter_trace_files
+from repro.obs.tracer import (
+    QUEUE_SAMPLE_INTERVAL,
+    TELEMETRY_ENV,
+    Tracer,
+    activate,
+    current_tracer,
+    deactivate,
+    env_trace_path,
+    resolve_tracer,
+    tracing,
+)
+
+__all__ = [
+    "ALL_KINDS", "AUDIT_DUMP", "AUDIT_VIOLATION", "CC_EPOCH",
+    "CC_ESTIMATOR", "CC_LOSS", "CC_NFL", "CC_RECOVERY", "CC_RTO",
+    "CC_STATE", "FORMAT", "LINK_HANDOVER", "LINK_OUTAGE", "LINK_RECOVER",
+    "META", "METRICS", "QUEUE_SAMPLE", "RUN_END", "RUN_START",
+    "SCHED_DISPATCH", "SCHED_OUTCOME", "SCHED_RETRY", "SCHED_TIMEOUT",
+    "SCHED_WORKER_DEATH", "MetricsRegistry", "canonical_metrics",
+    "flow_metrics_view", "merge_snapshots", "merge_value", "JsonlSink",
+    "encode", "iter_trace_files", "QUEUE_SAMPLE_INTERVAL",
+    "TELEMETRY_ENV", "Tracer", "activate", "current_tracer",
+    "deactivate", "env_trace_path", "resolve_tracer", "tracing",
+]

@@ -1,0 +1,331 @@
+"""Trace analysis behind the ``repro trace`` CLI subcommand.
+
+Reads a JSONL trace (single run, or a coordinator-merged parallel
+batch where every record carries a ``run`` index), and reconstructs
+the quantities the paper reasons with: the state-dwell breakdown of
+the Fill/Drain machine, the bottleneck-queue sawtooth (via the
+existing :func:`repro.metrics.telemetry.sawtooth_summary`), and the
+NFL threshold's convergence toward the latency target.
+
+Kept out of ``repro.obs.__init__`` so the hot-path tracer never drags
+in numpy/metrics; the CLI imports this module lazily.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from collections import defaultdict
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.telemetry import sawtooth_summary
+from repro.obs.events import (
+    CC_NFL,
+    CC_STATE,
+    META,
+    METRICS,
+    QUEUE_SAMPLE,
+    RUN_END,
+    RUN_START,
+)
+from repro.obs.registry import merge_snapshots
+from repro.obs.sink import iter_trace_files
+
+#: MSS assumed when converting queue occupancy to buffering delay.
+PACKET_BYTES = 1500
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """All records of a possibly-rotated trace, oldest first."""
+    records: List[Dict[str, Any]] = []
+    files = iter_trace_files(path)
+    if not files:
+        raise FileNotFoundError(f"no trace found at {path}")
+    for fpath in files:
+        with open(fpath, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    records.append(json.loads(line))
+    return records
+
+
+def _run_of(event: Dict[str, Any]) -> Optional[int]:
+    return event.get("run")
+
+
+def kind_counts(events: List[Dict[str, Any]]) -> Dict[str, int]:
+    return dict(TallyCounter(e.get("kind", "?") for e in events))
+
+
+def run_end_times(events: List[Dict[str, Any]]) -> Dict[Optional[int], float]:
+    """Per-run trace horizon: the run.end time, else the last sim event."""
+    ends: Dict[Optional[int], float] = {}
+    for e in events:
+        kind = e.get("kind", "")
+        if kind.startswith("sched.") or kind == META:
+            continue
+        run = _run_of(e)
+        t = e.get("t", 0.0)
+        if kind == RUN_END or t > ends.get(run, 0.0):
+            ends[run] = max(ends.get(run, 0.0), t)
+    return ends
+
+
+def state_dwell(events: List[Dict[str, Any]],
+                ) -> Dict[Tuple[Optional[int], Optional[int]],
+                          Dict[str, List[float]]]:
+    """Per (run, flow): state -> [entries, total dwell seconds]."""
+    ends = run_end_times(events)
+    open_state: Dict[Tuple, Tuple[str, float]] = {}
+    dwell: Dict[Tuple, Dict[str, List[float]]] = defaultdict(
+        lambda: defaultdict(lambda: [0, 0.0]))
+    for e in events:
+        if e.get("kind") != CC_STATE:
+            continue
+        key = (_run_of(e), e.get("flow"))
+        t = e["t"]
+        prev = open_state.get(key)
+        if prev is not None:
+            cell = dwell[key][prev[0]]
+            cell[1] += t - prev[1]
+        cell = dwell[key][e["state"]]
+        cell[0] += 1
+        open_state[key] = (e["state"], t)
+    for key, (state, since) in open_state.items():
+        end = ends.get(key[0], since)
+        if end > since:
+            dwell[key][state][1] += end - since
+    return {k: dict(v) for k, v in dwell.items()}
+
+
+def nfl_curve(events: List[Dict[str, Any]],
+              ) -> Dict[Tuple[Optional[int], Optional[int]],
+                        List[Dict[str, float]]]:
+    """Per (run, flow): the sequence of applied NFL threshold updates."""
+    curves: Dict[Tuple, List[Dict[str, float]]] = defaultdict(list)
+    for e in events:
+        if e.get("kind") == CC_NFL:
+            curves[(_run_of(e), e.get("flow"))].append(e)
+    return dict(curves)
+
+
+def link_rates(events: List[Dict[str, Any]],
+               ) -> Dict[Tuple[Optional[int], str], float]:
+    """Per (run, link name): mean capacity in bytes/s from run.start."""
+    rates: Dict[Tuple[Optional[int], str], float] = {}
+    for e in events:
+        if e.get("kind") == RUN_START:
+            for name, meta in (e.get("links") or {}).items():
+                rate = meta.get("rate")
+                if rate:
+                    rates[(_run_of(e), name)] = rate
+    return rates
+
+
+def queue_waveforms(events: List[Dict[str, Any]],
+                    ) -> Dict[Tuple[Optional[int], str],
+                              Tuple[np.ndarray, np.ndarray]]:
+    """Per (run, link): (sample times, queue length) arrays."""
+    samples: Dict[Tuple, Tuple[List[float], List[int]]] = defaultdict(
+        lambda: ([], []))
+    for e in events:
+        if e.get("kind") == QUEUE_SAMPLE:
+            times, lens = samples[(_run_of(e), e.get("link", "?"))]
+            times.append(e["t"])
+            lens.append(e["len"])
+    return {k: (np.asarray(t), np.asarray(n))
+            for k, (t, n) in samples.items()}
+
+
+def merged_metrics(events: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """One aggregate snapshot: the batch record if present, else the
+    fold of every run-scope metrics record."""
+    batch = None
+    total: Dict[str, Any] = {}
+    for e in events:
+        if e.get("kind") != METRICS:
+            continue
+        if e.get("scope") == "batch":
+            batch = e.get("metrics", {})
+        else:
+            merge_snapshots(total, e.get("metrics", {}))
+    return batch if batch is not None else total
+
+
+def _fmt_run(run: Optional[int]) -> str:
+    return "-" if run is None else str(run)
+
+
+def _sawtooth_lines(events: List[Dict[str, Any]]) -> List[str]:
+    rates = link_rates(events)
+    lines = []
+    for (run, link), (times, lens) in sorted(
+            queue_waveforms(events).items(),
+            key=lambda kv: (_fmt_run(kv[0][0]), kv[0][1])):
+        rate = rates.get((run, link))
+        if not rate or times.size < 10:
+            lines.append(f"  run {_fmt_run(run)} {link:10s} "
+                         f"{times.size} samples (too few / no rate)")
+            continue
+        delays = lens * (PACKET_BYTES / rate)
+        try:
+            s = sawtooth_summary(times, delays)
+        except ValueError as exc:
+            lines.append(f"  run {_fmt_run(run)} {link:10s} n/a ({exc})")
+            continue
+        period = "n/a" if np.isnan(s.period) else f"{s.period:6.2f}s"
+        lines.append(
+            f"  run {_fmt_run(run)} {link:10s} peak {s.dmax * 1000:7.1f}ms  "
+            f"trough {s.dmin * 1000:7.1f}ms  avg {s.average * 1000:7.1f}ms  "
+            f"period {period}  cycles {s.n_cycles}  "
+            f"empty {s.empty_fraction * 100:.0f}%")
+    return lines
+
+
+def _nfl_lines(events: List[Dict[str, Any]], max_rows: int = 6) -> List[str]:
+    lines = []
+    for (run, flow), curve in sorted(
+            nfl_curve(events).items(),
+            key=lambda kv: (_fmt_run(kv[0][0]), str(kv[0][1]))):
+        first, last = curve[0], curve[-1]
+        target = last.get("target", float("nan"))
+        lines.append(
+            f"  run {_fmt_run(run)} flow {flow}: {len(curve)} updates, "
+            f"T {first['threshold'] * 1000:.1f}ms -> "
+            f"{last['threshold'] * 1000:.1f}ms "
+            f"(target {target * 1000:.1f}ms, final t_actual "
+            f"{last.get('t_actual', float('nan')) * 1000:.1f}ms)")
+        if len(curve) > 1:
+            idx = np.unique(np.linspace(0, len(curve) - 1,
+                                        min(max_rows, len(curve)), dtype=int))
+            for i in idx:
+                e = curve[i]
+                lines.append(
+                    f"      t={e['t']:7.2f}s  T={e['threshold'] * 1000:6.2f}ms"
+                    f"  t_actual={e.get('t_actual', float('nan')) * 1000:6.2f}ms")
+    return lines
+
+
+def _dwell_lines(events: List[Dict[str, Any]]) -> List[str]:
+    lines = []
+    for (run, flow), states in sorted(
+            state_dwell(events).items(),
+            key=lambda kv: (_fmt_run(kv[0][0]), str(kv[0][1]))):
+        total = sum(t for _, t in states.values()) or 1.0
+        lines.append(f"  run {_fmt_run(run)} flow {flow}:")
+        for state, (entries, secs) in sorted(
+                states.items(), key=lambda kv: -kv[1][1]):
+            lines.append(
+                f"      {state:12s} {entries:5d} entries  {secs:8.2f}s  "
+                f"{secs / total * 100:5.1f}%")
+    return lines
+
+
+def _metrics_lines(events: List[Dict[str, Any]], limit: int = 40) -> List[str]:
+    snap = merged_metrics(events)
+    lines = []
+    for key in sorted(snap)[:limit]:
+        value = snap[key]
+        if isinstance(value, dict):
+            if "gauge" in value:
+                lines.append(f"  {key} = {value['gauge']:g} (peak)")
+            else:
+                mean = value["sum"] / value["count"] if value["count"] else 0.0
+                lines.append(
+                    f"  {key} = n={value['count']} mean={mean:.3g} "
+                    f"min={value['min']:.3g} max={value['max']:.3g}")
+        else:
+            lines.append(f"  {key} = {value:g}"
+                         if isinstance(value, float) else f"  {key} = {value}")
+    if len(snap) > limit:
+        lines.append(f"  ... {len(snap) - limit} more")
+    return lines
+
+
+def summarize_trace(events: List[Dict[str, Any]], label: str = "trace") -> str:
+    """Human-readable single-trace report."""
+    counts = kind_counts(events)
+    runs = sorted({_fmt_run(_run_of(e)) for e in events
+                   if e.get("kind") not in (META,)})
+    out = [f"Trace {label}: {len(events)} records, runs: "
+           f"{', '.join(runs) if runs else '-'}"]
+    out.append("Event counts:")
+    for kind in sorted(counts):
+        out.append(f"  {kind:20s} {counts[kind]}")
+    dwell = _dwell_lines(events)
+    if dwell:
+        out.append("State dwell (CC state machine):")
+        out.extend(dwell)
+    nfl = _nfl_lines(events)
+    if nfl:
+        out.append("NFL threshold convergence:")
+        out.extend(nfl)
+    saw = _sawtooth_lines(events)
+    if saw:
+        out.append("Queue sawtooth (from queue.sample, assuming 1500 B/pkt):")
+        out.extend(saw)
+    metrics = _metrics_lines(events)
+    if metrics:
+        out.append("Metrics:")
+        out.extend(metrics)
+    return "\n".join(out)
+
+
+def _aggregate_dwell(events: List[Dict[str, Any]]) -> Dict[str, float]:
+    totals: Dict[str, float] = defaultdict(float)
+    for states in state_dwell(events).values():
+        for state, (_, secs) in states.items():
+            totals[state] += secs
+    return dict(totals)
+
+
+def _final_thresholds(events: List[Dict[str, Any]]) -> Dict[str, float]:
+    return {f"run {_fmt_run(run)} flow {flow}": curve[-1]["threshold"]
+            for (run, flow), curve in nfl_curve(events).items()}
+
+
+def diff_traces(a: List[Dict[str, Any]], b: List[Dict[str, Any]],
+                label_a: str = "A", label_b: str = "B") -> str:
+    """Side-by-side comparison of two traces."""
+    out = [f"Diff: A={label_a} ({len(a)} records)  "
+           f"B={label_b} ({len(b)} records)"]
+    ca, cb = kind_counts(a), kind_counts(b)
+    out.append("Event count deltas (B - A):")
+    for kind in sorted(set(ca) | set(cb)):
+        da, db = ca.get(kind, 0), cb.get(kind, 0)
+        if da != db:
+            out.append(f"  {kind:20s} {da:8d} -> {db:8d}  ({db - da:+d})")
+    dwa, dwb = _aggregate_dwell(a), _aggregate_dwell(b)
+    if dwa or dwb:
+        ta = sum(dwa.values()) or 1.0
+        tb = sum(dwb.values()) or 1.0
+        out.append("State dwell share (all runs/flows):")
+        for state in sorted(set(dwa) | set(dwb)):
+            sa, sb = dwa.get(state, 0.0) / ta, dwb.get(state, 0.0) / tb
+            out.append(f"  {state:12s} {sa * 100:6.1f}% -> {sb * 100:6.1f}%  "
+                       f"({(sb - sa) * 100:+.1f}pp)")
+    tha, thb = _final_thresholds(a), _final_thresholds(b)
+    if tha or thb:
+        out.append("Final NFL threshold (ms):")
+        for key in sorted(set(tha) | set(thb)):
+            va = tha.get(key)
+            vb = thb.get(key)
+            fa = "-" if va is None else f"{va * 1000:.2f}"
+            fb = "-" if vb is None else f"{vb * 1000:.2f}"
+            out.append(f"  {key}: {fa} -> {fb}")
+    ma, mb = merged_metrics(a), merged_metrics(b)
+    changed = []
+    for key in sorted(set(ma) | set(mb)):
+        va, vb = ma.get(key), mb.get(key)
+        if isinstance(va, (int, float)) and isinstance(vb, (int, float)):
+            if va != vb:
+                changed.append(f"  {key}: {va:g} -> {vb:g}")
+        elif va != vb:
+            changed.append(f"  {key}: changed")
+    if changed:
+        out.append("Metric deltas:")
+        out.extend(changed[:50])
+    return "\n".join(out)

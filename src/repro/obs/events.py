@@ -1,0 +1,77 @@
+"""Event schema for the telemetry spine.
+
+Every record written to a trace is a flat JSON object with at least:
+
+* ``t`` -- simulated seconds (scheduler records use wall seconds since
+  batch start; the ``kind`` disambiguates).
+* ``kind`` -- one of the constants below.
+
+plus kind-specific fields documented in ``docs/observability.md``.
+Records from merged parallel traces additionally carry ``run`` (the
+spec index within the batch).  The first record of every file is a
+``meta`` header naming :data:`FORMAT`.
+"""
+
+#: Format tag written in the ``meta`` header of every trace file.
+FORMAT = "repro.obs/1"
+
+#: Header record at the top of each trace file.
+META = "meta"
+
+# -- congestion control ------------------------------------------------
+#: State machine transition (SLOW_START/FILL/DRAIN/MONITOR).
+CC_STATE = "cc.state"
+#: NFL threshold update applied (threshold, t_actual, target).
+CC_NFL = "cc.nfl"
+#: Estimator snapshot at each BDP-window boundary (rho, t_buff, T).
+CC_ESTIMATOR = "cc.estimator"
+#: Estimator epoch: rate reset or RD_min rebase/reset.
+CC_EPOCH = "cc.epoch"
+#: New losses detected (entering recovery).
+CC_LOSS = "cc.loss"
+#: Retransmission timeout fired.
+CC_RTO = "cc.rto"
+#: Recovery point passed; loss episode over.
+CC_RECOVERY = "cc.recovery"
+
+# -- link layer --------------------------------------------------------
+#: Service-opportunity gap exceeding OUTAGE_GAP with packets queued.
+LINK_OUTAGE = "link.outage"
+#: First delivery after an outage edge.
+LINK_RECOVER = "link.recover"
+#: Propagation delay changed mid-run (handover model).
+LINK_HANDOVER = "link.handover"
+
+# -- periodic sampling -------------------------------------------------
+#: Bottleneck queue occupancy sample (link, len).
+QUEUE_SAMPLE = "queue.sample"
+
+# -- invariant auditor -------------------------------------------------
+#: Auditor invariant violation (check, message, context).
+AUDIT_VIOLATION = "audit.violation"
+#: Flight-recorder dump written to disk (path, violations).
+AUDIT_DUMP = "audit.dump"
+
+# -- run / batch lifecycle ---------------------------------------------
+#: Experiment run started (duration, links, flows).
+RUN_START = "run.start"
+#: Experiment run finished (events processed).
+RUN_END = "run.end"
+#: Metrics registry snapshot (scope: run | batch).
+METRICS = "metrics"
+
+# -- parallel scheduler (wall-clock t, seconds since batch start) ------
+SCHED_DISPATCH = "sched.dispatch"
+SCHED_RETRY = "sched.retry"
+SCHED_TIMEOUT = "sched.timeout"
+SCHED_WORKER_DEATH = "sched.worker-death"
+SCHED_OUTCOME = "sched.outcome"
+
+#: Every kind above, for validation and analysis tooling.
+ALL_KINDS = frozenset({
+    META, CC_STATE, CC_NFL, CC_ESTIMATOR, CC_EPOCH, CC_LOSS, CC_RTO,
+    CC_RECOVERY, LINK_OUTAGE, LINK_RECOVER, LINK_HANDOVER, QUEUE_SAMPLE,
+    AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS,
+    SCHED_DISPATCH, SCHED_RETRY, SCHED_TIMEOUT, SCHED_WORKER_DEATH,
+    SCHED_OUTCOME,
+})

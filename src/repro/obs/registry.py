@@ -1,0 +1,181 @@
+"""Named counters, gauges, and histograms aggregated per flow/run/batch.
+
+A :class:`MetricsRegistry` is owned by a :class:`~repro.obs.tracer.Tracer`
+and populated by the instrumented components at run end (plus sampled
+hot-path timings during the run).  ``snapshot()`` renders it to a plain
+JSON-able dict whose value shapes are self-describing so snapshots from
+different runs can be merged without a side schema:
+
+* ``int``/``float`` -- counter, merged by summing;
+* ``{"gauge": x}`` -- gauge, merged by ``max``;
+* ``{"count", "sum", "min", "max"}`` -- histogram, merged field-wise.
+
+Keys containing ``"timing"`` hold wall-clock measurements and are
+excluded from the deterministic view used by ``FlowResult.summary()``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, Optional, Tuple
+
+
+class Counter:
+    """Monotonic sum."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def add(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Last/peak value; snapshots merge gauges by ``max``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, v: float) -> None:
+        self.value = v
+
+    def track_max(self, v: float) -> None:
+        if v > self.value:
+            self.value = v
+
+
+class Histogram:
+    """Count/sum/min/max summary of observed values."""
+
+    __slots__ = ("count", "sum", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        self.count += 1
+        self.sum += v
+        if v < self.min:
+            self.min = v
+        if v > self.max:
+            self.max = v
+
+
+class MetricsRegistry:
+    """Registry of named metrics with lazy instrument creation."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        inst = self._counters.get(name)
+        if inst is None:
+            inst = self._counters[name] = Counter()
+        return inst
+
+    def gauge(self, name: str) -> Gauge:
+        inst = self._gauges.get(name)
+        if inst is None:
+            inst = self._gauges[name] = Gauge()
+        return inst
+
+    def histogram(self, name: str) -> Histogram:
+        inst = self._histograms.get(name)
+        if inst is None:
+            inst = self._histograms[name] = Histogram()
+        return inst
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Plain-dict rendering with self-describing value shapes."""
+        out: Dict[str, Any] = {}
+        for name, c in self._counters.items():
+            out[name] = c.value
+        for name, g in self._gauges.items():
+            out[name] = {"gauge": g.value}
+        for name, h in self._histograms.items():
+            if h.count:
+                out[name] = {"count": h.count, "sum": h.sum,
+                             "min": h.min, "max": h.max}
+        return out
+
+
+def merge_value(a: Any, b: Any) -> Any:
+    """Merge two snapshot values of the same key (see module doc)."""
+    if isinstance(a, dict) and isinstance(b, dict):
+        if "gauge" in a:
+            return {"gauge": max(a["gauge"], b.get("gauge", a["gauge"]))}
+        return {
+            "count": a.get("count", 0) + b.get("count", 0),
+            "sum": a.get("sum", 0.0) + b.get("sum", 0.0),
+            "min": min(a.get("min", float("inf")), b.get("min", float("inf"))),
+            "max": max(a.get("max", float("-inf")), b.get("max", float("-inf"))),
+        }
+    if isinstance(a, (int, float)) and isinstance(b, (int, float)):
+        return a + b
+    return b
+
+
+_FLOW_PREFIX = re.compile(r"^flow\d+\.")
+
+
+def merge_snapshots(total: Dict[str, Any], snap: Dict[str, Any]) -> None:
+    """Fold ``snap`` into the batch aggregate ``total`` in place.
+
+    Per-flow keys (``flowN.x``) are normalised to ``flows.x`` so that
+    flows from different runs aggregate together.
+    """
+    for key, value in snap.items():
+        norm = _FLOW_PREFIX.sub("flows.", key)
+        if norm in total:
+            total[norm] = merge_value(total[norm], value)
+        else:
+            total[norm] = value
+
+
+def flow_metrics_view(snapshot: Dict[str, Any], flow_id: int) -> Dict[str, Any]:
+    """The slice of a run snapshot relevant to one flow.
+
+    ``flow<id>.*`` keys are returned with the prefix stripped; run-level
+    ``run.*`` keys are kept verbatim (shared by every flow in the run).
+    """
+    prefix = f"flow{flow_id}."
+    view: Dict[str, Any] = {}
+    for key, value in snapshot.items():
+        if key.startswith(prefix):
+            view[key[len(prefix):]] = value
+        elif key.startswith("run."):
+            view[key] = value
+    return view
+
+
+def canonical_metrics(metrics: Optional[Dict[str, Any]]) -> Tuple:
+    """Deterministic hashable rendering for ``FlowResult.summary()``.
+
+    Wall-clock keys (containing ``"timing"``) are dropped so summaries
+    stay bit-identical across hosts and job counts.
+    """
+    if not metrics:
+        return ()
+    items = []
+    for key in sorted(metrics):
+        if "timing" in key:
+            continue
+        value = metrics[key]
+        if isinstance(value, dict):
+            if "gauge" in value:
+                items.append((key, ("gauge", value["gauge"])))
+            else:
+                items.append((key, ("hist", value["count"], value["sum"],
+                                    value["min"], value["max"])))
+        else:
+            items.append((key, value))
+    return tuple(items)

@@ -1,0 +1,91 @@
+"""JSONL trace sink with size-based rotation.
+
+Records are written one JSON object per line.  When the live file
+exceeds ``rotate_bytes`` it is renamed to ``<path>.1``, ``<path>.2``,
+... (ascending = chronological) and a fresh file is opened at the
+original path, so a bounded tail is always at the expected location
+while nothing is lost.  ``iter_trace_files`` returns the rotated
+series in write order for readers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.events import FORMAT, META
+
+#: Default rotation threshold; generous for simulation traces (a 40 s
+#: single-flow run emits a few MB at the default sampling interval).
+ROTATE_BYTES = 64 * 1024 * 1024
+
+
+def encode(record: Dict[str, Any]) -> str:
+    """One-line compact JSON; non-JSON values degrade to ``repr``."""
+    return json.dumps(record, separators=(",", ":"), default=repr)
+
+
+class JsonlSink:
+    """Append-only JSONL writer with rotation."""
+
+    def __init__(self, path: Union[str, Path], rotate_bytes: int = ROTATE_BYTES,
+                 header: bool = True) -> None:
+        self.path = str(path)
+        parent = os.path.dirname(self.path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        self.rotate_bytes = rotate_bytes
+        self.rotations = 0
+        self._written = 0
+        self._closed = False
+        self._fh = open(self.path, "w", encoding="utf-8")
+        if header:
+            self.write({"t": 0.0, "kind": META, "format": FORMAT,
+                        "pid": os.getpid()})
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.write_line(encode(record))
+
+    def write_line(self, line: str) -> None:
+        """Append one already-encoded JSON line (the batch-merge path)."""
+        self._fh.write(line)
+        self._fh.write("\n")
+        self._written += len(line) + 1
+        if self.rotate_bytes and self._written >= self.rotate_bytes:
+            self._rotate()
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        self.rotations += 1
+        os.replace(self.path, f"{self.path}.{self.rotations}")
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._written = 0
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._fh.close()
+
+
+def iter_trace_files(path: Union[str, Path]) -> List[str]:
+    """All files of a possibly-rotated trace, oldest first.
+
+    Only pure-numeric suffixes count as rotations (``x.jsonl.1``);
+    worker part files (``x.jsonl.part0003.jsonl``) are unrelated.
+    """
+    path = str(path)
+    rotated = []
+    parent = os.path.dirname(path) or "."
+    base = os.path.basename(path)
+    if os.path.isdir(parent):
+        for name in os.listdir(parent):
+            if name.startswith(base + "."):
+                suffix = name[len(base) + 1:]
+                if suffix.isdigit():
+                    rotated.append((int(suffix), os.path.join(parent, name)))
+    files = [p for _, p in sorted(rotated)]
+    if os.path.exists(path):
+        files.append(path)
+    return files

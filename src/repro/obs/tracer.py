@@ -1,0 +1,134 @@
+"""Run-scoped tracer handle and process-wide activation.
+
+The contract mirrors the audit switch (``repro.debug.audit_enabled``):
+telemetry is **off by default** and instrumented components pay only a
+``None`` check when it is off.  Components capture the ambient tracer
+at construction time (``current_tracer()``), so a tracer must be
+activated *before* the simulator/flows are built — ``run_experiment``
+does this when given a ``telemetry=`` target, and ``tracing()`` is the
+context manager for hand-built simulations.
+
+Resolution order for a run (``resolve_tracer``):
+
+1. an explicit ``telemetry=`` argument (path or ``Tracer``);
+2. the already-active ambient tracer (nested runs share it);
+3. the ``REPRO_TELEMETRY`` environment variable: ``1``/``true`` writes
+   ``telemetry/trace-<pid>-<n>.jsonl`` under the working directory, any
+   other non-empty value is used as a path prefix.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Iterator, Optional, Tuple, Union
+
+from repro.obs.registry import MetricsRegistry
+from repro.obs.sink import JsonlSink
+
+#: Environment switch, analogous to ``REPRO_AUDIT``.
+TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Values of the env var that mean "disabled" (same parsing as audit).
+_OFF = ("", "0", "false")
+
+#: Interval for the bottleneck-queue samplers attached by the runner.
+QUEUE_SAMPLE_INTERVAL = 0.010
+
+_env_seq = itertools.count()
+
+
+class Tracer:
+    """Live telemetry handle: an event sink plus a metrics registry."""
+
+    def __init__(self, sink: JsonlSink,
+                 metrics: Optional[MetricsRegistry] = None) -> None:
+        self.sink = sink
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.events = 0
+
+    def emit(self, kind: str, t: float, flow: Optional[int] = None,
+             **fields: Any) -> None:
+        record = {"t": t, "kind": kind}
+        if flow is not None:
+            record["flow"] = flow
+        record.update(fields)
+        self.sink.write(record)
+        self.events += 1
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+_active: Optional[Tracer] = None
+
+
+def current_tracer() -> Optional[Tracer]:
+    """The ambient tracer, or ``None`` when telemetry is off."""
+    return _active
+
+
+def activate(tracer: Tracer) -> Tracer:
+    global _active
+    if _active is not None:
+        raise RuntimeError("a tracer is already active in this process")
+    _active = tracer
+    return tracer
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+@contextmanager
+def tracing(target: Union[str, Path, Tracer]) -> Iterator[Tracer]:
+    """Activate a tracer for the duration of the block.
+
+    A path target creates (and on exit closes) a :class:`JsonlSink`
+    tracer; an existing :class:`Tracer` is activated without taking
+    ownership.
+    """
+    owned = not isinstance(target, Tracer)
+    tracer = Tracer(JsonlSink(str(target))) if owned else target
+    activate(tracer)
+    try:
+        yield tracer
+    finally:
+        deactivate()
+        if owned:
+            tracer.close()
+
+
+def env_trace_path() -> Optional[str]:
+    """Trace path mandated by ``REPRO_TELEMETRY``, or ``None`` if off."""
+    value = os.environ.get(TELEMETRY_ENV, "").strip()
+    if value.lower() in _OFF:
+        return None
+    n = next(_env_seq)
+    if value.lower() in ("1", "true", "yes", "on"):
+        return os.path.join("telemetry", f"trace-{os.getpid()}-{n}.jsonl")
+    return f"{value}.{os.getpid()}-{n}.jsonl"
+
+
+def resolve_tracer(telemetry: Union[str, Path, Tracer, None],
+                   ) -> Tuple[Optional[Tracer], bool]:
+    """Resolve a run's telemetry target to ``(tracer, owned)``.
+
+    ``owned`` tells the caller it must deactivate and close the tracer
+    when the run finishes; an ambient or caller-provided tracer is
+    never owned.
+    """
+    if telemetry is not None:
+        if isinstance(telemetry, Tracer):
+            return telemetry, False
+        return Tracer(JsonlSink(str(telemetry))), True
+    ambient = current_tracer()
+    if ambient is not None:
+        return ambient, False
+    path = env_trace_path()
+    if path is not None:
+        return Tracer(JsonlSink(path)), True
+    return None, False

@@ -97,6 +97,8 @@ class Simulator:
         self._running = False
         self._events_processed = 0
         self._compact_at = _COMPACT_MIN
+        #: Lazily-cancelled-entry sweeps actually performed (telemetry).
+        self.compactions = 0
         #: Observer invoked after an event's callback ran
         #: (:mod:`repro.debug`).  Must not mutate simulation state.
         #: Attach before calling :meth:`run`; the loop reads it once.
@@ -168,6 +170,7 @@ class Simulator:
             # In-place so references held by a running ``run`` stay valid.
             heap[:] = live
             heapify(heap)
+            self.compactions += 1
         self._compact_at = max(_COMPACT_MIN, 2 * len(heap))
 
     # ------------------------------------------------------------------

@@ -16,12 +16,18 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import Callable, List, Optional
 
+from repro.obs import LINK_HANDOVER, LINK_OUTAGE, LINK_RECOVER, current_tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import Packet
 from repro.sim.queues import DropTailQueue
 from repro.traces.trace import OPPORTUNITY_BYTES, Trace
 
 DeliverCallback = Callable[[Packet], None]
+
+#: A service gap at least this long with packets queued is reported as a
+#: ``link.outage`` telemetry event (normal inter-opportunity gaps on the
+#: paper's traces are milliseconds).
+OUTAGE_GAP = 0.100
 
 
 class Link:
@@ -64,10 +70,12 @@ class CellularLink(Link):
         self.sim = sim
         self.trace = trace
         self.queue = queue
-        self.prop_delay = prop_delay
+        self._prop_delay = prop_delay
         self.on_deliver = on_deliver
         self.loop = loop
         self.name = name
+        self._tracer = current_tracer()
+        self._outage_open = False
         self._times = trace.opportunity_times
         # Plain-float copy: scalar indexing and bisect on a Python list
         # beat numpy scalar extraction on this per-packet path.
@@ -79,6 +87,20 @@ class CellularLink(Link):
         self.delivered_packets = 0
         self.delivered_bytes = 0
         self.wasted_opportunities = 0
+
+    @property
+    def prop_delay(self) -> float:
+        return self._prop_delay
+
+    @prop_delay.setter
+    def prop_delay(self, value: float) -> None:
+        """Mid-run changes model a handover / signal-path shift; traced."""
+        old = self._prop_delay
+        self._prop_delay = value
+        tr = self._tracer
+        if tr is not None and value != old:
+            tr.emit(LINK_HANDOVER, self.sim.now, link=self.name,
+                    prop_delay=value, delta=value - old)
 
     # ------------------------------------------------------------------
     def enqueue(self, packet: Packet) -> bool:
@@ -122,6 +144,14 @@ class CellularLink(Link):
 
     def _arm_service(self) -> None:
         t = self._next_opportunity_time()
+        tr = self._tracer
+        if tr is not None and not self._outage_open:
+            gap = t - self.sim.now
+            if gap >= OUTAGE_GAP:
+                self._outage_open = True
+                tr.emit(LINK_OUTAGE, self.sim.now, link=self.name,
+                        gap=(gap if t != float("inf") else None),
+                        queued=len(self.queue))
         if t == float("inf"):
             self._service_event = None
             return
@@ -130,6 +160,12 @@ class CellularLink(Link):
     def _serve(self) -> None:
         """Consume one delivery opportunity: up to 1500 bytes of packets."""
         self._service_event = None
+        if self._outage_open:
+            self._outage_open = False
+            tr = self._tracer
+            if tr is not None:
+                tr.emit(LINK_RECOVER, self.sim.now, link=self.name,
+                        queued=len(self.queue))
         self._index += 1
         budget = OPPORTUNITY_BYTES
         served_any = False
@@ -156,7 +192,7 @@ class CellularLink(Link):
         if self.on_deliver is None:
             return
         callback = self.on_deliver
-        self.sim.schedule(self.prop_delay, lambda p=packet: callback(p))
+        self.sim.schedule(self._prop_delay, lambda p=packet: callback(p))
 
     # ------------------------------------------------------------------
     @property
@@ -187,6 +223,10 @@ class WiredLink(Link):
         self._busy = False
         self.delivered_packets = 0
         self.delivered_bytes = 0
+        #: Bytes of the packet currently in service (the auditor's byte
+        #: conservation check needs it: a popped-but-undelivered packet
+        #: is neither queued nor delivered).
+        self._in_service_bytes = 0
 
     def enqueue(self, packet: Packet) -> bool:
         accepted = self.queue.push(packet, self.sim.now)
@@ -200,10 +240,12 @@ class WiredLink(Link):
             self._busy = False
             return
         self._busy = True
+        self._in_service_bytes = packet.size
         service_time = packet.size / self.rate
         self.sim.schedule(service_time, lambda p=packet: self._finish(p))
 
     def _finish(self, packet: Packet) -> None:
+        self._in_service_bytes = 0
         self.delivered_packets += 1
         self.delivered_bytes += packet.size
         if self.on_deliver is not None:

@@ -39,6 +39,11 @@ class DropTailQueue:
         self._queue: Deque[Packet] = deque()
         self.drops = 0
         self.enqueued = 0
+        #: Incremental byte accounting (kept exact for the auditor's
+        #: byte-conservation invariant): bytes currently queued and
+        #: total bytes ever accepted.
+        self.bytes = 0
+        self.enqueued_bytes = 0
 
     def push(self, packet: Packet, now: float) -> bool:
         """Enqueue ``packet``; returns False (and drops) if the queue is full."""
@@ -50,13 +55,17 @@ class DropTailQueue:
         packet.enqueue_time = now
         self._queue.append(packet)
         self.enqueued += 1
+        self.bytes += packet.size
+        self.enqueued_bytes += packet.size
         return True
 
     def pop(self, now: float) -> Optional[Packet]:
         """Dequeue the head packet, or None if empty."""
         if not self._queue:
             return None
-        return self._queue.popleft()
+        packet = self._queue.popleft()
+        self.bytes -= packet.size
+        return packet
 
     def peek(self) -> Optional[Packet]:
         return self._queue[0] if self._queue else None
@@ -66,7 +75,7 @@ class DropTailQueue:
 
     @property
     def byte_length(self) -> int:
-        return sum(p.size for p in self._queue)
+        return self.bytes
 
 
 class CoDelQueue(DropTailQueue):
@@ -97,6 +106,7 @@ class CoDelQueue(DropTailQueue):
         self._count = 0
         self._last_count = 0
         self.codel_drops = 0
+        self.codel_dropped_bytes = 0
 
     # ------------------------------------------------------------------
     def _control_law(self, t: float) -> float:
@@ -149,6 +159,7 @@ class CoDelQueue(DropTailQueue):
 
     def _drop_packet(self, packet: Packet) -> None:
         self.codel_drops += 1
+        self.codel_dropped_bytes += packet.size
         self.drops += 1
         if self.on_drop is not None:
             self.on_drop(packet)

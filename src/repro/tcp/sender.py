@@ -22,8 +22,10 @@ everything outstanding lost and returns the algorithm to Slow Start.
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
+from repro.obs import CC_LOSS, CC_RECOVERY, CC_RTO, current_tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import (
     DATA_PACKET_BYTES,
@@ -140,8 +142,21 @@ class TcpSender:
         self.retransmissions = 0
         self.rto_count = 0
         self.acks_received = 0
+        #: Loss marks cancelled by a later SACK (the retransmission
+        #: would have been spurious; it was suppressed in time).
+        self.spurious_marks = 0
         self.started = False
         self.complete = False
+
+        # Telemetry: ambient tracer captured at construction; the ACK
+        # hot path pays one None check when tracing is off.  Per-ACK
+        # processing cost is sampled 1-in-64 to bound the probe cost.
+        self._tracer = current_tracer()
+        self._ack_cost = (
+            self._tracer.metrics.histogram(
+                f"flow{flow_id}.timing.ack_cost_us")
+            if self._tracer is not None else None
+        )
 
     # ------------------------------------------------------------------
     # HostView protocol (what the CC module may observe)
@@ -390,6 +405,12 @@ class TcpSender:
             return
         if self._tick_event is None and self.cc.is_rate_based:
             self._resume_tick()
+        cost = self._ack_cost
+        t0 = (
+            perf_counter()
+            if cost is not None and (self.acks_received & 63) == 0
+            else None
+        )
         self.acks_received += 1
         now = self.sim.now
         ack = packet.ack
@@ -458,18 +479,31 @@ class TcpSender:
             lost_total=self.lost_total,
         )
 
+        tr = self._tracer
         if newly_lost and self._recovery_point is None:
             self._recovery_point = self.next_seq
+            if tr is not None:
+                tr.emit(CC_LOSS, now, flow=self.flow_id, lost=newly_lost,
+                        lost_total=self.lost_total, una=self.snd_una,
+                        recovery_point=self.next_seq)
             self.cc.on_congestion(sample)
         if recovery_exited:
+            if tr is not None:
+                tr.emit(CC_RECOVERY, now, flow=self.flow_id,
+                        una=self.snd_una,
+                        retransmissions=self.retransmissions)
             self.cc.on_recovery_exit(sample)
         self.cc.on_ack(sample)
 
         if self.total_segments is not None and self.snd_una >= self.total_segments:
             self._finish()
+            if t0 is not None:
+                cost.observe((perf_counter() - t0) * 1e6)
             return
         if self._window_based:
             self._fill_window()
+        if t0 is not None:
+            cost.observe((perf_counter() - t0) * 1e6)
 
     def _process_sacks(self, packet: Packet, cumulative_ack: int) -> int:
         """Fold SACK blocks into the scoreboard; returns newly SACKed count."""
@@ -494,6 +528,7 @@ class TcpSender:
             # Marked lost but actually delivered: cancel the retransmission.
             # Its pipe contribution was already removed at loss-marking.
             self._rtx_state[seq] = _RTX_CANCELLED
+            self.spurious_marks += 1
         elif state == _RTX_SENT:
             self._pipe_dec()
             del self._rtx_state[seq]
@@ -585,6 +620,11 @@ class TcpSender:
         if self.complete or self.snd_una >= self.next_seq:
             return
         self.rto_count += 1
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(CC_RTO, self.sim.now, flow=self.flow_id,
+                    rto_count=self.rto_count, una=self.snd_una,
+                    next=self.next_seq, rto=self.rto_estimator.rto)
         if self._tick_event is None and self.cc.is_rate_based:
             self._resume_tick()
         self.rto_estimator.on_timeout()

@@ -75,3 +75,15 @@ class TestCapture:
         capture, _ = _captured_run()
         ack_line = capture.filter(kind="ack")[-1].format()
         assert "ack=40" in ack_line
+
+
+class TestEmptyCapture:
+    def test_empty_summary(self):
+        capture = PacketCapture()
+        assert "0 packets captured" in capture.summary()
+
+    def test_empty_save(self, tmp_path):
+        capture = PacketCapture()
+        path = tmp_path / "empty.pcaplite"
+        capture.save(path)
+        assert path.read_text() == ""

@@ -85,3 +85,33 @@ class TestCommands:
         main(["frontier", "--low", "40", "--high", "40", "--step", "10",
               "--duration", "3", "--warmup", "1", "--no-progress"])
         assert capsys.readouterr().err == ""
+
+
+class TestProgressStream:
+    def test_progress_defaults_to_stderr(self, capsys):
+        # Regression: the live progress line must never pollute stdout,
+        # which carries the machine-readable result tables.
+        from types import SimpleNamespace
+
+        from repro.__main__ import _progress_printer
+
+        callback = _progress_printer(total=1)
+        callback(SimpleNamespace(ok=True, index=0))
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "[1/1]" in captured.err
+
+
+class TestTraceSubcommand:
+    def test_trace_flags_parse(self):
+        args = build_parser().parse_args(["trace", "x.jsonl", "--diff", "y"])
+        assert args.path == "x.jsonl"
+        assert args.diff == "y"
+
+    def test_telemetry_flag_default_off(self):
+        args = build_parser().parse_args(["run", "CUBIC"])
+        assert args.telemetry is None
+
+    def test_trace_missing_file_raises(self):
+        with pytest.raises(FileNotFoundError):
+            main(["trace", "/nonexistent/trace.jsonl"])

@@ -1,0 +1,346 @@
+"""Tests for the :mod:`repro.obs` telemetry spine.
+
+Covers the three layers: the event sink (rotation, format), the metrics
+registry (merge semantics, canonical views), and the run/batch plumbing
+(observer-only invariant, worker-part merging, the ``repro trace``
+CLI).
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.obs as obs
+from repro.experiments.parallel import (
+    RunSpec,
+    collect,
+    proprate_spec,
+    run_batch,
+)
+from repro.experiments.runner import run_single_flow
+from repro.core.proprate import PropRate
+from repro.traces.cache import as_ref
+from repro.traces.presets import isp_trace
+
+
+def _down(duration=30.0):
+    return isp_trace("A", "stationary", duration=duration)
+
+
+def _read_jsonl(path):
+    records = []
+    for fpath in obs.iter_trace_files(path):
+        with open(fpath, encoding="utf-8") as fh:
+            records.extend(json.loads(line) for line in fh if line.strip())
+    return records
+
+
+# ----------------------------------------------------------------------
+# Sink
+# ----------------------------------------------------------------------
+class TestJsonlSink:
+    def test_meta_header_first(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        sink = obs.JsonlSink(path)
+        sink.close()
+        records = _read_jsonl(str(path))
+        assert records[0]["kind"] == "meta"
+        assert records[0]["format"] == obs.FORMAT
+
+    def test_rotation_keeps_chronology(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = obs.JsonlSink(path, rotate_bytes=200)
+        for i in range(50):
+            sink.write({"t": float(i), "kind": "x", "i": i})
+        sink.close()
+        assert sink.rotations >= 1
+        records = [r for r in _read_jsonl(path) if r["kind"] == "x"]
+        assert [r["i"] for r in records] == list(range(50))
+
+    def test_unjsonable_values_degrade_to_repr(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = obs.JsonlSink(path, header=False)
+        sink.write({"t": 0.0, "kind": "x", "cb": object()})
+        sink.close()
+        (record,) = _read_jsonl(path)
+        assert "object" in record["cb"]
+
+    def test_close_idempotent(self, tmp_path):
+        sink = obs.JsonlSink(tmp_path / "t.jsonl")
+        sink.close()
+        sink.close()
+
+    def test_part_files_not_rotations(self, tmp_path):
+        base = str(tmp_path / "t.jsonl")
+        obs.JsonlSink(base).close()
+        obs.JsonlSink(f"{base}.part0001.jsonl").close()
+        assert obs.iter_trace_files(base) == [base]
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_snapshot_shapes(self):
+        reg = obs.MetricsRegistry()
+        reg.counter("c").add(3)
+        reg.gauge("g").track_max(7)
+        reg.gauge("g").track_max(5)  # below the peak: ignored
+        h = reg.histogram("h")
+        h.observe(1.0)
+        h.observe(3.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == {"gauge": 7}
+        assert snap["h"] == {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+
+    def test_empty_histogram_omitted(self):
+        reg = obs.MetricsRegistry()
+        reg.histogram("h")
+        assert "h" not in reg.snapshot()
+
+    def test_merge_value_semantics(self):
+        assert obs.merge_value(2, 3) == 5  # counters: sum
+        assert obs.merge_value({"gauge": 2}, {"gauge": 9}) == {"gauge": 9}
+        merged = obs.merge_value(
+            {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0},
+            {"count": 2, "sum": 1.0, "min": 0.5, "max": 0.6},
+        )
+        assert merged == {"count": 3, "sum": 3.0, "min": 0.5, "max": 2.0}
+
+    def test_merge_snapshots_normalizes_flow_prefix(self):
+        total = {}
+        obs.merge_snapshots(total, {"flow0.acks": 10, "run.engine.events": 5})
+        obs.merge_snapshots(total, {"flow1.acks": 7, "run.engine.events": 2})
+        assert total == {"flows.acks": 17, "run.engine.events": 7}
+
+    def test_flow_metrics_view(self):
+        snap = {"flow0.acks": 4, "flow1.acks": 9, "run.engine.events": 2}
+        view = obs.flow_metrics_view(snap, 1)
+        assert view == {"acks": 9, "run.engine.events": 2}
+
+    def test_canonical_metrics_excludes_timing(self):
+        snap = {
+            "acks": 1,
+            "timing.ack_cost_us": {"count": 1, "sum": 2.0, "min": 2.0, "max": 2.0},
+            "run.timing.wall_s": {"gauge": 0.5},
+            "peak": {"gauge": 3},
+        }
+        canon = obs.canonical_metrics(snap)
+        keys = [k for k, *_ in canon]
+        assert "acks" in keys and "peak" in keys
+        assert not any("timing" in k for k in keys)
+        # Deterministic: a dict with reversed insertion order canonicalizes
+        # identically.
+        assert canon == obs.canonical_metrics(dict(reversed(list(snap.items()))))
+
+
+# ----------------------------------------------------------------------
+# Tracer lifecycle
+# ----------------------------------------------------------------------
+class TestTracerLifecycle:
+    def test_off_by_default(self):
+        assert obs.current_tracer() is None
+
+    def test_double_activation_rejected(self, tmp_path):
+        with obs.tracing(tmp_path / "a.jsonl") as tracer:
+            assert obs.current_tracer() is tracer
+            with pytest.raises(RuntimeError):
+                obs.activate(tracer)
+        assert obs.current_tracer() is None
+
+    def test_resolve_prefers_explicit_then_ambient(self, tmp_path):
+        explicit = obs.Tracer(obs.JsonlSink(tmp_path / "x.jsonl"))
+        tracer, owned = obs.resolve_tracer(explicit)
+        assert tracer is explicit and not owned
+        explicit.close()
+        with obs.tracing(tmp_path / "a.jsonl") as ambient:
+            tracer, owned = obs.resolve_tracer(None)
+            assert tracer is ambient and not owned
+        tracer, owned = obs.resolve_tracer(None)
+        assert tracer is None and not owned
+
+    def test_env_switch(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(obs.TELEMETRY_ENV, "0")
+        assert obs.env_trace_path() is None
+        monkeypatch.setenv(obs.TELEMETRY_ENV, str(tmp_path / "pfx"))
+        path = obs.env_trace_path()
+        assert path is not None and path.startswith(str(tmp_path / "pfx"))
+        monkeypatch.setenv(obs.TELEMETRY_ENV, "1")
+        assert obs.env_trace_path().startswith("telemetry" + os.sep)
+
+
+# ----------------------------------------------------------------------
+# Run-level plumbing
+# ----------------------------------------------------------------------
+class TestRunnerTelemetry:
+    def _run(self, **kwargs):
+        return run_single_flow(
+            PropRate, _down(), duration=4.0, measure_start=1.0, **kwargs
+        )
+
+    def test_disabled_is_observer_free(self):
+        result = self._run()
+        assert result.metrics is None
+        assert len(result.summary()) == 11
+
+    def test_enabled_base_summary_bit_identical(self, tmp_path):
+        baseline = self._run()
+        traced = self._run(telemetry=str(tmp_path / "t.jsonl"))
+        assert traced.summary()[:-1] == baseline.summary()
+        assert obs.current_tracer() is None  # deactivated after the run
+
+    def test_trace_contents(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        self._run(telemetry=path)
+        kinds = {r["kind"] for r in _read_jsonl(path)}
+        assert {
+            "meta", "run.start", "run.end", "metrics",
+            obs.CC_STATE, obs.CC_ESTIMATOR, obs.QUEUE_SAMPLE,
+        } <= kinds
+
+    def test_flow_metrics_populated(self, tmp_path):
+        result = self._run(telemetry=str(tmp_path / "t.jsonl"))
+        assert result.metrics["acks"] > 0
+        assert result.metrics["segments_sent"] > 0
+        assert "run.engine.events" in result.metrics
+        assert "cc.dwell.fill" in result.metrics
+
+    def test_run_twice_with_same_ambient_tracer(self, tmp_path):
+        # Nested runs share an ambient tracer without double-activation.
+        with obs.tracing(tmp_path / "t.jsonl"):
+            self._run()
+            self._run()
+        records = _read_jsonl(str(tmp_path / "t.jsonl"))
+        assert sum(r["kind"] == "run.end" for r in records) == 2
+
+
+# ----------------------------------------------------------------------
+# Batch merge
+# ----------------------------------------------------------------------
+class TestBatchTelemetry:
+    def _specs(self, n=2):
+        down = as_ref(_down())
+        return [
+            RunSpec(
+                cc=proprate_spec(0.040),
+                downlink=down,
+                duration=4.0,
+                measure_start=1.0,
+                name=f"run{i}",
+            )
+            for i in range(n)
+        ]
+
+    def test_parallel_merge_tags_runs(self, tmp_path):
+        base = str(tmp_path / "batch.jsonl")
+        outcomes = run_batch(self._specs(3), n_jobs=2, telemetry=base)
+        assert all(o.ok for o in outcomes)
+        records = _read_jsonl(base)
+        assert {r.get("run") for r in records if "run" in r} == {0, 1, 2}
+        assert sum(r["kind"] == obs.SCHED_DISPATCH for r in records) == 3
+        assert not [p for p in os.listdir(tmp_path) if ".part" in p]
+
+    def test_batch_metrics_record(self, tmp_path):
+        base = str(tmp_path / "batch.jsonl")
+        run_batch(self._specs(2), n_jobs=2, telemetry=base)
+        (batch,) = [
+            r for r in _read_jsonl(base)
+            if r["kind"] == "metrics" and r.get("scope") == "batch"
+        ]
+        metrics = batch["metrics"]
+        assert metrics["batch.sched.dispatched"] == 2
+        assert metrics["batch.sched.outcomes"] == 2
+        assert metrics["flows.acks"] > 0  # per-run snapshots folded in
+
+    def test_serial_and_parallel_summaries_match(self, tmp_path):
+        specs = self._specs(2)
+        serial = collect(
+            run_batch(specs, n_jobs=1, telemetry=str(tmp_path / "s.jsonl"))
+        )
+        parallel = collect(
+            run_batch(specs, n_jobs=2, telemetry=str(tmp_path / "p.jsonl"))
+        )
+        assert [r.summary() for r in serial] == [r.summary() for r in parallel]
+
+    def test_spec_with_own_path_untouched(self, tmp_path):
+        own = str(tmp_path / "own.jsonl")
+        spec = self._specs(1)[0]
+        spec = RunSpec(
+            cc=spec.cc, downlink=spec.downlink, duration=spec.duration,
+            measure_start=spec.measure_start, name=spec.name, telemetry=own,
+        )
+        run_batch([spec], n_jobs=1, telemetry=str(tmp_path / "batch.jsonl"))
+        assert os.path.exists(own)  # kept, not merged or deleted
+
+
+# ----------------------------------------------------------------------
+# Analyzer + CLI
+# ----------------------------------------------------------------------
+class TestTraceAnalysis:
+    @pytest.fixture(scope="class")
+    def batch_trace(self, tmp_path_factory):
+        base = str(tmp_path_factory.mktemp("obs") / "batch.jsonl")
+        down = as_ref(_down())
+        specs = [
+            RunSpec(cc=proprate_spec(t), downlink=down, duration=6.0,
+                    measure_start=1.0, name=f"PR{i}")
+            for i, t in enumerate((0.020, 0.060))
+        ]
+        run_batch(specs, n_jobs=2, telemetry=base)
+        return base
+
+    def test_read_trace_missing_raises(self, tmp_path):
+        from repro.obs import analyze
+
+        with pytest.raises(FileNotFoundError):
+            analyze.read_trace(str(tmp_path / "nope.jsonl"))
+
+    def test_summary_reconstructs_sawtooth_and_nfl(self, batch_trace):
+        from repro.obs import analyze
+
+        report = analyze.summarize_trace(analyze.read_trace(batch_trace))
+        assert "State dwell" in report
+        assert "fill" in report and "drain" in report
+        assert "NFL threshold convergence" in report
+        assert "Queue sawtooth" in report
+        assert "downlink" in report
+
+    def test_state_dwell_closes_open_state(self, batch_trace):
+        from repro.obs import analyze
+
+        events = analyze.read_trace(batch_trace)
+        for states in analyze.state_dwell(events).values():
+            total = sum(secs for _, secs in states.values())
+            assert total == pytest.approx(6.0, abs=0.5)
+
+    def test_diff_traces(self, batch_trace):
+        from repro.obs import analyze
+
+        events = analyze.read_trace(batch_trace)
+        report = analyze.diff_traces(events, events)
+        assert report.startswith("Diff:")
+
+    def test_trace_cli_summary(self, batch_trace, capsys):
+        from repro.__main__ import main
+
+        main(["trace", batch_trace])
+        out = capsys.readouterr().out
+        assert "Event counts" in out
+        assert "cc.state" in out
+
+    def test_trace_cli_diff(self, batch_trace, capsys):
+        from repro.__main__ import main
+
+        main(["trace", batch_trace, "--diff", batch_trace])
+        assert "Diff:" in capsys.readouterr().out
+
+    def test_run_cli_telemetry_flag(self, tmp_path, capsys):
+        from repro.__main__ import main
+
+        path = str(tmp_path / "run.jsonl")
+        main(["run", "PropRate", "--target", "40", "--duration", "3",
+              "--warmup", "1", "--telemetry", path])
+        assert "KB/s" in capsys.readouterr().out
+        assert any(r["kind"] == "run.end" for r in _read_jsonl(path))

@@ -90,3 +90,51 @@ class TestSawtoothSummary:
         summary = sawtooth_summary(t, d)
         assert summary.dmax == pytest.approx(0.03)
         assert summary.dmin == pytest.approx(0.03)
+
+
+class TestSawtoothEdges:
+    def test_single_peak_has_nan_period(self):
+        # One prominent peak: geometry is reported but the period (a
+        # peak-to-peak statistic) is undefined.
+        t = np.linspace(0, 10, 200)
+        d = np.exp(-((t - 7.0) ** 2)) * 0.05
+        summary = sawtooth_summary(t, d, discard=0.0)
+        assert summary.n_cycles <= 1
+        assert np.isnan(summary.period)
+        assert summary.dmax == pytest.approx(0.05, rel=0.05)
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            sawtooth_summary(np.arange(20.0), np.arange(19.0))
+
+
+class TestQueueSamplerTelemetry:
+    def test_start_offset_with_tracer_emits_events(self, tmp_path):
+        import json
+
+        import repro.obs as obs
+
+        sim = Simulator()
+        queue = DropTailQueue(capacity=10)
+        path = tmp_path / "q.jsonl"
+        tracer = obs.Tracer(obs.JsonlSink(path))
+        sampler = QueueSampler(
+            sim, queue, interval=0.1, start=0.5, name="bottleneck",
+            tracer=tracer,
+        )
+        sim.run(until=0.85)
+        tracer.close()
+        with open(path, encoding="utf-8") as fh:
+            records = [json.loads(line) for line in fh]
+        samples = [r for r in records if r["kind"] == obs.QUEUE_SAMPLE]
+        assert len(samples) == len(sampler.times) == 4
+        assert samples[0]["t"] == pytest.approx(0.5)
+        assert all(r["link"] == "bottleneck" for r in samples)
+
+    def test_no_tracer_no_events(self):
+        # Without an ambient tracer the sampler only records in memory.
+        sim = Simulator()
+        sampler = QueueSampler(sim, DropTailQueue(capacity=10), interval=0.1)
+        sim.run(until=0.35)
+        assert sampler._tracer is None
+        assert len(sampler.times) == 4
