@@ -14,11 +14,20 @@ fails if the enabled-tracer CPU time exceeds the off run by more than
 observer-only contract; "zero cost when off" is covered by ``--check``
 running without a tracer).
 
+The ``--loss-check`` mode gates the heavy-loss recovery path instead:
+``benchmarks/bench_sack_scoreboard.py``'s bursty-outage workload is the
+worst case for sender ACK processing (every ACK walks the loss
+scoreboard), and its ACKs-per-CPU-second against the checked-in
+baseline catches regressions in the interval-run scoreboard that the
+(mostly loss-free) Table-4 workload cannot see.
+
 Usage::
 
     PYTHONPATH=src python scripts/perf_smoke.py --check     # CI gate
     PYTHONPATH=src python scripts/perf_smoke.py --update    # re-baseline
     PYTHONPATH=src python scripts/perf_smoke.py --telemetry-overhead
+    PYTHONPATH=src python scripts/perf_smoke.py --loss-check
+    PYTHONPATH=src python scripts/perf_smoke.py --loss-update
 """
 
 from __future__ import annotations
@@ -34,6 +43,7 @@ from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "benchmarks" / "baselines" / "perf_smoke.json"
+LOSS_BASELINE = REPO / "benchmarks" / "baselines" / "sack_scoreboard.json"
 
 #: Allowed slowdown relative to baseline before the gate fails.
 TOLERANCE = 0.30
@@ -58,6 +68,23 @@ def measure() -> float:
     # (interned bytecode, numpy buffers), then the measured pass.
     bench_table4_cpu.events_per_second()
     return bench_table4_cpu.events_per_second()
+
+
+def _loss_bench_module():
+    os.environ.setdefault("REPRO_BENCH_REDUCED", "1")
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    import bench_sack_scoreboard
+
+    return bench_sack_scoreboard
+
+
+def measure_loss() -> float:
+    """Heavy-loss ACK throughput: ACKs processed per ACK-path CPU second
+    on the bursty-outage scoreboard workload (min-of-N rounds)."""
+    bench = _loss_bench_module()
+    bench.run_workload()  # warm-up pass
+    stats = bench.measure(rounds=3)
+    return stats["acks"] / stats["ack_cpu_s"]
 
 
 def measure_telemetry_overhead() -> int:
@@ -110,10 +137,39 @@ def main() -> int:
         help="fail if running with a live repro.obs tracer costs more "
         "than 10%% CPU time over the tracer-off run",
     )
+    group.add_argument("--loss-check", action="store_true",
+                       help="fail if heavy-loss ACK throughput regressed "
+                       ">30%% vs baseline")
+    group.add_argument("--loss-update", action="store_true",
+                       help="rewrite the heavy-loss baseline from this host")
     args = parser.parse_args()
 
     if args.telemetry_overhead:
         return measure_telemetry_overhead()
+
+    if args.loss_check or args.loss_update:
+        rate = measure_loss()
+        if args.loss_update:
+            LOSS_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+            LOSS_BASELINE.write_text(json.dumps({
+                "acks_per_cpu_sec": round(rate),
+                "workload": "bench_sack_scoreboard reduced "
+                            "(REPRO_BENCH_REDUCED=1)",
+                "tolerance": TOLERANCE,
+                "host": platform.platform(),
+                "cpu_count": os.cpu_count(),
+            }, indent=2) + "\n")
+            print(f"loss baseline updated: {rate:,.0f} acks/cpu-sec "
+                  f"-> {LOSS_BASELINE}")
+            return 0
+        baseline = json.loads(LOSS_BASELINE.read_text())
+        floor = baseline["acks_per_cpu_sec"] * (1.0 - TOLERANCE)
+        verdict = "OK" if rate >= floor else "FAILED"
+        print(
+            f"loss-recovery smoke {verdict}: {rate:,.0f} acks/cpu-sec "
+            f"(baseline {baseline['acks_per_cpu_sec']:,}, floor {floor:,.0f})"
+        )
+        return 0 if rate >= floor else 1
 
     rate = measure()
     if args.update:

@@ -183,7 +183,9 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     from repro.obs import analyze
 
     events = analyze.read_trace(args.path)
-    if args.diff is not None:
+    if args.plot:
+        print(analyze.render_plot(events, width=args.plot_width))
+    elif args.diff is not None:
         other = analyze.read_trace(args.diff)
         print(analyze.diff_traces(events, other,
                                   label_a=args.path, label_b=args.diff))
@@ -272,6 +274,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--diff", metavar="OTHER", default=None,
         help="compare against a second trace instead of summarizing",
+    )
+    p_trace.add_argument(
+        "--plot", action="store_true",
+        help="ASCII waveform view: buffer-delay sawtooth + state dwell",
+    )
+    p_trace.add_argument(
+        "--plot-width", type=int, default=100, metavar="COLS",
+        help="plot width in columns (default 100)",
     )
     p_trace.set_defaults(func=_cmd_trace)
     return parser

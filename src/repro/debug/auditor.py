@@ -19,6 +19,12 @@ incremental state against ground truth the simulator has anyway:
   event, and a rate-based sender's pacing tick may only be parked when
   the ``idle_tick_safe`` suspension conditions provably hold (a direct
   audit of PR 1's lazy re-arm and tick suspension);
+* **scoreboard integrity** — both endpoints keep per-segment state as
+  tagged interval runs; the sender's incremental pipe counter must
+  match an independent O(runs) reconstruction, the run structures must
+  verify (sorted, disjoint, merged, counts consistent), the receiver's
+  out-of-order store must never overlap its cumulative edge, and every
+  SACK block the receiver emits must be exactly backed by stored runs;
 * **estimator sanity** — the sender's ``t_buff`` and ρ estimates stay
   within coarse tolerance bands of the ground-truth queue sojourn and
   link drain rate.  The bands are deliberately one-sided and wide:
@@ -562,7 +568,58 @@ class InvariantAuditor:
                         f"{expected}",
                         flow=sender.flow_id,
                     )
+                self._check_scoreboards(flow, sender)
             self._check_estimators(flow, now)
+
+    def _check_scoreboards(self, flow: _FlowAudit, sender: Any) -> None:
+        """Run-structure and receiver reordering-buffer invariants.
+
+        Both endpoints keep per-segment state as tagged interval runs
+        (:mod:`repro.tcp.scoreboard`); this verifies the structural
+        invariants of both maps, that the receiver's out-of-order store
+        never overlaps the cumulative edge (everything at or below
+        ``rcv_nxt`` must have been consumed), and that every SACK block
+        the receiver would emit is exactly backed by stored runs.
+        """
+        try:
+            sender.scoreboard.check()
+        except ValueError as exc:
+            self._violation(
+                "scoreboard-structure",
+                f"flow {sender.flow_id}: sender scoreboard corrupt: {exc}",
+                flow=sender.flow_id,
+            )
+        receiver = flow.receiver
+        if receiver is None:
+            return
+        ooo = receiver._ooo
+        try:
+            ooo.check()
+        except ValueError as exc:
+            self._violation(
+                "scoreboard-structure",
+                f"flow {sender.flow_id}: receiver reorder store corrupt: "
+                f"{exc}",
+                flow=sender.flow_id,
+            )
+        if ooo:
+            if ooo.min <= receiver.rcv_nxt:
+                self._violation(
+                    "receiver-ooo",
+                    f"flow {sender.flow_id}: out-of-order store holds "
+                    f"segment {ooo.min} at or below rcv_nxt "
+                    f"{receiver.rcv_nxt}",
+                    flow=sender.flow_id,
+                )
+            for block in receiver._sack_blocks():
+                if not ooo.contains_range(block.start, block.end):
+                    self._violation(
+                        "receiver-ooo",
+                        f"flow {sender.flow_id}: SACK block "
+                        f"[{block.start}, {block.end}) not fully backed "
+                        "by the reorder store",
+                        flow=sender.flow_id,
+                    )
 
     def _check_liveness(self, flow: _FlowAudit, sender: Any) -> None:
         if sender.snd_una < sender.next_seq and self._live(sender._rto_event) is None:
@@ -616,7 +673,7 @@ class InvariantAuditor:
             # true queue sojourn, so the streak resets whenever loss
             # recovery is in progress at either end.
             receiver = flow.receiver
-            dirty = bool(sender._rtx_state) or (
+            dirty = sender.scoreboard.in_loss_recovery or (
                 receiver is not None and bool(receiver._ooo)
             )
             if dirty:

@@ -13,6 +13,7 @@ from repro.obs.events import (
     CC_EPOCH,
     CC_ESTIMATOR,
     CC_LOSS,
+    CC_LOSS_RUNS,
     CC_NFL,
     CC_RECOVERY,
     CC_RTO,
@@ -54,7 +55,8 @@ from repro.obs.tracer import (
 
 __all__ = [
     "ALL_KINDS", "AUDIT_DUMP", "AUDIT_VIOLATION", "CC_EPOCH",
-    "CC_ESTIMATOR", "CC_LOSS", "CC_NFL", "CC_RECOVERY", "CC_RTO",
+    "CC_ESTIMATOR", "CC_LOSS", "CC_LOSS_RUNS", "CC_NFL", "CC_RECOVERY",
+    "CC_RTO",
     "CC_STATE", "FORMAT", "LINK_HANDOVER", "LINK_OUTAGE", "LINK_RECOVER",
     "META", "METRICS", "QUEUE_SAMPLE", "RUN_END", "RUN_START",
     "SCHED_DISPATCH", "SCHED_OUTCOME", "SCHED_RETRY", "SCHED_TIMEOUT",

@@ -22,6 +22,8 @@ import numpy as np
 
 from repro.metrics.telemetry import sawtooth_summary
 from repro.obs.events import (
+    CC_LOSS,
+    CC_LOSS_RUNS,
     CC_NFL,
     CC_STATE,
     META,
@@ -243,6 +245,176 @@ def _metrics_lines(events: List[Dict[str, Any]], limit: int = 40) -> List[str]:
     if len(snap) > limit:
         lines.append(f"  ... {len(snap) - limit} more")
     return lines
+
+
+_EIGHTHS = " ▁▂▃▄▅▆▇█"
+
+
+def _column_values(times: np.ndarray, values: np.ndarray,
+                   t0: float, t1: float, width: int) -> List[float]:
+    """Per-column peak of a sample series over ``width`` time bins.
+
+    Empty bins carry the previous sample forward, so a sparsely sampled
+    waveform still renders as a continuous line.
+    """
+    cols: List[float] = []
+    span = max(t1 - t0, 1e-9)
+    idx = 0
+    last = 0.0
+    n = times.size
+    for c in range(width):
+        hi = t0 + (c + 1) * span / width
+        peak = None
+        while idx < n and times[idx] <= hi:
+            v = float(values[idx])
+            peak = v if peak is None else max(peak, v)
+            idx += 1
+        if peak is not None:
+            last = peak
+        cols.append(last)
+    return cols
+
+
+def _waveform_canvas(cols: List[float], vmax: float, height: int) -> List[str]:
+    """Render column peaks as stacked eighth-block rows, top first."""
+    rows: List[str] = []
+    for r in range(height, 0, -1):
+        line = []
+        for v in cols:
+            level = 0.0 if vmax <= 0 else v / vmax * height
+            fill = level - (r - 1)
+            if fill >= 1.0:
+                line.append(_EIGHTHS[8])
+            elif fill > 0.0:
+                line.append(_EIGHTHS[max(1, int(fill * 8))])
+            else:
+                line.append(" ")
+        rows.append("".join(line))
+    return rows
+
+
+def _state_lane(curve: List[Tuple[float, str]], legend: Dict[str, str],
+                t0: float, t1: float, width: int) -> str:
+    """One character per column: the CC state active at the bin start."""
+    span = max(t1 - t0, 1e-9)
+    lane = []
+    idx = 0
+    current = " "
+    for c in range(width):
+        at = t0 + c * span / width
+        while idx < len(curve) and curve[idx][0] <= at:
+            current = legend[curve[idx][1]]
+            idx += 1
+        lane.append(current)
+    return "".join(lane)
+
+
+def _mark_lane(times: List[float], t0: float, t1: float, width: int,
+               mark: str = "x") -> str:
+    """Mark the columns in which at least one event fired."""
+    span = max(t1 - t0, 1e-9)
+    lane = [" "] * width
+    for t in times:
+        c = int((t - t0) / span * width)
+        if 0 <= c < width:
+            lane[c] = mark
+        elif c == width:
+            lane[width - 1] = mark
+    return "".join(lane)
+
+
+def render_plot(events: List[Dict[str, Any]], width: int = 100,
+                height: int = 8) -> str:
+    """ASCII waveform view of a telemetry trace.
+
+    Per run: the bottleneck buffering-delay sawtooth (queue occupancy
+    converted to delay at the link rate recorded by ``run.start``),
+    aligned with a per-flow state-dwell strip (one character per column
+    showing the CC state machine's position) and a loss-mark lane
+    (columns in which ``cc.loss`` or ``cc.loss-runs`` fired — the
+    latter covers window-based senders, which have no state curve but
+    still get the lane).  All lanes of a run share one
+    time axis, so a buffer peak can be read against the state the
+    controller was in and the losses it took.
+    """
+    rates = link_rates(events)
+    waves = queue_waveforms(events)
+    state_curves: Dict[Tuple, List[Tuple[float, str]]] = defaultdict(list)
+    loss_times: Dict[Tuple, List[float]] = defaultdict(list)
+    for e in events:
+        kind = e.get("kind")
+        if kind == CC_STATE:
+            state_curves[(_run_of(e), e.get("flow"))].append(
+                (e["t"], e["state"]))
+        elif kind in (CC_LOSS, CC_LOSS_RUNS):
+            loss_times[(_run_of(e), e.get("flow"))].append(e["t"])
+
+    runs = sorted(
+        {k[0] for k in waves} | {k[0] for k in state_curves},
+        key=_fmt_run,
+    )
+    if not runs:
+        return "no queue samples or cc.state events to plot"
+
+    # One legend across all runs, so lanes are comparable between runs.
+    states = sorted({s for curve in state_curves.values() for _, s in curve})
+    legend: Dict[str, str] = {}
+    for s in states:
+        ch = s[0].upper()
+        while ch in legend.values():
+            ch = chr(ord(ch) + 1)
+        legend[s] = ch
+
+    out: List[str] = []
+    for run in runs:
+        run_waves = {k: v for k, v in waves.items() if k[0] == run}
+        run_states = {k: v for k, v in state_curves.items() if k[0] == run}
+        spans: List[float] = []
+        for times, _ in run_waves.values():
+            if times.size:
+                spans.extend((float(times[0]), float(times[-1])))
+        for curve in run_states.values():
+            spans.extend((curve[0][0], curve[-1][0]))
+        if not spans:
+            continue
+        t0, t1 = min(spans), max(spans)
+        out.append(f"run {_fmt_run(run)}  [{t0:.2f}s .. {t1:.2f}s]")
+        for (_, link), (times, lens) in sorted(
+                run_waves.items(), key=lambda kv: kv[0][1]):
+            rate = rates.get((run, link))
+            if rate:
+                values = lens * (PACKET_BYTES / rate) * 1000.0
+                unit = "ms"
+            else:
+                values = lens.astype(float)
+                unit = "pkts"
+            cols = _column_values(times, values, t0, t1, width)
+            vmax = max(cols) if cols else 0.0
+            out.append(f"  {link}: buffering delay, peak {vmax:.1f} {unit}")
+            canvas = _waveform_canvas(cols, vmax, height)
+            for r, row in enumerate(canvas):
+                label = f"{vmax * (height - r) / height:7.1f} " if vmax else \
+                    "        "
+                out.append(label + "|" + row)
+            out.append("        +" + "-" * width)
+        # Window-based senders emit loss events but no cc.state curve;
+        # their flows still get a loss lane, just without a state strip.
+        flows = {f for _, f in run_states} | \
+            {f for r, f in loss_times if r == run}
+        for flow in sorted(flows, key=str):
+            curve = run_states.get((run, flow))
+            if curve:
+                out.append(
+                    f"  state  |{_state_lane(curve, legend, t0, t1, width)}"
+                    f"  flow {flow}")
+            marks = loss_times.get((run, flow))
+            if marks:
+                out.append(f"  loss   |{_mark_lane(marks, t0, t1, width)}"
+                           f"  flow {flow} ({len(marks)} cc.loss events)")
+    if legend:
+        out.append("legend: " + "  ".join(
+            f"{ch}={s}" for s, ch in sorted(legend.items())))
+    return "\n".join(out)
 
 
 def summarize_trace(events: List[Dict[str, Any]], label: str = "trace") -> str:

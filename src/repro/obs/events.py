@@ -29,6 +29,8 @@ CC_ESTIMATOR = "cc.estimator"
 CC_EPOCH = "cc.epoch"
 #: New losses detected (entering recovery).
 CC_LOSS = "cc.loss"
+#: Run-granular loss marks: the scoreboard runs newly marked lost.
+CC_LOSS_RUNS = "cc.loss-runs"
 #: Retransmission timeout fired.
 CC_RTO = "cc.rto"
 #: Recovery point passed; loss episode over.
@@ -69,8 +71,9 @@ SCHED_OUTCOME = "sched.outcome"
 
 #: Every kind above, for validation and analysis tooling.
 ALL_KINDS = frozenset({
-    META, CC_STATE, CC_NFL, CC_ESTIMATOR, CC_EPOCH, CC_LOSS, CC_RTO,
-    CC_RECOVERY, LINK_OUTAGE, LINK_RECOVER, LINK_HANDOVER, QUEUE_SAMPLE,
+    META, CC_STATE, CC_NFL, CC_ESTIMATOR, CC_EPOCH, CC_LOSS, CC_LOSS_RUNS,
+    CC_RTO, CC_RECOVERY, LINK_OUTAGE, LINK_RECOVER, LINK_HANDOVER,
+    QUEUE_SAMPLE,
     AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS,
     SCHED_DISPATCH, SCHED_RETRY, SCHED_TIMEOUT, SCHED_WORKER_DEATH,
     SCHED_OUTCOME,

@@ -19,7 +19,7 @@ from typing import Callable, List, Optional
 
 from repro.sim.engine import Simulator
 from repro.sim.packet import Packet, SackBlock, make_ack_packet
-from repro.util.intervals import IntervalSet
+from repro.tcp.scoreboard import ReceiverScoreboard
 
 #: Default receiver timestamp granularity (10 ms, paper §4.2).
 DEFAULT_TS_GRANULARITY = 0.010
@@ -82,7 +82,11 @@ class TcpReceiver:
         self._delack_event = None
 
         self.rcv_nxt = 0
-        self._ooo = IntervalSet()
+        # Out-of-order store on the shared run representation — the
+        # same interval runs as the sender's scoreboard, so generated
+        # SACK blocks and the sender's SACKED runs are directly
+        # comparable (and the auditor cross-checks them).
+        self._ooo = ReceiverScoreboard()
         self._ts_recent = -1.0  # TSval of the last in-sequence segment (-1: none)
         self._last_ooo_seq: Optional[int] = None
         self.data_packets_received = 0
@@ -161,23 +165,23 @@ class TcpReceiver:
 
     # ------------------------------------------------------------------
     def _sack_blocks(self) -> List[SackBlock]:
-        """Up to 3 SACK blocks, the one with the latest arrival first."""
+        """Up to 3 SACK blocks, the one with the latest arrival first.
+
+        Only the run holding the newest arrival plus the highest few
+        runs can appear, so the store is never fully materialised.
+        """
         if not self.sack_enabled or not self._ooo:
             return []
-        intervals = self._ooo.intervals
         blocks: List[SackBlock] = []
-        first_idx = None
+        first: Optional[tuple] = None
         if self._last_ooo_seq is not None:
-            for i, (s, e) in enumerate(intervals):
-                if s <= self._last_ooo_seq < e:
-                    first_idx = i
-                    break
-        if first_idx is not None:
-            blocks.append(SackBlock(*intervals[first_idx]))
-        for i in range(len(intervals) - 1, -1, -1):
+            first = self._ooo.interval_containing(self._last_ooo_seq)
+            if first is not None:
+                blocks.append(SackBlock(*first))
+        for s, e in self._ooo.tail_intervals(MAX_SACK_BLOCKS + 1):
             if len(blocks) >= MAX_SACK_BLOCKS:
                 break
-            if i == first_idx:
+            if first is not None and s == first[0]:
                 continue
-            blocks.append(SackBlock(*intervals[i]))
+            blocks.append(SackBlock(s, e))
         return blocks

@@ -17,15 +17,18 @@ Figure 5:
 Loss handling is SACK-scoreboard based: a segment is marked lost once
 three SACKed segments lie above it, and a retransmission timeout marks
 everything outstanding lost and returns the algorithm to Slow Start.
+The scoreboard itself (:mod:`repro.tcp.scoreboard`) stores per-segment
+state as disjoint interval runs, so every recovery operation here —
+SACK folds, loss marks, cumulative-ACK accounting, RTO requeues — is
+O(loss runs) per ACK rather than O(window segments).
 """
 
 from __future__ import annotations
 
-import heapq
 from time import perf_counter
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Optional
 
-from repro.obs import CC_LOSS, CC_RECOVERY, CC_RTO, current_tracer
+from repro.obs import CC_LOSS, CC_LOSS_RUNS, CC_RECOVERY, CC_RTO, current_tracer
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import (
     DATA_PACKET_BYTES,
@@ -41,7 +44,7 @@ from repro.tcp.congestion.base import (
     WindowCongestionControl,
 )
 from repro.tcp.rto import RtoEstimator
-from repro.util.intervals import IntervalSet
+from repro.tcp.scoreboard import SenderScoreboard
 
 #: Duplicate-ACK / SACK reordering threshold (RFC 6675 DupThresh).
 DUPTHRESH = 3
@@ -53,11 +56,6 @@ DEFAULT_TICK = 0.001
 MAX_TICK_PACKETS = 500
 
 PacketSink = Callable[[Packet], None]
-
-# retransmission states
-_RTX_PENDING = 0  # marked lost, awaiting retransmission
-_RTX_SENT = 1     # retransmission in flight
-_RTX_CANCELLED = 2  # SACKed after being marked lost; do not retransmit
 
 
 class TcpSender:
@@ -112,13 +110,19 @@ class TcpSender:
         self.on_complete = on_complete
         self._packet_bytes = packet_bytes
 
-        # Sequence state (segment indices).
+        # Sequence state (segment indices).  Per-segment recovery state
+        # lives in the run-based scoreboard; the sender keeps only the
+        # aggregate counters it derives from scoreboard transitions.
         self.snd_una = 0
         self.next_seq = 0
-        self._sacked = IntervalSet()
+        self.scoreboard = SenderScoreboard()
+        #: SACK blocks known fully folded into the scoreboard.  A block
+        #: once fully folded is a no-op forever (SACKED/CANCELLED tags
+        #: never revert and the cumulative-ACK clip only grows), so
+        #: membership lets repeated blocks skip the scoreboard entirely.
+        #: Bounded: cleared wholesale when it reaches 64 entries.
+        self._sack_noop: set = set()
         self._highest_sacked = 0
-        self._rtx_state: Dict[int, int] = {}
-        self._rtx_heap: List[int] = []
         self._pipe = 0
         self._loss_ptr = 0  # every seq below is acked, SACKed or marked lost
         self._dupacks = 0
@@ -231,30 +235,45 @@ class TcpSender:
             return False
         return self.total_segments is None or self.next_seq < self.total_segments
 
-    def _next_rtx(self) -> Optional[int]:
-        """Peek the lowest pending retransmission, pruning stale entries."""
-        while self._rtx_heap:
-            seq = self._rtx_heap[0]
-            if seq < self.snd_una or self._rtx_state.get(seq) != _RTX_PENDING:
-                heapq.heappop(self._rtx_heap)
-                continue
-            return seq
-        return None
-
     def _send_one(self) -> bool:
         """Transmit one segment: retransmissions first, then new data."""
-        seq = self._next_rtx()
-        if seq is not None:
-            heapq.heappop(self._rtx_heap)
-            self._rtx_state[seq] = _RTX_SENT
-            self._transmit(seq, retransmit=True)
-            return True
-        if self._has_new_data():
-            seq = self.next_seq
-            self.next_seq += 1
-            self._transmit(seq, retransmit=False)
-            return True
-        return False
+        return self._send_many(1) > 0
+
+    def _send_many(self, budget: int) -> int:
+        """Transmit up to ``budget`` segments; returns how many left.
+
+        Retransmissions go first (lowest sequence first), claimed from
+        the scoreboard a whole pending run at a time, then new data.
+        The per-packet transmit sequence is identical to calling
+        ``_send_one`` ``budget`` times — only the scoreboard bookkeeping
+        is batched.
+        """
+        sent = 0
+        board = self.scoreboard
+        while sent < budget:
+            run = board.take_pending(self.snd_una, budget - sent)
+            if run is None:
+                break
+            for seq in range(run[0], run[1]):
+                self._transmit(seq, retransmit=True)
+            sent += run[1] - run[0]
+        if sent < budget and self._has_new_data():
+            # Batch the new-data budget: the application/backlog limits
+            # are constant within this call, so computing the count once
+            # transmits exactly the segments the per-packet loop would.
+            n = budget - sent
+            produced = self.application.produced(self.sim.now)
+            if produced is not None and produced - self.next_seq < n:
+                n = produced - self.next_seq
+            if self.total_segments is not None \
+                    and self.total_segments - self.next_seq < n:
+                n = self.total_segments - self.next_seq
+            for _ in range(n):
+                seq = self.next_seq
+                self.next_seq = seq + 1
+                self._transmit(seq, retransmit=False)
+            sent += n
+        return sent
 
     def _transmit(self, seq: int, retransmit: bool) -> None:
         packet = make_data_packet(
@@ -279,16 +298,18 @@ class TcpSender:
         if not isinstance(cc, WindowCongestionControl):
             return
         limit = int(cc.cwnd)
-        while self._pipe < limit:
-            if not self._send_one():
-                break
+        if self._pipe < limit:
+            # Each transmit adds exactly one to the pipe, so a single
+            # batched call with the remaining budget is equivalent to
+            # the old send-one-while-below-limit loop.
+            self._send_many(limit - self._pipe)
         # An app-limited, ACK-clocked sender can stall entirely: with
         # nothing in flight there are no ACKs to clock out data the
         # application produces later.  Poll for new production.
         if (
             self._pipe == 0
             and not self.complete
-            and self._next_rtx() is None
+            and not self.scoreboard.has_pending
             and not self._has_new_data()
             and self.application.produced(self.sim.now) is not None
             and (
@@ -367,11 +388,7 @@ class TcpSender:
         cc.on_tick(self.sim.now)
 
         burst = cc.take_burst()
-        sent_burst = 0
-        for _ in range(burst):
-            if not self._send_one():
-                break
-            sent_burst += 1
+        sent_burst = self._send_many(burst)
         if sent_burst < burst:
             # Application-limited: keep the remaining probe credits for
             # later ticks instead of silently discarding them (a CBR
@@ -385,11 +402,7 @@ class TcpSender:
         if cc.round_mode == "up" and remainder > 1e-9:
             count += 1
         count = min(count, MAX_TICK_PACKETS)
-        sent = 0
-        while sent < count:
-            if not self._send_one():
-                break
-            sent += 1
+        sent = self._send_many(count)
         self._budget -= sent * self._packet_bytes
         if sent < count:
             # Application-limited: do not accumulate credit.
@@ -420,16 +433,17 @@ class TcpSender:
 
         recovery_exited = False
         if newly_acked:
-            if not self._sacked and not self._rtx_state:
+            board = self.scoreboard
+            if board.clean:
                 # Loss-free fast path: every acked segment is a plain
                 # in-flight transmission.
                 pipe = self._pipe - newly_acked
-                self._pipe = pipe if pipe > 0 else 0
             else:
-                for seq in range(self.snd_una, ack):
-                    self._on_seq_acked(seq)
+                # One bulk transition clears the runs below ``ack`` and
+                # yields the pipe decrement (in-flight + rtx in flight).
+                pipe = self._pipe - board.ack_to(self.snd_una, ack)
+            self._pipe = pipe if pipe > 0 else 0
             self.snd_una = ack
-            self._sacked.remove_below(ack)
             self._loss_ptr = max(self._loss_ptr, ack)
             self._dupacks = 0
             if (
@@ -453,8 +467,11 @@ class TcpSender:
 
         # Loss detection.
         newly_lost = self._mark_losses()
-        if self._dupacks >= DUPTHRESH:
-            newly_lost += self._mark_seq_lost(self.snd_una)
+        if self._dupacks >= DUPTHRESH and self._loss_ptr <= self.snd_una:
+            # When _loss_ptr has passed snd_una the head is already
+            # SACKed or marked (that is the pointer's invariant), so the
+            # probe below could never mark anything — skip it.
+            newly_lost += self._mark_lost_range(self.snd_una, self.snd_una + 1)
 
         # RTT / one-way-delay samples from the timestamp echo.
         rtt = None
@@ -506,71 +523,81 @@ class TcpSender:
             cost.observe((perf_counter() - t0) * 1e6)
 
     def _process_sacks(self, packet: Packet, cumulative_ack: int) -> int:
-        """Fold SACK blocks into the scoreboard; returns newly SACKed count."""
+        """Fold SACK blocks into the scoreboard; returns newly SACKed count.
+
+        SACK options repeat the older blocks on every ACK (robustness
+        against ACK loss); ``_sack_noop`` remembers blocks already fully
+        folded so the repeats skip the scoreboard outright.
+        """
         newly = 0
+        board = self.scoreboard
+        memo = self._sack_noop
         for block in packet.sacks:
-            start = max(block.start, cumulative_ack)
-            if block.end <= start:
+            key = (block.start, block.end)  # tuple: C-level hash
+            if key in memo:
                 continue
-            for s, e in self._sacked.add_range(start, block.end):
-                for seq in range(s, e):
-                    self._on_seq_sacked(seq)
-                newly += e - s
-            if block.end > self._highest_sacked:
-                self._highest_sacked = block.end
+            start = max(block.start, cumulative_ack)
+            if block.end > start:
+                covered, pipe_drop, cancelled = board.sack_range(
+                    start, block.end
+                )
+                if covered:
+                    newly += covered
+                    if pipe_drop:
+                        pipe = self._pipe - pipe_drop
+                        self._pipe = pipe if pipe > 0 else 0
+                    if cancelled:
+                        # Marked lost but actually delivered: the pending
+                        # retransmissions are cancelled before leaving;
+                        # their pipe contribution was removed at marking.
+                        self.spurious_marks += cancelled
+                if block.end > self._highest_sacked:
+                    self._highest_sacked = block.end
+            if len(memo) >= 64:
+                memo.clear()
+            memo.add(key)
         return newly
-
-    def _on_seq_sacked(self, seq: int) -> None:
-        state = self._rtx_state.get(seq)
-        if state is None:
-            self._pipe_dec()
-        elif state == _RTX_PENDING:
-            # Marked lost but actually delivered: cancel the retransmission.
-            # Its pipe contribution was already removed at loss-marking.
-            self._rtx_state[seq] = _RTX_CANCELLED
-            self.spurious_marks += 1
-        elif state == _RTX_SENT:
-            self._pipe_dec()
-            del self._rtx_state[seq]
-
-    def _on_seq_acked(self, seq: int) -> None:
-        if seq in self._sacked:
-            self._rtx_state.pop(seq, None)
-            return
-        state = self._rtx_state.pop(seq, None)
-        if state is None or state == _RTX_SENT:
-            self._pipe_dec()
-        # _RTX_PENDING / _RTX_CANCELLED were deducted at loss-marking.
-
-    def _pipe_dec(self) -> None:
-        if self._pipe > 0:
-            self._pipe -= 1
 
     # ------------------------------------------------------------------
     # Loss detection and recovery
     # ------------------------------------------------------------------
-    def _mark_seq_lost(self, seq: int) -> int:
-        """Mark one segment lost; returns 1 if newly marked."""
-        if seq >= self.next_seq or seq < self.snd_una:
+    def _mark_lost_range(self, start: int, end: int) -> int:
+        """Mark the markable segments of ``[start, end)`` lost.
+
+        Marked segments leave the pipe immediately (their retransmission
+        re-enters it when sent).  Returns the newly marked count.
+        """
+        end = min(end, self.next_seq)
+        start = max(start, self.snd_una)
+        if end <= start:
             return 0
-        if seq in self._sacked or seq in self._rtx_state:
+        newly, runs = self.scoreboard.mark_lost(start, end)
+        if not newly:
             return 0
-        self._rtx_state[seq] = _RTX_PENDING
-        heapq.heappush(self._rtx_heap, seq)
-        self._pipe_dec()
-        self.lost_total += 1
-        return 1
+        pipe = self._pipe - newly
+        self._pipe = pipe if pipe > 0 else 0
+        self.lost_total += newly
+        tr = self._tracer
+        if tr is not None:
+            tr.emit(CC_LOSS_RUNS, self.sim.now, flow=self.flow_id,
+                    runs=[[s, e] for s, e, _ in runs], lost=newly,
+                    una=self.snd_una)
+        return newly
 
     def _mark_losses(self) -> int:
         """RFC 6675-style: a segment with >= DupThresh SACKed segments
-        above it is lost.  Approximated by the highest SACKed edge."""
+        above it is lost.  Approximated by the highest SACKed edge.
+
+        The scan window ``[_loss_ptr, threshold)`` is folded into the
+        scoreboard as one bulk transition — O(loss runs), not O(window).
+        """
         threshold = self._highest_sacked - (DUPTHRESH - 1)
-        newly = 0
-        seq = max(self._loss_ptr, self.snd_una)
-        while seq < threshold:
-            newly += self._mark_seq_lost(seq)
-            seq += 1
-        self._loss_ptr = max(self._loss_ptr, threshold)
+        if threshold <= self._loss_ptr:
+            return 0
+        newly = self._mark_lost_range(
+            max(self._loss_ptr, self.snd_una), threshold
+        )
+        self._loss_ptr = threshold
         return newly
 
     # ------------------------------------------------------------------
@@ -628,18 +655,12 @@ class TcpSender:
         if self._tick_event is None and self.cc.is_rate_based:
             self._resume_tick()
         self.rto_estimator.on_timeout()
-        for seq in range(self.snd_una, self.next_seq):
-            if seq in self._sacked:
-                continue
-            state = self._rtx_state.get(seq)
-            if state == _RTX_PENDING:
-                continue
-            if state == _RTX_CANCELLED:
-                continue
-            self._rtx_state[seq] = _RTX_PENDING
-            heapq.heappush(self._rtx_heap, seq)
-            if state is None or state == _RTX_SENT:
-                self.lost_total += 1
+        # One bulk transition requeues the whole outstanding window:
+        # in-flight and retransmitted segments become pending again
+        # (newly counted lost); SACKed data and existing marks persist.
+        self.lost_total += self.scoreboard.rto_requeue(
+            self.snd_una, self.next_seq
+        )
         self._pipe = 0
         self._loss_ptr = self.next_seq
         # RTO recovery is Slow Start, not fast recovery: leaving the
@@ -656,21 +677,15 @@ class TcpSender:
 
     # ------------------------------------------------------------------
     def debug_expected_pipe(self) -> int:
-        """Recompute the in-flight estimate from the scoreboard (test aid).
+        """Recompute the in-flight estimate from the scoreboard (audit aid).
 
-        The incremental ``_pipe`` counter must always equal this O(window)
+        The incremental ``_pipe`` counter must always equal this O(runs)
         reconstruction: one transmission outstanding for every unacked
         segment that is neither SACKed nor marked lost, plus one for every
-        retransmission in flight.
+        retransmission in flight.  This walks the scoreboard runs
+        independently of the counter, so it remains a meaningful check.
         """
-        expected = 0
-        for seq in range(self.snd_una, self.next_seq):
-            state = self._rtx_state.get(seq)
-            if state == _RTX_SENT:
-                expected += 1
-            elif state is None and seq not in self._sacked:
-                expected += 1
-        return expected
+        return self.scoreboard.expected_pipe(self.snd_una, self.next_seq)
 
     # ------------------------------------------------------------------
     def _finish(self) -> None:

@@ -310,3 +310,87 @@ class TestBatchPlumbing:
             audit=True,
         )
         assert points[0].throughput_kbps > 0
+
+
+class TestScoreboardInvariants:
+    """Satellite checks for the interval-run scoreboards (PR 5)."""
+
+    def _wire_fast_checks(self, strict: bool = True):
+        """Like ``_wire`` but checking scoreboards on every ACK sweep."""
+        sim = Simulator()
+        path = DuplexPath(sim, cellular_path_config(_trace()))
+        auditor = InvariantAuditor(sim, strict=strict, pipe_check_every=1)
+        forward_audit, _ = auditor.attach_path(path)
+        receiver = TcpReceiver(sim, 0, send_ack=path.send_reverse)
+        sender = TcpSender(
+            sim, 0, PropRate(target_buffer_delay=0.040),
+            send_packet=path.send_forward,
+        )
+        path.attach_flow(0, receiver.receive, sender.on_ack_packet)
+        auditor.attach_flow(sender, receiver, data_link=forward_audit)
+        sender.start()
+        return sim, path, sender, receiver, auditor
+
+    def test_clean_run_with_per_ack_scoreboard_checks(self):
+        sim, path, sender, receiver, auditor = self._wire_fast_checks()
+        sim.run(until=4.0)
+        assert auditor.violations == []
+        assert sender.acks_received > 0
+
+    def test_corrupt_sender_scoreboard_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, receiver, auditor = self._wire_fast_checks()
+
+        def corrupt():
+            # An empty run violates structure but contributes nothing
+            # to the pipe reconstruction, so the structural check (not
+            # pipe-accounting) must be what trips.
+            m = sender.scoreboard._map
+            m._starts.append(10**6)
+            m._ends.append(10**6)
+            m._tags.append(1)
+
+        sim.schedule_at(2.0, corrupt)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "scoreboard-structure"
+
+    def test_ooo_overlapping_rcv_nxt_detected(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, receiver, auditor = self._wire_fast_checks()
+
+        def corrupt():
+            assert receiver.rcv_nxt > 0
+            # A stored segment at the cumulative edge should have been
+            # consumed by the rcv_nxt advance.  Sweep synchronously:
+            # the next in-order arrival would legitimately consume it.
+            receiver._ooo.add(receiver.rcv_nxt)
+            auditor.sweep(full=True)
+
+        sim.schedule_at(2.0, corrupt)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "receiver-ooo"
+
+    def test_unbacked_sack_block_detected(self, tmp_path, monkeypatch):
+        from repro.sim.packet import SackBlock
+
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, sender, receiver, auditor = self._wire_fast_checks()
+
+        def corrupt():
+            # Keep the store non-empty and legal, but forge a block the
+            # store does not back.
+            receiver._ooo.add(receiver.rcv_nxt + 50)
+            receiver._sack_blocks = lambda: [
+                SackBlock(receiver.rcv_nxt + 100, receiver.rcv_nxt + 102)
+            ]
+            # Sweep before the receiver can emit the forged block on a
+            # real ACK (which would corrupt the sender's pipe instead).
+            auditor.sweep(full=True)
+
+        sim.schedule_at(2.0, corrupt)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=4.0)
+        assert exc_info.value.check == "receiver-ooo"
+        assert "not fully backed" in exc_info.value.detail

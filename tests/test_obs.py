@@ -336,6 +336,35 @@ class TestTraceAnalysis:
         main(["trace", batch_trace, "--diff", batch_trace])
         assert "Diff:" in capsys.readouterr().out
 
+    def test_render_plot_waveform(self, batch_trace):
+        from repro.obs import analyze
+
+        events = analyze.read_trace(batch_trace)
+        plot = analyze.render_plot(events, width=60, height=6)
+        # Both runs of the batch get their own time axis and lanes.
+        assert "run 0" in plot and "run 1" in plot
+        assert "buffering delay" in plot and "downlink" in plot
+        assert "state  |" in plot
+        assert "legend:" in plot and "F=fill" in plot
+        # Lanes are aligned: every lane row is exactly `width` wide.
+        for line in plot.splitlines():
+            if "|" in line and "flow" not in line and "cc.loss" not in line:
+                assert len(line.split("|", 1)[1]) == 60
+
+    def test_render_plot_empty_trace(self):
+        from repro.obs import analyze
+
+        assert "nothing" in analyze.render_plot([]) or \
+            "no queue samples" in analyze.render_plot([])
+
+    def test_trace_cli_plot(self, batch_trace, capsys):
+        from repro.__main__ import main
+
+        main(["trace", batch_trace, "--plot", "--plot-width", "50"])
+        out = capsys.readouterr().out
+        assert "buffering delay" in out
+        assert "legend:" in out
+
     def test_run_cli_telemetry_flag(self, tmp_path, capsys):
         from repro.__main__ import main
 

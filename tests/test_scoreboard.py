@@ -1,0 +1,235 @@
+"""Unit tests for the interval-run SACK scoreboards.
+
+The differential harness (``test_scoreboard_diff.py``) checks the
+sender scoreboard against a per-seq reference under a live sender;
+these tests pin the individual transition semantics — including the
+corners a simulation may not reach every run.
+"""
+
+import pytest
+
+from repro.tcp.scoreboard import (
+    CANCELLED,
+    LOST,
+    RTX,
+    SACKED,
+    ReceiverScoreboard,
+    SenderScoreboard,
+)
+
+
+class TestSenderTransitions:
+    def test_new_board_is_clean(self):
+        b = SenderScoreboard()
+        assert b.clean
+        assert not b.in_loss_recovery
+        assert not b.has_pending
+        assert b.next_pending(0) is None
+        assert b.expected_pipe(10, 30) == 20  # everything in flight
+
+    def test_sack_inflight(self):
+        b = SenderScoreboard()
+        assert b.sack_range(5, 8) == (3, 3, 0)  # newly, pipe_drop, cancelled
+        assert b.is_sacked(6)
+        assert b.state(6) == SACKED
+        assert not b.clean
+        assert not b.in_loss_recovery  # SACKed-only is not recovery
+        assert b.expected_pipe(0, 10) == 7
+
+    def test_sack_is_idempotent(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 8)
+        assert b.sack_range(5, 8) == (0, 0, 0)
+        assert b.sack_range(6, 7) == (0, 0, 0)
+
+    def test_mark_lost_skips_sacked(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 7)
+        newly, runs = b.mark_lost(3, 9)
+        assert newly == 4
+        assert [(s, e) for s, e, _ in runs] == [(3, 5), (7, 9)]
+        assert b.in_loss_recovery and b.has_pending
+        assert b.next_pending(0) == 3
+        # Lost segments are off the pipe; SACKed too.
+        assert b.expected_pipe(0, 10) == 10 - 2 - 4
+
+    def test_sack_cancels_pending_mark(self):
+        b = SenderScoreboard()
+        b.mark_lost(4, 6)
+        newly, pipe_drop, cancelled = b.sack_range(4, 6)
+        assert (newly, pipe_drop, cancelled) == (2, 0, 2)
+        assert b.state(4) == CANCELLED
+        assert not b.has_pending  # nothing to retransmit any more
+        assert b.in_loss_recovery  # but the episode is still open
+        # Cancelled stays off the pipe and is never re-markable.
+        assert b.mark_lost(4, 6) == (0, [])
+        assert b.expected_pipe(0, 10) == 8
+
+    def test_sack_of_rtx_drops_pipe(self):
+        b = SenderScoreboard()
+        b.mark_lost(4, 5)
+        b.mark_rtx_sent(4)
+        assert b.state(4) == RTX
+        assert b.expected_pipe(0, 10) == 10  # rtx back on the pipe
+        assert b.sack_range(4, 5) == (1, 1, 0)
+        assert b.state(4) == SACKED
+
+    def test_take_pending_claims_run_head(self):
+        b = SenderScoreboard()
+        b.mark_lost(3, 9)
+        assert b.take_pending(0, 2) == (3, 5)
+        assert b.state(3) == RTX and b.state(4) == RTX and b.state(5) == LOST
+        assert b.take_pending(0, 10) == (5, 9)
+        assert b.take_pending(0, 10) is None
+
+    def test_take_pending_respects_una(self):
+        b = SenderScoreboard()
+        b.mark_lost(3, 5)
+        b.mark_lost(8, 9)
+        assert b.take_pending(6, 5) == (8, 9)
+
+    def test_ack_clears_below_and_returns_pipe_drop(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 7)
+        b.mark_lost(2, 4)
+        b.mark_rtx_sent(2)
+        # Window [0, 8): acked through 8.  Pipe decrement is the
+        # in-flight segments (0,1,4,7) plus the rtx for 2; the LOST
+        # segment 3 already left the pipe when it was marked.
+        assert b.ack_to(0, 8) == 4 + 1
+        assert b.clean
+
+    def test_ack_partial(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 7)
+        assert b.ack_to(0, 5) == 5
+        assert not b.clean  # SACKed run still above the ACK
+        assert b.ack_to(5, 7) == 0  # both segments already off the pipe
+
+    def test_rto_requeues_inflight_and_rtx(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 7)
+        b.mark_lost(2, 4)
+        b.mark_rtx_sent(2)
+        newly = b.rto_requeue(0, 10)
+        # Newly lost: the in-flight segments (0,1,4,7,8,9) plus the
+        # requeued rtx at 2; the existing mark at 3 is not re-counted.
+        assert newly == 7
+        assert b.state(2) == LOST and b.state(3) == LOST
+        assert b.state(5) == SACKED  # SACKed data survives an RTO
+        assert b.next_pending(0) == 0
+
+    def test_expected_pipe_matches_manual_count(self):
+        b = SenderScoreboard()
+        b.sack_range(10, 14)
+        b.mark_lost(4, 8)
+        b.mark_rtx_sent(4)
+        b.mark_rtx_sent(5)
+        covered = 4 + 4          # sacked + tagged loss region
+        rtx = 2
+        assert b.expected_pipe(0, 20) == 20 - covered + rtx
+
+    def test_to_dict(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 7)
+        b.mark_lost(2, 3)
+        assert b.to_dict(0, 10) == {2: LOST, 5: SACKED, 6: SACKED}
+        assert b.to_dict(6, 10) == {6: SACKED}
+
+    def test_check_passes_on_valid_board(self):
+        b = SenderScoreboard()
+        b.sack_range(5, 7)
+        b.mark_lost(2, 3)
+        b.check()
+
+
+class TestReceiverScoreboard:
+    def test_add_and_membership(self):
+        r = ReceiverScoreboard()
+        assert not r
+        assert r.add(5)
+        assert not r.add(5)  # duplicate
+        assert r.add(6)
+        assert 5 in r and 7 not in r
+        assert len(r) == 2
+        assert r.intervals == [(5, 7)]
+        assert r.min == 5
+
+    def test_remove_below(self):
+        r = ReceiverScoreboard()
+        for s in (3, 4, 8):
+            r.add(s)
+        assert r.remove_below(5) == 2
+        assert r.intervals == [(8, 9)]
+
+    def test_first_gap_at_or_after(self):
+        r = ReceiverScoreboard()
+        for s in (4, 5, 7):
+            r.add(s)
+        assert r.first_gap_at_or_after(4) == 6
+        assert r.first_gap_at_or_after(6) == 6
+        assert r.first_gap_at_or_after(7) == 8
+
+    def test_interval_containing(self):
+        r = ReceiverScoreboard()
+        for s in (4, 5, 8):
+            r.add(s)
+        assert r.interval_containing(5) == (4, 6)
+        assert r.interval_containing(8) == (8, 9)
+        assert r.interval_containing(6) is None
+
+    def test_tail_intervals_descending(self):
+        r = ReceiverScoreboard()
+        for s in (2, 5, 6, 9):
+            r.add(s)
+        assert r.tail_intervals(2) == [(9, 10), (5, 7)]
+        assert r.tail_intervals(10) == [(9, 10), (5, 7), (2, 3)]
+
+    def test_contains_range(self):
+        r = ReceiverScoreboard()
+        for s in (4, 5, 6):
+            r.add(s)
+        assert r.contains_range(4, 7)
+        assert r.contains_range(5, 6)
+        assert r.contains_range(5, 5)
+        assert not r.contains_range(3, 5)
+        assert not r.contains_range(6, 8)
+
+    def test_check(self):
+        r = ReceiverScoreboard()
+        r.add(3)
+        r.check()
+
+
+class TestScoreboardCornerCases:
+    def test_empty_ranges_are_noops(self):
+        b = SenderScoreboard()
+        assert b.sack_range(5, 5) == (0, 0, 0)
+        assert b.mark_lost(5, 5) == (0, [])
+        assert b.rto_requeue(5, 5) == 0
+        assert b.clean
+
+    def test_mark_rtx_sent_only_affects_lost(self):
+        b = SenderScoreboard()
+        b.sack_range(4, 5)
+        b.mark_rtx_sent(4)  # SACKed: no transition
+        assert b.state(4) == SACKED
+        b.mark_rtx_sent(9)  # untagged: no transition
+        assert b.state(9) is None
+
+    def test_runs_property_for_telemetry(self):
+        b = SenderScoreboard()
+        b.mark_lost(2, 4)
+        b.sack_range(4, 6)
+        assert b.runs == [(2, 4, LOST), (4, 6, SACKED)]
+
+    def test_segments_tile_window(self):
+        b = SenderScoreboard()
+        b.sack_range(4, 6)
+        assert list(b.segments(2, 8)) == [
+            (2, 4, None), (4, 6, SACKED), (6, 8, None),
+        ]
+
+
+if __name__ == "__main__":
+    raise SystemExit(pytest.main([__file__, "-q"]))

@@ -1,0 +1,359 @@
+"""Differential test: interval-run scoreboard vs a naive per-seq model.
+
+The run-based :class:`~repro.tcp.scoreboard.SenderScoreboard` replaced
+a per-segment dict + retransmission heap and is required to be
+*bit-identical* to it.  This harness runs a naive per-seq reference
+implementation of the same state machine in lockstep with the interval
+one inside a real :class:`~repro.tcp.sender.TcpSender` over randomized
+seeded loss / reorder / blackout schedules, asserting after every
+scoreboard operation that
+
+* every mutator returned exactly the same value from both boards;
+* the full per-seq state dump is identical;
+* the run structure verifies (``check()``);
+* the sender's incremental pipe equals the scoreboard reconstruction
+  at every ACK.
+"""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.tcp.congestion.base import (
+    RateCongestionControl,
+    WindowCongestionControl,
+)
+from repro.tcp.receiver import TcpReceiver
+from repro.tcp.scoreboard import (
+    CANCELLED,
+    LOST,
+    RTX,
+    SACKED,
+    SenderScoreboard,
+)
+from repro.tcp.sender import TcpSender
+
+
+class ReferenceBoard:
+    """The old per-segment state machine, one dict entry per sequence.
+
+    Deliberately naive — O(segments) everywhere — so it cannot share a
+    bug with the interval implementation.
+    """
+
+    def __init__(self):
+        self.state = {}  # seq -> SACKED | LOST | RTX | CANCELLED
+
+    # -- queries -------------------------------------------------------
+    @property
+    def clean(self):
+        return not self.state
+
+    @property
+    def in_loss_recovery(self):
+        return any(t != SACKED for t in self.state.values())
+
+    @property
+    def has_pending(self):
+        return any(t == LOST for t in self.state.values())
+
+    def next_pending(self, una):
+        pend = [s for s, t in self.state.items() if t == LOST and s >= una]
+        return min(pend) if pend else None
+
+    def expected_pipe(self, una, next_seq):
+        covered = sum(1 for s in self.state if una <= s < next_seq)
+        rtx = sum(
+            1 for s, t in self.state.items()
+            if t == RTX and una <= s < next_seq
+        )
+        return (next_seq - una) - covered + rtx
+
+    def to_dict(self, una, next_seq):
+        return {s: t for s, t in self.state.items() if una <= s < next_seq}
+
+    # -- transitions ---------------------------------------------------
+    def sack_range(self, start, end):
+        newly = drop = cancelled = 0
+        for seq in range(start, end):
+            t = self.state.get(seq)
+            if t is None or t == RTX:
+                self.state[seq] = SACKED
+                newly += 1
+                drop += 1
+            elif t == LOST:
+                self.state[seq] = CANCELLED
+                newly += 1
+                cancelled += 1
+        return newly, drop, cancelled
+
+    def mark_lost(self, start, end):
+        marked = []
+        for seq in range(start, end):
+            if self.state.get(seq) is None:
+                self.state[seq] = LOST
+                marked.append(seq)
+        return len(marked), _as_runs(marked)
+
+    def ack_to(self, una, ack):
+        covered = rtx = 0
+        for seq in [s for s in self.state if s < ack]:
+            t = self.state.pop(seq)
+            covered += 1
+            if t == RTX:
+                rtx += 1
+        return (ack - una) - covered + rtx
+
+    def mark_rtx_sent(self, seq):
+        if self.state.get(seq) == LOST:
+            self.state[seq] = RTX
+
+    def take_pending(self, una, limit):
+        first = self.next_pending(una)
+        if first is None:
+            return None
+        # Claim the contiguous pending run from its head, up to limit.
+        seq = first
+        while seq < first + limit and self.state.get(seq) == LOST:
+            self.state[seq] = RTX
+            seq += 1
+        return (first, seq)
+
+    def rto_requeue(self, una, next_seq):
+        newly = 0
+        for seq in range(una, next_seq):
+            t = self.state.get(seq)
+            if t is None or t == RTX:
+                self.state[seq] = LOST
+                newly += 1
+        return newly
+
+
+def _as_runs(seqs):
+    """Merge a sorted seq list into (start, end, None) change runs."""
+    runs = []
+    for s in seqs:
+        if runs and runs[-1][1] == s:
+            runs[-1] = (runs[-1][0], s + 1, None)
+        else:
+            runs.append((s, s + 1, None))
+    return [tuple(r) for r in runs]
+
+
+class MirrorBoard:
+    """Delegates every operation to both boards and asserts agreement."""
+
+    def __init__(self):
+        self.real = SenderScoreboard()
+        self.ref = ReferenceBoard()
+        self.hi = 0  # one past the highest sequence ever touched
+        self.ops = 0
+
+    def _sync(self):
+        self.ops += 1
+        self.real.check()
+        assert self.real.to_dict(0, self.hi) == self.ref.to_dict(0, self.hi)
+
+    def _touch(self, *bounds):
+        for b in bounds:
+            if b > self.hi:
+                self.hi = b
+
+    # -- queries (compared, no state change) ---------------------------
+    @property
+    def clean(self):
+        a, b = self.real.clean, self.ref.clean
+        assert a == b
+        return a
+
+    @property
+    def in_loss_recovery(self):
+        a, b = self.real.in_loss_recovery, self.ref.in_loss_recovery
+        assert a == b
+        return a
+
+    @property
+    def has_pending(self):
+        a, b = self.real.has_pending, self.ref.has_pending
+        assert a == b
+        return a
+
+    def next_pending(self, una):
+        a, b = self.real.next_pending(una), self.ref.next_pending(una)
+        assert a == b
+        return a
+
+    def expected_pipe(self, una, next_seq):
+        a = self.real.expected_pipe(una, next_seq)
+        b = self.ref.expected_pipe(una, next_seq)
+        assert a == b
+        return a
+
+    def check(self):
+        self.real.check()
+
+    def to_dict(self, una, next_seq):
+        return self.real.to_dict(una, next_seq)
+
+    # -- transitions ---------------------------------------------------
+    def sack_range(self, start, end):
+        self._touch(end)
+        a, b = self.real.sack_range(start, end), self.ref.sack_range(start, end)
+        assert a == b, f"sack_range({start},{end}): {a} != {b}"
+        self._sync()
+        return a
+
+    def mark_lost(self, start, end):
+        self._touch(end)
+        a, b = self.real.mark_lost(start, end), self.ref.mark_lost(start, end)
+        assert a == b, f"mark_lost({start},{end}): {a} != {b}"
+        self._sync()
+        return a
+
+    def ack_to(self, una, ack):
+        a, b = self.real.ack_to(una, ack), self.ref.ack_to(una, ack)
+        assert a == b, f"ack_to({una},{ack}): {a} != {b}"
+        self._sync()
+        return a
+
+    def mark_rtx_sent(self, seq):
+        self.real.mark_rtx_sent(seq)
+        self.ref.mark_rtx_sent(seq)
+        self._sync()
+
+    def take_pending(self, una, limit):
+        a = self.real.take_pending(una, limit)
+        b = self.ref.take_pending(una, limit)
+        assert a == b, f"take_pending({una},{limit}): {a} != {b}"
+        self._sync()
+        return a
+
+    def rto_requeue(self, una, next_seq):
+        a = self.real.rto_requeue(una, next_seq)
+        b = self.ref.rto_requeue(una, next_seq)
+        assert a == b, f"rto_requeue({una},{next_seq}): {a} != {b}"
+        self._sync()
+        return a
+
+
+class _Window(WindowCongestionControl):
+    name = "fixed"
+
+    def __init__(self, cwnd):
+        super().__init__()
+        self.cwnd = cwnd
+        self.ssthresh = float("inf")
+
+
+class _Rate(RateCongestionControl):
+    name = "fixed-rate"
+
+    def __init__(self, rate):
+        super().__init__()
+        self.pacing_rate = rate
+
+
+class _ChaosWire:
+    """Seeded loss + reorder + blackout schedule."""
+
+    def __init__(self, sim, seed, drop_p, jitter, dark_period, dark_len):
+        self.sim = sim
+        self.rng = random.Random(seed)
+        self.drop_p = drop_p
+        self.jitter = jitter
+        self.dark_period = dark_period
+        self.dark_len = dark_len
+        self.receiver = None
+        self.sender = None
+
+    def _dark(self):
+        if not self.dark_period:
+            return False
+        return (self.sim.now % self.dark_period) > (
+            self.dark_period - self.dark_len
+        )
+
+    def send_data(self, pkt):
+        if self._dark():
+            return
+        if not pkt.retransmit and self.rng.random() < self.drop_p:
+            return
+        delay = 0.02 + self.rng.random() * self.jitter
+        self.sim.schedule(delay, lambda p=pkt: self.receiver.receive(p))
+
+    def send_ack(self, pkt):
+        if self._dark():
+            return
+        self.sim.schedule(0.02, lambda p=pkt: self.sender.on_ack_packet(p))
+
+
+SCHEDULES = [
+    # (seed, drop_p, jitter, dark_period, dark_len)
+    pytest.param((1, 0.05, 0.0, 0.0, 0.0), id="random-loss"),
+    pytest.param((2, 0.02, 0.015, 0.0, 0.0), id="reorder-spurious"),
+    pytest.param((3, 0.0, 0.0, 1.0, 0.3), id="blackout-rto"),
+    pytest.param((4, 0.08, 0.01, 1.5, 0.2), id="loss-reorder-blackout"),
+    pytest.param((5, 0.3, 0.02, 0.8, 0.4), id="pathological"),
+]
+
+
+@pytest.mark.parametrize("schedule", SCHEDULES)
+def test_interval_board_matches_reference(schedule):
+    seed, drop_p, jitter, dark_period, dark_len = schedule
+    sim = Simulator()
+    wire = _ChaosWire(sim, seed, drop_p, jitter, dark_period, dark_len)
+    wire.receiver = TcpReceiver(
+        sim, 0, send_ack=wire.send_ack, ts_granularity=0.0
+    )
+    sender = TcpSender(sim, 0, _Window(40), send_packet=wire.send_data)
+    wire.sender = sender
+    mirror = MirrorBoard()
+    sender.scoreboard = mirror
+
+    pipe_checks = [0]
+    inner = sender.on_ack_packet
+
+    def checked_ack(pkt):
+        inner(pkt)
+        # The incremental pipe must equal the reconstruction (which the
+        # mirror itself asserts across both boards) at every ACK.
+        assert sender._pipe == sender.debug_expected_pipe()
+        pipe_checks[0] += 1
+
+    sender.on_ack_packet = checked_ack
+    sender.start()
+    sim.run(until=4.0)
+
+    assert pipe_checks[0] > 50, "schedule produced too few ACKs to matter"
+    assert mirror.ops > 100, "schedule never exercised the scoreboard"
+    if dark_period:
+        assert sender.rto_count >= 1, "blackout schedule produced no RTO"
+    if jitter and drop_p:
+        assert sender.lost_total > 0
+
+
+def test_spurious_cancellation_differential():
+    """Reorder-heavy *paced* schedule must exercise CANCELLED.
+
+    A window-based sender refills retransmissions inside the same ACK
+    processing that marked them, so LOST never lingers; a rate-paced
+    sender queues marks until the next pacing tick, leaving a window
+    where a late-arriving original is SACKed and cancels the mark.
+    """
+    sim = Simulator()
+    wire = _ChaosWire(sim, 7, 0.1, 0.1, 0.0, 0.0)
+    wire.receiver = TcpReceiver(
+        sim, 0, send_ack=wire.send_ack, ts_granularity=0.0
+    )
+    sender = TcpSender(sim, 0, _Rate(1_500_000.0), send_packet=wire.send_data)
+    wire.sender = sender
+    mirror = MirrorBoard()
+    sender.scoreboard = mirror
+    sender.start()
+    sim.run(until=8.0)
+    assert sender.spurious_marks > 0, (
+        "jitter schedule produced no spurious marks; the CANCELLED "
+        "path went untested"
+    )
+    assert mirror.ops > 100
