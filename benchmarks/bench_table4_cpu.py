@@ -82,6 +82,18 @@ def events_per_second(duration: float = DURATION) -> float:
     return events / wall
 
 
+def sim_seconds_per_second(duration: float = DURATION) -> float:
+    """Simulated seconds per wall second over the workload.
+
+    The perf-smoke gate metric: unlike events/sec it is invariant to
+    event *granularity*, so changes that legitimately collapse many
+    small events into one (the delivery fast path's batched serves and
+    grouped deliveries) do not skew it.
+    """
+    costs, _, wall = run_workload(duration)
+    return len(costs) * duration / wall
+
+
 def test_table4_control_overhead(benchmark):
     costs, events, wall = benchmark.pedantic(
         run_workload, rounds=1, iterations=1

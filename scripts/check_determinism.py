@@ -1,30 +1,54 @@
 #!/usr/bin/env python
-"""CI determinism gate for the batch scheduler.
+"""CI determinism gates for the batch scheduler and the delivery paths.
 
-The batch layer's core promise: ``run_batch(..., n_jobs=1)`` and
-``n_jobs=4`` produce bit-identical ``FlowResult`` summaries, whatever
-order the work-stealing queue completes specs in.  This script runs a
-small Figure-10 frontier grid both ways (plus the streaming
-``iter_frontier`` face) and fails loudly on the first diverging field.
+Default mode — the batch layer's core promise: ``run_batch(...,
+n_jobs=1)`` and ``n_jobs=4`` produce bit-identical ``FlowResult``
+summaries, whatever order the work-stealing queue completes specs in.
+This script runs a small Figure-10 frontier grid both ways (plus the
+streaming ``iter_frontier`` face) and fails loudly on the first
+diverging field.  CI runs it twice more with ``REPRO_FAST_PATH=0`` so
+the scalar delivery path keeps the same guarantee.
+
+``--fastpath`` mode — the delivery fast path's core promise: the SoA
+batched pipeline (``REPRO_FAST_PATH=1``, the default) and the scalar
+reference produce bit-identical ``FlowResult`` summaries across a
+scenario grid spanning AQMs, delayed ACKs, both flow directions, and
+outage-heavy mobile traces (DESIGN.md §9).  Links bind their serve
+callback at construction, so each leg pins ``REPRO_FAST_PATH`` before
+building its worlds (and restores the caller's value afterwards).
 
 Usage::
 
     PYTHONPATH=src python scripts/check_determinism.py
+    PYTHONPATH=src python scripts/check_determinism.py --fastpath
 """
 
 from __future__ import annotations
 
+import os
 import sys
-
-from repro.experiments.frontier import iter_frontier, sweep_frontier
-from repro.traces.presets import isp_trace
 
 TARGETS = [0.020, 0.040, 0.060, 0.080]
 DURATION = 6.0
 WARMUP = 1.0
 
+#: --fastpath grid: (label, isp, mode, aqm, direction, delayed_ack).
+FASTPATH_GRID = [
+    ("A-mobile-droptail-down", "A", "mobile", "droptail", "down", False),
+    ("A-mobile-codel-down", "A", "mobile", "codel", "down", False),
+    ("B-stationary-droptail-down-delack", "B", "stationary", "droptail",
+     "down", True),
+    ("C-mobile-droptail-up", "C", "mobile", "droptail", "up", False),
+    ("B-mobile-codel-up-delack", "B", "mobile", "codel", "up", True),
+]
 
-def main() -> int:
+FASTPATH_ALGOS = ["PR(M)", "CUBIC", "BBR", "Sprout", "Verus"]
+
+
+def check_scheduler() -> int:
+    from repro.experiments.frontier import iter_frontier, sweep_frontier
+    from repro.traces.presets import isp_trace
+
     down = isp_trace("A", "mobile", duration=20.0)
     up = isp_trace("A", "mobile", duration=20.0, direction="uplink")
     kwargs = dict(
@@ -59,6 +83,71 @@ def main() -> int:
         f"across n_jobs=1, n_jobs=4, and streaming collection"
     )
     return 0
+
+
+def check_fastpath() -> int:
+    from repro.experiments.algorithms import paper_algorithms
+    from repro.experiments.runner import (
+        FlowSpec,
+        cellular_path_config,
+        run_experiment,
+    )
+    from repro.traces.presets import isp_trace
+
+    algos = paper_algorithms()
+
+    def leg(fast: bool):
+        os.environ["REPRO_FAST_PATH"] = "1" if fast else "0"
+        out = {}
+        for label, isp, mode, aqm, direction, delack in FASTPATH_GRID:
+            down = isp_trace(isp, mode, duration=20.0)
+            up = isp_trace(isp, mode, duration=20.0, direction="uplink")
+            for name in FASTPATH_ALGOS:
+                config = cellular_path_config(down, up, aqm=aqm)
+                results = run_experiment(
+                    config,
+                    [FlowSpec(cc_factory=algos[name], direction=direction,
+                              delayed_ack=delack)],
+                    duration=DURATION, measure_start=WARMUP,
+                )
+                out[(label, name)] = results[0].summary()
+        return out
+
+    saved = os.environ.get("REPRO_FAST_PATH")
+    try:
+        scalar = leg(False)
+        fast = leg(True)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FAST_PATH", None)
+        else:
+            os.environ["REPRO_FAST_PATH"] = saved
+
+    failures = 0
+    for key, ref in scalar.items():
+        if fast[key] != ref:
+            failures += 1
+            print(
+                f"DIVERGENCE {key}:\n"
+                f"  scalar: {ref}\n"
+                f"  fast:   {fast[key]}",
+                file=sys.stderr,
+            )
+    if failures:
+        print(f"fast-path gate FAILED: {failures} diverging scenarios "
+              f"of {len(scalar)}", file=sys.stderr)
+        return 1
+    print(
+        f"fast-path gate OK: {len(scalar)} scenario/algorithm results "
+        f"bit-identical between REPRO_FAST_PATH=0 and =1"
+    )
+    return 0
+
+
+def main() -> int:
+    if "--fastpath" in sys.argv[1:]:
+        return check_fastpath()
+    return check_scheduler()
 
 
 if __name__ == "__main__":

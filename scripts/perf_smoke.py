@@ -1,11 +1,18 @@
 #!/usr/bin/env python
-"""CI perf-smoke gate: the Table-4 workload's simulator events/second.
+"""CI perf-smoke gate: the Table-4 workload's simulation speed.
 
 Runs ``benchmarks/bench_table4_cpu.py``'s workload in reduced mode
-(``REPRO_BENCH_REDUCED=1``) and compares the aggregate events/sec
-against the checked-in baseline, failing on a >30% regression.  The
+(``REPRO_BENCH_REDUCED=1``) and compares the simulated-seconds-per-
+wall-second rate against the checked-in baseline, failing on a >30%
+regression.  (Earlier revisions gated events/sec; the delivery fast
+path legitimately collapses many small events into batched ones, so
+the gate now uses a metric invariant to event granularity.)  The
 baseline is deliberately taken on a slow reference host so that noisy
 CI runners fail only on real regressions in the simulation hot path.
+
+Any failing gate also writes a cProfile dump of the gated workload
+next to the repo root (``perf_profile.pstats`` plus a human-readable
+``perf_profile.txt``) so CI can upload it as an artifact.
 
 The ``--telemetry-overhead`` mode gates the :mod:`repro.obs` telemetry
 spine instead: it times the same workload with tracing off and on and
@@ -23,11 +30,23 @@ baseline catches regressions in the interval-run scoreboard that the
 
 Usage::
 
+The ``--delivery-check`` mode gates the delivery fast path instead:
+``benchmarks/bench_delivery_fastpath.py`` measures the SoA batched
+pipeline against the scalar reference on the bursty app-limited
+workload where batching engages, and the gate holds both the fast/
+scalar CPU ratio (host independent, tight floor) and the absolute
+packets-per-CPU-second (baseline with the usual noisy-runner
+tolerance).
+
+Usage::
+
     PYTHONPATH=src python scripts/perf_smoke.py --check     # CI gate
     PYTHONPATH=src python scripts/perf_smoke.py --update    # re-baseline
     PYTHONPATH=src python scripts/perf_smoke.py --telemetry-overhead
     PYTHONPATH=src python scripts/perf_smoke.py --loss-check
     PYTHONPATH=src python scripts/perf_smoke.py --loss-update
+    PYTHONPATH=src python scripts/perf_smoke.py --delivery-check
+    PYTHONPATH=src python scripts/perf_smoke.py --delivery-update
 """
 
 from __future__ import annotations
@@ -44,9 +63,16 @@ from pathlib import Path
 REPO = Path(__file__).resolve().parent.parent
 BASELINE = REPO / "benchmarks" / "baselines" / "perf_smoke.json"
 LOSS_BASELINE = REPO / "benchmarks" / "baselines" / "sack_scoreboard.json"
+DELIVERY_BASELINE = REPO / "benchmarks" / "baselines" / "delivery_fastpath.json"
+PROFILE_OUT = REPO / "perf_profile"
 
 #: Allowed slowdown relative to baseline before the gate fails.
 TOLERANCE = 0.30
+
+#: Floor on the fast/scalar CPU ratio of the delivery microbench.  The
+#: measured speedup is ~1.9x; the floor leaves headroom for runner
+#: noise while still catching a fast path that has stopped batching.
+DELIVERY_SPEEDUP_FLOOR = 1.30
 
 #: Allowed telemetry-on wall-time overhead vs telemetry-off.
 TELEMETRY_TOLERANCE = 0.10
@@ -66,8 +92,45 @@ def measure() -> float:
     bench_table4_cpu = _bench_module()
     # One throwaway pass warms the trace cache and JIT-ish caches
     # (interned bytecode, numpy buffers), then the measured pass.
-    bench_table4_cpu.events_per_second()
-    return bench_table4_cpu.events_per_second()
+    bench_table4_cpu.sim_seconds_per_second()
+    return bench_table4_cpu.sim_seconds_per_second()
+
+
+def _delivery_bench_module():
+    os.environ.setdefault("REPRO_BENCH_REDUCED", "1")
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    import bench_delivery_fastpath
+
+    return bench_delivery_fastpath
+
+
+def dump_profile(workload, label: str) -> None:
+    """Write a cProfile of ``workload`` for the failing gate.
+
+    CI uploads ``perf_profile.pstats`` (for ``pstats``/snakeviz) and
+    ``perf_profile.txt`` (human-readable top functions) as artifacts so
+    a regression can be diagnosed without reproducing the runner.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    workload()
+    profiler.disable()
+    profiler.dump_stats(str(PROFILE_OUT) + ".pstats")
+    with open(str(PROFILE_OUT) + ".txt", "w") as fh:
+        fh.write(f"gate: {label}\n")
+        stats = pstats.Stats(profiler, stream=fh)
+        stats.sort_stats("cumulative").print_stats(40)
+        stats.sort_stats("tottime").print_stats(40)
+    print(f"profile written to {PROFILE_OUT}.pstats / .txt")
+
+
+def measure_delivery() -> dict:
+    """Delivery fast-path microbench stats (see the bench docstring)."""
+    bench = _delivery_bench_module()
+    return bench.measure(rounds=3)
 
 
 def _loss_bench_module():
@@ -142,7 +205,50 @@ def main() -> int:
                        ">30%% vs baseline")
     group.add_argument("--loss-update", action="store_true",
                        help="rewrite the heavy-loss baseline from this host")
+    group.add_argument("--delivery-check", action="store_true",
+                       help="fail if the delivery fast path lost its "
+                       "speedup over the scalar path or regressed vs "
+                       "baseline")
+    group.add_argument("--delivery-update", action="store_true",
+                       help="rewrite the delivery fast-path baseline from "
+                       "this host")
     args = parser.parse_args()
+
+    if args.delivery_check or args.delivery_update:
+        stats = measure_delivery()
+        line = (
+            f"{stats['speedup']:.2f}x vs scalar, "
+            f"{stats['packets_per_cpu_sec']:,.0f} packets/cpu-sec"
+        )
+        if args.delivery_update:
+            DELIVERY_BASELINE.parent.mkdir(parents=True, exist_ok=True)
+            DELIVERY_BASELINE.write_text(json.dumps({
+                "packets_per_cpu_sec": round(stats["packets_per_cpu_sec"]),
+                "speedup": round(stats["speedup"], 2),
+                "speedup_floor": DELIVERY_SPEEDUP_FLOOR,
+                "workload": "bench_delivery_fastpath reduced "
+                            "(REPRO_BENCH_REDUCED=1)",
+                "tolerance": TOLERANCE,
+                "host": platform.platform(),
+                "cpu_count": os.cpu_count(),
+            }, indent=2) + "\n")
+            print(f"delivery baseline updated: {line} -> {DELIVERY_BASELINE}")
+            return 0
+        baseline = json.loads(DELIVERY_BASELINE.read_text())
+        floor = baseline["packets_per_cpu_sec"] * (1.0 - TOLERANCE)
+        ok = (stats["speedup"] >= DELIVERY_SPEEDUP_FLOOR
+              and stats["packets_per_cpu_sec"] >= floor)
+        verdict = "OK" if ok else "FAILED"
+        print(
+            f"delivery smoke {verdict}: {line} "
+            f"(speedup floor {DELIVERY_SPEEDUP_FLOOR}, "
+            f"throughput floor {floor:,.0f})"
+        )
+        if not ok:
+            bench = _delivery_bench_module()
+            dump_profile(bench.run_workload, "delivery-fastpath")
+            return 1
+        return 0
 
     if args.telemetry_overhead:
         return measure_telemetry_overhead()
@@ -169,29 +275,35 @@ def main() -> int:
             f"loss-recovery smoke {verdict}: {rate:,.0f} acks/cpu-sec "
             f"(baseline {baseline['acks_per_cpu_sec']:,}, floor {floor:,.0f})"
         )
-        return 0 if rate >= floor else 1
+        if rate < floor:
+            dump_profile(_loss_bench_module().run_workload, "loss-recovery")
+            return 1
+        return 0
 
     rate = measure()
     if args.update:
         BASELINE.parent.mkdir(parents=True, exist_ok=True)
         BASELINE.write_text(json.dumps({
-            "events_per_sec": round(rate),
+            "sim_seconds_per_sec": round(rate, 2),
             "workload": "bench_table4_cpu reduced (REPRO_BENCH_REDUCED=1)",
             "tolerance": TOLERANCE,
             "host": platform.platform(),
             "cpu_count": os.cpu_count(),
         }, indent=2) + "\n")
-        print(f"baseline updated: {rate:,.0f} events/sec -> {BASELINE}")
+        print(f"baseline updated: {rate:,.2f} sim-sec/sec -> {BASELINE}")
         return 0
 
     baseline = json.loads(BASELINE.read_text())
-    floor = baseline["events_per_sec"] * (1.0 - TOLERANCE)
+    floor = baseline["sim_seconds_per_sec"] * (1.0 - TOLERANCE)
     verdict = "OK" if rate >= floor else "FAILED"
     print(
-        f"perf smoke {verdict}: {rate:,.0f} events/sec "
-        f"(baseline {baseline['events_per_sec']:,}, floor {floor:,.0f})"
+        f"perf smoke {verdict}: {rate:,.2f} sim-sec/sec "
+        f"(baseline {baseline['sim_seconds_per_sec']:,}, floor {floor:,.2f})"
     )
-    return 0 if rate >= floor else 1
+    if rate < floor:
+        dump_profile(_bench_module().run_workload, "table4-sim-rate")
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

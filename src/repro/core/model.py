@@ -23,7 +23,6 @@ it.  This module implements those closed forms; the fluid simulation in
 from __future__ import annotations
 
 import enum
-import math
 from dataclasses import dataclass
 from typing import Optional
 

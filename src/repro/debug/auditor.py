@@ -189,6 +189,42 @@ class _LinkAudit:
 
         queue.pop = _tap_pop
 
+        # Fast-path taps: batched deliveries and sliced queue drains
+        # must hit the same accumulators, or conservation would "lose"
+        # every packet the batch path moved.
+        original_deliver_batch = getattr(link, "on_deliver_batch", None)
+        if original_deliver_batch is not None:
+            def _tap_deliver_batch(
+                batch: Any,
+                _orig: Any = original_deliver_batch,
+                _cell: List[int] = self._arrived_cell,
+            ) -> None:
+                _cell[0] += len(batch.packets)
+                _orig(batch)
+
+            link.on_deliver_batch = _tap_deliver_batch
+
+        original_drain = getattr(queue, "drain_opportunity", None)
+        if original_drain is not None:
+            def _tap_drain(
+                now: float,
+                budget: int,
+                _orig: Any = original_drain,
+                _cell: List[float] = self._sojourn_cell,
+            ) -> Any:
+                packets = _orig(now, budget)
+                best = _cell[0]
+                for packet in packets:
+                    enq = packet.enqueue_time
+                    if enq is not None:
+                        sojourn = now - enq
+                        if sojourn > best:
+                            best = sojourn
+                _cell[0] = best
+                return packets
+
+            queue.drain_opportunity = _tap_drain
+
     def fold(self, now: float) -> None:
         """Fold the per-packet accumulators into the windowed trackers.
 

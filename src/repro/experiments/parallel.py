@@ -182,9 +182,10 @@ class RunSpec:
 class RunOutcome:
     """One spec's fate: its (detached) result, or the failure report.
 
-    ``attempts`` counts executions that were charged against the spec —
-    1 for a clean run, more when a timeout or worker death consumed a
-    retry before the recorded result/error.
+    ``attempts`` counts dispatches to a worker — 1 for a clean run, more
+    when the spec was re-run after a timeout, a worker death charged to
+    it, or an un-attributable pool breakage that re-queued it without
+    charge (see :func:`iter_batch`).
     """
 
     index: int
@@ -298,11 +299,18 @@ def _init_worker(table: Dict[str, TraceRef]) -> None:
 
 @dataclass
 class _Task:
-    """Dispatcher-side state for one spec: identity plus charged losses."""
+    """Dispatcher-side state for one spec: identity plus charged losses.
+
+    ``suspect`` marks a task that was in flight when the pool broke with
+    no identifiable culprit.  Suspects are quarantined — at most one is
+    dispatched at a time — so the next breakage is attributable.
+    """
 
     index: int
     spec: Any
     failures: int = 0  # timeouts + worker deaths charged so far
+    dispatches: int = 0  # submissions to a worker, charged or not
+    suspect: bool = False
 
 
 class _BatchTelemetry:
@@ -448,9 +456,14 @@ def iter_batch(
         simulation.
     retries:
         How many charged losses (timeout or worker death) a spec may
-        absorb before its outcome reports the failure.  Ordinary Python
-        exceptions inside ``execute()`` are deterministic and are *not*
-        retried.
+        absorb before its outcome reports the failure.  A loss is only
+        charged to the spec that caused it: when a worker death takes
+        down several in-flight specs and the culprit cannot be
+        identified, none are charged — they re-queue as quarantined
+        suspects (dispatched one at a time) so the next death is
+        attributable and a poison spec cannot burn the retry budget of
+        innocent queue-mates.  Ordinary Python exceptions inside
+        ``execute()`` are deterministic and are *not* retried.
     on_outcome:
         Called with each :class:`RunOutcome` as it completes — progress
         bars, incremental persistence, early aborts by raising.
@@ -529,28 +542,32 @@ def iter_batch(
             index=task.index,
             spec=task.spec,
             error=reason,
-            attempts=task.failures,
+            attempts=task.dispatches,
         )
 
     def harvest(future: Any, task: _Task) -> Optional[RunOutcome]:
-        """Turn a done future into an outcome (None = re-queued)."""
+        """Turn a done future into an outcome (None = pool breakage).
+
+        A ``BrokenProcessPool`` is not charged here: the caller collects
+        every task the breakage took down and attributes the loss once.
+        """
         try:
             _, result, error = future.result()
-        except BrokenProcessPool as exc:
-            return settle_loss(task, f"worker process died: {exc!r}")
+        except BrokenProcessPool:
+            return None
         except Exception:  # noqa: BLE001 - e.g. unpicklable result
             return RunOutcome(
                 index=task.index,
                 spec=task.spec,
                 error=traceback.format_exc(),
-                attempts=task.failures + 1,
+                attempts=task.dispatches,
             )
         return RunOutcome(
             index=task.index,
             spec=task.spec,
             result=result,
             error=error,
-            attempts=task.failures + 1,
+            attempts=task.dispatches,
         )
 
     try:
@@ -562,19 +579,27 @@ def iter_batch(
                     initializer=_init_worker,
                     initargs=(table,),
                 )
+            suspect_inflight = any(t.suspect for t, _ in inflight.values())
+            held = []
             while queue and len(inflight) < workers:
                 task = queue.popleft()
+                if task.suspect and suspect_inflight:
+                    held.append(task)  # quarantine: one suspect at a time
+                    continue
+                suspect_inflight = suspect_inflight or task.suspect
+                task.dispatches += 1
                 if bt is not None:
                     bt.event(
                         obs.SCHED_DISPATCH,
                         spec=task.index,
-                        attempt=task.failures + 1,
+                        attempt=task.dispatches,
                     )
                 future = pool.submit(_run_entry, (task.index, task.spec))
                 deadline = (
                     None if timeout is None else time.monotonic() + timeout
                 )
                 inflight[future] = (task, deadline)
+            queue.extendleft(reversed(held))
 
             wait_for = None
             if timeout is not None:
@@ -587,34 +612,66 @@ def iter_batch(
                 set(inflight), timeout=wait_for, return_when=FIRST_COMPLETED
             )
 
-            broken = False
+            broken_tasks = []
             for future in done:
                 task, _ = inflight.pop(future)
                 outcome = harvest(future, task)
                 if outcome is None:
-                    broken = True  # loss re-queued ⇒ the pool is dead
+                    broken_tasks.append(task)  # pool breakage
                     continue
-                if not outcome.ok and "worker process died" in (outcome.error or ""):
-                    broken = True
                 yield emit(outcome)
 
-            if broken:
+            if broken_tasks:
                 # One BrokenProcessPool means every in-flight future is
                 # lost — drain them (keeping any that did complete with
-                # real results), then respawn the pool.
+                # real results), then attribute the death and respawn.
                 for future in list(inflight):
                     task, _ = inflight.pop(future)
                     if future.done():
                         outcome = harvest(future, task)
-                        if outcome is not None:
+                        if outcome is None:
+                            broken_tasks.append(task)
+                        else:
                             yield emit(outcome)
                     else:
                         future.cancel()
-                        outcome = settle_loss(task, "worker process died")
-                        if outcome is not None:
-                            yield emit(outcome)
+                        broken_tasks.append(task)
                 pool.shutdown(wait=False, cancel_futures=True)
                 pool = None
+
+                # Charge the loss to the culprit only.  With one task
+                # down the culprit is known; with several, a quarantined
+                # suspect (which never shares the pool with another
+                # suspect) is the repeat offender and takes the charge.
+                suspects = [t for t in broken_tasks if t.suspect]
+                if len(broken_tasks) == 1:
+                    culprit = broken_tasks[0]
+                elif len(suspects) == 1:
+                    culprit = suspects[0]
+                else:
+                    # Unattributable: several first-offense tasks were in
+                    # flight.  Nobody is charged — all re-queue as
+                    # quarantined suspects, so whichever breaks the pool
+                    # again dies alone and takes the next charge.
+                    culprit = None
+                if culprit is not None:
+                    culprit.suspect = True  # quarantine the retry too
+                    outcome = settle_loss(culprit, "worker process died")
+                    if outcome is not None:
+                        yield emit(outcome)
+                for task in reversed(broken_tasks):
+                    if task is culprit:
+                        continue
+                    if culprit is None:
+                        task.suspect = True
+                        if bt is not None:
+                            bt.event(
+                                obs.SCHED_RETRY,
+                                spec=task.index,
+                                failures=task.failures,
+                                suspect=True,
+                            )
+                    queue.appendleft(task)
                 continue
 
             if not done and timeout is not None:
@@ -639,7 +696,7 @@ def iter_batch(
                         outcome = settle_loss(
                             task,
                             f"timed out after {timeout:.6g}s "
-                            f"(attempt {task.failures + 1})",
+                            f"(attempt {task.dispatches})",
                             kind=obs.SCHED_TIMEOUT,
                         )
                         if outcome is not None:

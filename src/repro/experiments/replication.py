@@ -14,7 +14,7 @@ the *same* seed set (paired by seed, so comparisons are fair).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.experiments.runner import CcFactory, FlowResult, run_single_flow
 from repro.metrics.compare import MeanCI, bootstrap_mean_ci

@@ -313,9 +313,21 @@ def _run_experiment_traced(
             application=spec.application,
         )
         if spec.direction == "down":
-            path.attach_flow(flow_id, receiver.receive, sender.on_ack_packet)
+            path.attach_flow(
+                flow_id,
+                receiver.receive,
+                sender.on_ack_packet,
+                forward_batch_sink=receiver.receive_batch,
+                reverse_batch_sink=sender.on_ack_batch,
+            )
         else:
-            path.attach_flow(flow_id, sender.on_ack_packet, receiver.receive)
+            path.attach_flow(
+                flow_id,
+                sender.on_ack_packet,
+                receiver.receive,
+                forward_batch_sink=sender.on_ack_batch,
+                reverse_batch_sink=receiver.receive_batch,
+            )
         sim.schedule_at(spec.start, sender.start)
         if auditor is not None:
             auditor.attach_flow(
@@ -393,6 +405,12 @@ def _run_experiment_traced(
                 sampler = samplers[0 if link_name == "downlink" else 1]
                 peak = max(sampler.lengths, default=0)
             metrics.gauge(f"run.link.{link_name}.queue_peak").track_max(peak or 0)
+            batches = getattr(link, "batches_drained", 0)
+            if batches:
+                metrics.counter(f"run.link.{link_name}.batches").add(batches)
+                metrics.counter(f"run.link.{link_name}.batched_packets").add(
+                    link.batched_packets
+                )
         for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
             prefix = f"flow{flow_id}."
             metrics.counter(prefix + "retransmits").add(sender.retransmissions)

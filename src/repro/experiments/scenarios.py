@@ -29,7 +29,6 @@ from repro.experiments.runner import (
     run_experiment,
     wired_path_config,
 )
-from repro.sim.network import LinkConfig, PathConfig
 from repro.tcp.congestion.cubic import Cubic
 from repro.traces.presets import WIRED_PATHS
 from repro.traces.trace import Trace
@@ -329,7 +328,7 @@ class ScenarioSpec:
         from repro.experiments.parallel import detach_results, resolve_trace
 
         driver = SCENARIOS[self.scenario]
-        args: list = [self.cc.build]
+        args = [self.cc.build]
         if self.downlink is not None:
             args.append(resolve_trace(self.downlink))
             if self.uplink is not None:

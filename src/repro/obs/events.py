@@ -43,6 +43,9 @@ LINK_OUTAGE = "link.outage"
 LINK_RECOVER = "link.recover"
 #: Propagation delay changed mid-run (handover model).
 LINK_HANDOVER = "link.handover"
+#: Fast path served several opportunities in one quiescent batch
+#: (opportunities, packets, bytes, span).
+LINK_BATCH = "link.batch"
 
 # -- periodic sampling -------------------------------------------------
 #: Bottleneck queue occupancy sample (link, len).
@@ -73,7 +76,7 @@ SCHED_OUTCOME = "sched.outcome"
 ALL_KINDS = frozenset({
     META, CC_STATE, CC_NFL, CC_ESTIMATOR, CC_EPOCH, CC_LOSS, CC_LOSS_RUNS,
     CC_RTO, CC_RECOVERY, LINK_OUTAGE, LINK_RECOVER, LINK_HANDOVER,
-    QUEUE_SAMPLE,
+    LINK_BATCH, QUEUE_SAMPLE,
     AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS,
     SCHED_DISPATCH, SCHED_RETRY, SCHED_TIMEOUT, SCHED_WORKER_DEATH,
     SCHED_OUTCOME,

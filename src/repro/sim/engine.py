@@ -95,6 +95,11 @@ class Simulator:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._running = False
+        #: The ``until`` bound of the :meth:`run` call currently executing
+        #: (None outside ``run`` or for an unbounded run).  Batch-serving
+        #: links consult it so they never act past the horizon a scalar
+        #: event loop would have stopped at.
+        self.run_until: Optional[float] = None
         self._events_processed = 0
         self._compact_at = _COMPACT_MIN
         #: Lazily-cancelled-entry sweeps actually performed (telemetry).
@@ -158,6 +163,61 @@ class Simulator:
         heappush(self._heap, event)
         return event
 
+    def claim_seq(self) -> int:
+        """Allocate an insertion-order seq *now* for a later push.
+
+        The delivery fast path batches several logical schedule points
+        into one callback; claiming the seq at the logical point and
+        pushing the heap entry later keeps tie-breaking identical to the
+        scalar path, where each delivery event is created at its serve
+        instant.  Claimed seqs come from the same counter, so uniqueness
+        and monotonicity are preserved.
+        """
+        return next(self._counter)
+
+    def schedule_claimed(
+        self, time: float, seq: int, callback: Callable[[], None]
+    ) -> Event:
+        """Schedule at an absolute time with a previously claimed seq."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        event = Event(time, seq, callback)
+        heap = self._heap
+        heappush(heap, event)
+        if len(heap) >= self._compact_at:
+            self._compact()
+        return event
+
+    def requeue_claimed(self, event: Event, time: float, seq: int) -> Event:
+        """Re-arm a just-popped event with a previously claimed seq."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        event[0] = time
+        event[1] = seq
+        heappush(self._heap, event)
+        return event
+
+    def reschedule_at(self, event: Event, time: float) -> Event:
+        """Re-arm a just-popped event at an absolute time.
+
+        Same contract as :meth:`reschedule`: ``event`` must not be in the
+        heap.  Used by links whose service events re-arm themselves at
+        exact trace instants — the entry is reused with a fresh seq, so
+        ordering is identical to ``schedule_at`` without the allocation.
+        """
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now={self.now}"
+            )
+        event[0] = time
+        event[1] = next(self._counter)
+        heappush(self._heap, event)
+        return event
+
     def _compact(self) -> None:
         """Drop lazily-cancelled entries when they dominate the heap.
 
@@ -184,12 +244,31 @@ class Simulator:
         consecutive ``run`` calls compose.
         """
         self._running = True
+        self.run_until = until
         heap = self._heap
         audit = self.audit_hook
         ring = self.audit_ring
         if ring is not None:
             ring_t, ring_cb, ring_n, ring_mask, countdown, stride = ring
+        processed = 0
         try:
+            if ring is None and audit is None:
+                # Lean loop for the common uninstrumented run: same
+                # semantics as below minus the per-event hook branches.
+                while heap:
+                    event = heap[0]
+                    if until is not None and event[0] > until:
+                        break
+                    heappop(heap)
+                    callback = event[2]
+                    if callback is None:
+                        continue
+                    self.now = event[0]
+                    processed += 1
+                    callback()
+                if until is not None and until > self.now:
+                    self.now = until
+                return
             while heap:
                 event = heap[0]
                 if until is not None and event[0] > until:
@@ -200,7 +279,7 @@ class Simulator:
                     continue
                 now = event[0]
                 self.now = now
-                self._events_processed += 1
+                processed += 1
                 callback()
                 # NOTE: record `now`/`callback` locals, not event[0]/
                 # event[2] — the callback may have rescheduled its own
@@ -222,7 +301,9 @@ class Simulator:
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            self._events_processed += processed
             self._running = False
+            self.run_until = None
 
     def step(self) -> bool:
         """Run the single next pending event.  Returns False if none."""
@@ -277,6 +358,39 @@ class Simulator:
                 continue
             return heap[0][0]
         return None
+
+    def horizon_excluding(self, exclude: Optional[Event]) -> float:
+        """A lower bound on the time of the next event other than ``exclude``.
+
+        The quiescence probe for batch-serving links: "how far may I act
+        before anything *foreign* can run?".  ``exclude`` is the caller's
+        own pending event (its delivery pump), which must not bound its
+        own batch.  Returns ``inf`` when nothing else is queued.
+
+        When the heap head *is* the excluded event, the minimum of its two
+        children is returned instead.  By the heap property every other
+        entry lives in one of those subtrees, so the child minimum is a
+        valid — possibly conservative — lower bound even when children are
+        lazily-cancelled entries (a dead entry's time still bounds its
+        subtree from below).  Conservative is safe: the caller batches
+        strictly *before* the returned time.
+        """
+        heap = self._heap
+        while heap:
+            head = heap[0]
+            if head[2] is None:
+                heappop(heap)
+                continue
+            if head is not exclude:
+                return head[0]
+            n = len(heap)
+            if n == 1:
+                return float("inf")
+            bound = heap[1][0]
+            if n > 2 and heap[2][0] < bound:
+                bound = heap[2][0]
+            return bound
+        return float("inf")
 
 
 class PeriodicTimer:

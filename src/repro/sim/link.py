@@ -9,25 +9,65 @@ used in the paper.
 
 :class:`WiredLink` is a conventional store-and-forward link with a fixed
 service rate, used for the Figure-13 inter-continental experiments.
+
+Delivery fast path
+------------------
+Serving one opportunity per heap event costs a pop, a serve callback, an
+arm, and one delivery event *per packet*.  The fast path (on by default;
+``REPRO_FAST_PATH=0`` or ``fast=False`` selects the scalar reference
+implementation) batches that work under a *quiescence* condition: while
+no event foreign to this link can run, consecutive opportunities are
+served in one callback, draining the queue in slices
+(:meth:`~repro.sim.queues.DropTailQueue.drain_opportunity`) and handing
+groups of packets to a single self-re-arming delivery *pump* event.  The
+soundness condition and the bit-identical bar are documented in
+DESIGN.md §9.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left
+import os
+from functools import partial
 from typing import Callable, List, Optional
 
-from repro.obs import LINK_HANDOVER, LINK_OUTAGE, LINK_RECOVER, current_tracer
+from repro.obs import (
+    LINK_BATCH,
+    LINK_HANDOVER,
+    LINK_OUTAGE,
+    LINK_RECOVER,
+    current_tracer,
+)
 from repro.sim.engine import Event, Simulator
-from repro.sim.packet import Packet
+from repro.sim.packet import Packet, PacketBatch
 from repro.sim.queues import DropTailQueue
 from repro.traces.trace import OPPORTUNITY_BYTES, Trace
 
 DeliverCallback = Callable[[Packet], None]
+DeliverBatchCallback = Callable[[PacketBatch], None]
 
 #: A service gap at least this long with packets queued is reported as a
 #: ``link.outage`` telemetry event (normal inter-opportunity gaps on the
 #: paper's traces are milliseconds).
 OUTAGE_GAP = 0.100
+
+#: Batches draining at least this many opportunities get a discrete
+#: ``link.batch`` telemetry event.  Smaller batches (the steady drizzle
+#: of 2-3-opportunity ACK coalesces — tens of thousands per run) are
+#: aggregated into the ``run.link.<name>.batches``/``.batched_packets``
+#: metrics counters instead, keeping the tracer-on overhead bounded.
+LINK_BATCH_EVENT_MIN = 8
+
+_INF = float("inf")
+
+
+def fast_path_default() -> bool:
+    """The process-wide default for the delivery fast path.
+
+    ``REPRO_FAST_PATH=0`` selects the scalar reference implementation;
+    anything else (including unset) keeps the batched path on.  Read per
+    link construction so tests can flip the environment between runs.
+    """
+    return os.environ.get("REPRO_FAST_PATH", "1") != "0"
 
 
 class Link:
@@ -53,6 +93,9 @@ class CellularLink(Link):
         Fixed one-way propagation delay applied after service.
     on_deliver:
         Called with each packet when it exits the link.
+    fast:
+        Force the batched fast path on/off; None uses
+        :func:`fast_path_default` (the ``REPRO_FAST_PATH`` env toggle).
     """
 
     def __init__(
@@ -64,6 +107,7 @@ class CellularLink(Link):
         on_deliver: Optional[DeliverCallback] = None,
         loop: bool = True,
         name: str = "cell",
+        fast: Optional[bool] = None,
     ) -> None:
         if len(trace) == 0:
             raise ValueError("trace has no delivery opportunities")
@@ -72,18 +116,45 @@ class CellularLink(Link):
         self.queue = queue
         self._prop_delay = prop_delay
         self.on_deliver = on_deliver
+        #: Optional batch delivery sink.  When set, the fast path hands
+        #: multi-packet delivery groups over as one :class:`PacketBatch`
+        #: instead of N ``on_deliver`` calls.
+        self.on_deliver_batch: Optional[DeliverBatchCallback] = None
         self.loop = loop
         self.name = name
+        self.fast_path = fast_path_default() if fast is None else bool(fast)
         self._tracer = current_tracer()
+        #: Multi-opportunity batches drained and the packets they
+        #: carried; folded into ``run.link.<name>.batches`` /
+        #: ``.batched_packets`` metrics by the runner at run end.
+        self.batches_drained = 0
+        self.batched_packets = 0
         self._outage_open = False
-        self._times = trace.opportunity_times
+        schedule = trace.compiled()
+        self._schedule = schedule
+        self._times = schedule.times
         # Plain-float copy: scalar indexing and bisect on a Python list
-        # beat numpy scalar extraction on this per-packet path.
-        self._times_list: List[float] = trace.opportunity_times.tolist()
-        self._period = trace.duration
+        # beat numpy scalar extraction on this per-packet path.  Shared
+        # across every link replaying the same trace.
+        self._times_list: List[float] = schedule.times_list
+        self._tsize = schedule.size
+        self._period = schedule.period
         self._cycle = 0  # how many whole trace periods have elapsed
         self._index = 0  # next opportunity index within the current cycle
         self._service_event: Optional[Event] = None
+        self._serve_cb = self._serve_fast if self.fast_path else self._serve
+        #: Bound on how soon an effect of one of this link's *own*
+        #: deliveries can loop back into its queue (see DESIGN.md §9).
+        #: 0.0 is fully conservative; :class:`~repro.sim.network
+        #: .DuplexPath` points ``cascade_partner`` at the reverse link so
+        #: the bound tracks that link's propagation delay.
+        self.cascade_guard = 0.0
+        self.cascade_partner: Optional[Link] = None
+        # Delivery pump: pending [time, packets] groups (time-ascending
+        # from _phead) drained by one self-re-arming event.
+        self._pending: List[Optional[list]] = []
+        self._phead = 0
+        self._pump_event: Optional[Event] = None
         self.delivered_packets = 0
         self.delivered_bytes = 0
         self.wasted_opportunities = 0
@@ -122,7 +193,8 @@ class CellularLink(Link):
         """
         now = self.sim.now
         times = self._times_list
-        size = len(times)
+        size = self._tsize
+        schedule = self._schedule
         while True:
             base = self._cycle * self._period
             local = now - base
@@ -130,19 +202,20 @@ class CellularLink(Link):
             # Busy-link fast path: the pending opportunity is still ahead.
             if idx < size and times[idx] >= local:
                 return base + times[idx]
-            # Jump the index to the first opportunity at/after now.
-            idx = bisect_left(times, local, idx)
+            # Jump the index to the first opportunity at/after now
+            # (vectorized searchsorted over the compiled schedule).
+            idx = schedule.first_at_or_after(local, idx)
             if idx > self._index:
                 self.wasted_opportunities += idx - self._index
                 self._index = idx
             if idx < size:
                 return base + times[idx]
             if not self.loop:
-                return float("inf")
+                return _INF
             self._cycle += 1  # end of cycle: roll over
             self._index = 0
 
-    def _arm_service(self) -> None:
+    def _arm_service(self, reuse: Optional[Event] = None) -> None:
         t = self._next_opportunity_time()
         tr = self._tracer
         if tr is not None and not self._outage_open:
@@ -150,15 +223,24 @@ class CellularLink(Link):
             if gap >= OUTAGE_GAP:
                 self._outage_open = True
                 tr.emit(LINK_OUTAGE, self.sim.now, link=self.name,
-                        gap=(gap if t != float("inf") else None),
+                        gap=(gap if t != _INF else None),
                         queued=len(self.queue))
-        if t == float("inf"):
+        if t == _INF:
             self._service_event = None
             return
-        self._service_event = self.sim.schedule_at(t, self._serve)
+        if reuse is not None:
+            # Re-arm the just-fired serve entry in place: same ordering
+            # as a fresh schedule_at, no allocation.
+            self._service_event = self.sim.reschedule_at(reuse, t)
+        else:
+            self._service_event = self.sim.schedule_at(t, self._serve_cb)
 
+    # ------------------------------------------------------------------
+    # Scalar reference path
+    # ------------------------------------------------------------------
     def _serve(self) -> None:
         """Consume one delivery opportunity: up to 1500 bytes of packets."""
+        fired = self._service_event
         self._service_event = None
         if self._outage_open:
             self._outage_open = False
@@ -186,13 +268,225 @@ class CellularLink(Link):
             # simply wastes the opportunity.
             self.wasted_opportunities += 1
         if len(self.queue) > 0:
-            self._arm_service()
+            self._arm_service(reuse=fired)
 
     def _deliver_later(self, packet: Packet) -> None:
-        if self.on_deliver is None:
-            return
         callback = self.on_deliver
-        self.sim.schedule(self._prop_delay, lambda p=packet: callback(p))
+        if callback is None:
+            return
+        self.sim.schedule(self._prop_delay, partial(callback, packet))
+
+    # ------------------------------------------------------------------
+    # Batched fast path
+    # ------------------------------------------------------------------
+    def _effective_guard(self) -> float:
+        partner = self.cascade_partner
+        if partner is not None:
+            return partner.prop_delay  # type: ignore[attr-defined]
+        return self.cascade_guard
+
+    def _serve_fast(self) -> None:
+        """Serve the opportunity at ``now`` plus every later one that is
+        provably unobservable: strictly before the quiescence horizon
+        (no foreign event, no loop-back from our own pending or newly
+        scheduled deliveries) and within the ``run(until)`` bound."""
+        sim = self.sim
+        fired = self._service_event
+        self._service_event = None
+        tr = self._tracer
+        queue = self.queue
+        if self._outage_open:
+            self._outage_open = False
+            if tr is not None:
+                tr.emit(LINK_RECOVER, sim.now, link=self.name,
+                        queued=len(queue))
+
+        # Snapshot the pump head *before* serving: the horizon must be
+        # bounded by deliveries already in flight, not the groups this
+        # batch is about to schedule (those are covered by the t + prop
+        # cap).  Computed lazily — a batch that ends at its first
+        # opportunity (queue drained) never pays for the heap scan.
+        pump = self._pump_event
+        pump_head = pump[0] if pump is not None else _INF
+        horizon = -_INF
+        t = sim.now
+        # The run(until) boundary is inclusive (events AT `until` fire),
+        # unlike the strictly-exclusive quiescence horizon; keep it as a
+        # separate `nt <= limit` test in the loop.
+        limit = sim.run_until
+        drain = queue.drain_opportunity
+        q_deque = queue._queue
+        times = self._times_list
+        size = self._tsize
+        period = self._period
+        prop = self._prop_delay
+        loop_trace = self.loop
+        deliver = self.on_deliver is not None
+        index = self._index
+        cycle = self._cycle
+        delivered_p = 0
+        delivered_b = 0
+        wasted = 0
+        opportunities = 0
+        first_t = t
+        while True:
+            opportunities += 1
+            index += 1
+            pkts = drain(t, OPPORTUNITY_BYTES)
+            if pkts:
+                nbytes = 0
+                for p in pkts:
+                    nbytes += p.size
+                delivered_p += len(pkts)
+                delivered_b += nbytes
+                if deliver:
+                    self._push_group(t + prop, pkts)
+            else:
+                wasted += 1
+            if not q_deque:
+                # Idle: leave the service disarmed, exactly like the
+                # scalar path; the next enqueue re-arms and the lazy
+                # fast-forward accounts wasted opportunities.
+                break
+            # Replicate the scalar re-arm's float round-trip: its
+            # `local = now - base` carries the error of `base + times[i]`
+            # upward once cycle > 0, so any remaining *same-instant*
+            # duplicate opportunities compare below `local` and are
+            # wasted, not served.  Bit-identity means wasting them too.
+            local = t - cycle * period
+            while index < size and times[index] < local:
+                index += 1
+                wasted += 1
+            if index < size:
+                nt = cycle * period + times[index]
+            elif loop_trace:
+                cycle += 1
+                index = 0
+                nt = period * cycle + times[0]
+            else:
+                nt = _INF
+            if horizon == -_INF:
+                horizon = sim.horizon_excluding(pump)
+                bound = pump_head + self._effective_guard()
+                if bound < horizon:
+                    horizon = bound
+                bound = first_t + self._prop_delay
+                if bound < horizon:
+                    horizon = bound
+            if nt < horizon and (limit is None or nt <= limit):
+                t = nt
+                continue
+            # Horizon reached: arm a plain service event at nt.
+            self._index = index
+            self._cycle = cycle
+            if tr is not None and not self._outage_open:
+                # Gap measured from the last opportunity actually served,
+                # which is where the scalar path would have emitted it.
+                gap = nt - t
+                if gap >= OUTAGE_GAP:
+                    self._outage_open = True
+                    tr.emit(LINK_OUTAGE, sim.now, link=self.name,
+                            gap=(gap if nt != _INF else None),
+                            queued=len(queue))
+            if nt != _INF:
+                self._service_event = sim.reschedule_at(fired, nt) \
+                    if fired is not None else sim.schedule_at(nt, self._serve_cb)
+            self._finish_batch(tr, opportunities, delivered_p, delivered_b,
+                               wasted, t - first_t)
+            return
+        self._index = index
+        self._cycle = cycle
+        self._finish_batch(tr, opportunities, delivered_p, delivered_b,
+                           wasted, t - first_t)
+
+    def _finish_batch(self, tr, opportunities: int, delivered_p: int,
+                      delivered_b: int, wasted: int, span: float) -> None:
+        self.delivered_packets += delivered_p
+        self.delivered_bytes += delivered_b
+        self.wasted_opportunities += wasted
+        if opportunities > 1:
+            self.batches_drained += 1
+            self.batched_packets += delivered_p
+            if tr is not None and opportunities >= LINK_BATCH_EVENT_MIN:
+                tr.emit(LINK_BATCH, self.sim.now, link=self.name,
+                        opportunities=opportunities, packets=delivered_p,
+                        bytes=delivered_b, span=span)
+
+    def _push_group(self, time: float, pkts: List[Packet]) -> None:
+        """Append a delivery group, keeping ``_pending`` time-sorted and
+        the pump armed at the head group's time.
+
+        Each group claims its heap seq *at creation* — the instant the
+        scalar path would have created the per-packet delivery events —
+        so exact-time ties against foreign events break in the same
+        order on both paths (see DESIGN.md §9).
+        """
+        sim = self.sim
+        pending = self._pending
+        phead = self._phead
+        if len(pending) > phead:
+            last = pending[-1]
+            lt = last[0]
+            if lt == time:
+                # Same delivery instant: extend the group; its existing
+                # (earlier) seq matches the scalar path, whose first
+                # delivery event for this instant carries the older seq.
+                last[1] += pkts
+                return
+            if time >= lt:
+                pending.append([time, pkts, sim.claim_seq()])
+                return
+            # Rare: a handover shrank prop_delay while deliveries were
+            # in flight; insert in time order (merging an equal slot).
+            i = len(pending) - 1
+            while i > phead and pending[i - 1][0] > time:
+                i -= 1
+            if i > phead and pending[i - 1][0] == time:
+                pending[i - 1][1] += pkts
+                return
+            seq = sim.claim_seq()
+            pending.insert(i, [time, pkts, seq])
+            if i == phead:
+                self._pump_event.cancel()
+                self._pump_event = sim.schedule_claimed(
+                    time, seq, self._pump_fire)
+            return
+        if pending:
+            pending.clear()
+        self._phead = 0
+        seq = sim.claim_seq()
+        pending.append([time, pkts, seq])
+        self._pump_event = sim.schedule_claimed(time, seq, self._pump_fire)
+
+    def _pump_fire(self) -> None:
+        """Deliver the head group; re-arm for the next one."""
+        pending = self._pending
+        phead = self._phead
+        group = pending[phead]
+        pending[phead] = None
+        phead += 1
+        if phead >= len(pending):
+            pending.clear()
+            self._phead = 0
+            self._pump_event = None
+        else:
+            if phead >= 64 and phead * 2 >= len(pending):
+                del pending[:phead]
+                phead = 0
+            self._phead = phead
+            nxt = pending[phead]
+            self._pump_event = self.sim.requeue_claimed(
+                self._pump_event, nxt[0], nxt[2])
+        pkts = group[1]
+        if len(pkts) > 1:
+            batch_cb = self.on_deliver_batch
+            if batch_cb is not None:
+                batch_cb(PacketBatch(pkts))
+                return
+        callback = self.on_deliver
+        if callback is not None:
+            for p in pkts:
+                callback(p)
 
     # ------------------------------------------------------------------
     @property
@@ -242,20 +536,15 @@ class WiredLink(Link):
         self._busy = True
         self._in_service_bytes = packet.size
         service_time = packet.size / self.rate
-        self.sim.schedule(service_time, lambda p=packet: self._finish(p))
+        self.sim.schedule(service_time, partial(self._finish, packet))
 
     def _finish(self, packet: Packet) -> None:
         self._in_service_bytes = 0
         self.delivered_packets += 1
         self.delivered_bytes += packet.size
         if self.on_deliver is not None:
-            callback = self.on_deliver
-            self.sim.schedule(self.prop_delay, lambda p=packet: callback(p))
+            self.sim.schedule(self.prop_delay, partial(self.on_deliver, packet))
         if len(self.queue) > 0:
             self._start_service()
         else:
             self._busy = False
-
-    @property
-    def queue_length(self) -> int:
-        return len(self.queue)

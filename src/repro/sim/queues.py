@@ -9,7 +9,7 @@ shallow buffers and active queue management.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, List, Optional
 
 from repro.sim.packet import Packet
 
@@ -66,6 +66,29 @@ class DropTailQueue:
         packet = self._queue.popleft()
         self.bytes -= packet.size
         return packet
+
+    def drain_opportunity(self, now: float, budget: int) -> List[Packet]:
+        """Dequeue the head packets fitting one delivery opportunity.
+
+        Exactly the scalar serve loop — pop while the head fits the
+        remaining byte ``budget`` — collapsed into one call so the link's
+        fast path pays a single method dispatch per opportunity.  For a
+        plain drop-tail queue this bypasses :meth:`peek`/:meth:`pop`
+        entirely (the auditor taps this method too, so accounting still
+        sees every dequeue).
+        """
+        q = self._queue
+        out: List[Packet] = []
+        while q:
+            head = q[0]
+            size = head.size
+            if size > budget:
+                break
+            q.popleft()
+            self.bytes -= size
+            budget -= size
+            out.append(head)
+        return out
 
     def peek(self) -> Optional[Packet]:
         return self._queue[0] if self._queue else None
@@ -156,6 +179,22 @@ class CoDelQueue(DropTailQueue):
             self._last_count = self._count
             self._drop_next = self._control_law(now)
         return packet
+
+    def drain_opportunity(self, now: float, budget: int) -> List[Packet]:
+        """CoDel must keep its dequeue-side control law: mirror the
+        scalar serve loop shape exactly (peek for the budget check, then
+        a stateful :meth:`pop` that may drop and substitute packets)."""
+        out: List[Packet] = []
+        while True:
+            head = self.peek()
+            if head is None or head.size > budget:
+                break
+            packet = self.pop(now)
+            if packet is None:
+                break
+            budget -= packet.size
+            out.append(packet)
+        return out
 
     def _drop_packet(self, packet: Packet) -> None:
         self.codel_drops += 1

@@ -20,7 +20,6 @@ once ``produced(t) > i``.
 
 from __future__ import annotations
 
-import math
 from typing import Optional
 
 

@@ -34,6 +34,7 @@ from repro.sim.packet import (
     DATA_PACKET_BYTES,
     MSS,
     Packet,
+    PacketBatch,
     make_data_packet,
 )
 from repro.tcp.application import Application, BulkApplication
@@ -412,6 +413,18 @@ class TcpSender:
     # ------------------------------------------------------------------
     # ACK processing
     # ------------------------------------------------------------------
+    def on_ack_batch(self, batch: PacketBatch) -> None:
+        """Consume a same-instant ACK batch from the delivery fast path.
+
+        ACK processing is inherently sequential (each ACK advances
+        recovery state the next one depends on), so this is a plain
+        loop over :meth:`on_ack_packet` — the win is upstream, where
+        the batch replaced per-packet delivery events.
+        """
+        on_ack = self.on_ack_packet
+        for packet in batch.packets:
+            on_ack(packet)
+
     def on_ack_packet(self, packet: Packet) -> None:
         """Handle an ACK arriving from the reverse path."""
         if self.complete or not self.started:

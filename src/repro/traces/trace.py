@@ -11,12 +11,46 @@ from __future__ import annotations
 import io
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 #: Bytes a single delivery opportunity can carry (Cellsim convention).
 OPPORTUNITY_BYTES = 1500
+
+
+class CompiledSchedule:
+    """A trace's opportunity schedule precompiled for the link hot path.
+
+    Built once per :class:`Trace` (:meth:`Trace.compiled`) and shared by
+    every link and every run that replays the trace — links used to
+    convert the numpy array to a Python list *each*, which showed up as
+    a fixed per-run cost on the Table-4 profile.
+
+    ``times_list`` is the plain-float copy links index and bisect on
+    (scalar indexing on a list beats numpy scalar extraction); ``times``
+    is the original float64 array kept for vectorized fast-forwards
+    (:meth:`first_at_or_after`).
+    """
+
+    __slots__ = ("times", "times_list", "size", "period")
+
+    def __init__(self, times: np.ndarray, period: float) -> None:
+        self.times = times
+        self.times_list: List[float] = times.tolist()
+        self.size = int(times.size)
+        self.period = float(period)
+
+    def first_at_or_after(self, local: float, lo: int = 0) -> int:
+        """Index of the first opportunity at/after ``local`` (one cycle).
+
+        A vectorized ``searchsorted`` over the remaining cycle — the
+        fast-forward links use after an idle gap, replacing the
+        incremental Python-list walk.
+        """
+        if lo == 0:
+            return int(np.searchsorted(self.times, local, side="left"))
+        return lo + int(np.searchsorted(self.times[lo:], local, side="left"))
 
 
 @dataclass(frozen=True)
@@ -86,6 +120,19 @@ class Trace:
         #: generator).  Lets :mod:`repro.traces.cache` reference the
         #: trace by its compact spec instead of its opportunity array.
         self.source_spec = None
+        self._compiled: Optional[CompiledSchedule] = None
+
+    def compiled(self) -> CompiledSchedule:
+        """The cached :class:`CompiledSchedule` for this trace.
+
+        Shared by every link replaying the trace; the opportunity array
+        is immutable by convention, so one compilation serves all runs.
+        """
+        schedule = self._compiled
+        if schedule is None:
+            schedule = CompiledSchedule(self.opportunity_times, self.duration)
+            self._compiled = schedule
+        return schedule
 
     # ------------------------------------------------------------------
     # Statistics

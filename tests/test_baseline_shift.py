@@ -7,8 +7,6 @@ high until the old minimum ages out of the window — the flow drains
 conservatively in the meantime but must keep working and recover.
 """
 
-import pytest
-
 from repro.core.proprate import PropRate
 from repro.experiments.runner import cellular_path_config
 from repro.sim.engine import Simulator

@@ -1,8 +1,6 @@
 """Tests for the pcap-lite packet capture."""
 
-import pytest
-
-from repro.experiments.runner import FlowSpec, cellular_path_config, run_experiment
+from repro.experiments.runner import cellular_path_config
 from repro.sim.capture import PacketCapture
 from repro.sim.engine import Simulator
 from repro.sim.network import DuplexPath

@@ -5,7 +5,6 @@ link is eventually delivered, still queued, in flight on the propagation
 leg, or counted as dropped — never duplicated, never vanished.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.engine import Simulator
@@ -13,7 +12,6 @@ from repro.sim.link import CellularLink, WiredLink
 from repro.sim.packet import make_data_packet
 from repro.sim.queues import DropTailQueue
 from repro.traces.generator import constant_rate_trace
-from repro.traces.trace import Trace
 
 
 @st.composite

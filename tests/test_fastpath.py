@@ -1,0 +1,386 @@
+"""The delivery fast path: unit tests plus scalar-vs-batched differentials.
+
+The SoA batched pipeline (``REPRO_FAST_PATH=1``, the default) must be
+*bit-identical* to the scalar reference path — same ``FlowResult``
+summaries, same delivery instants, same ACK stream — because it only
+reorders bookkeeping, never observable events (DESIGN.md §9).  The
+differential tests here run both paths over randomized seeded traces
+(millisecond-quantised like real Saturator captures, with outage gaps
+carved out) across drop-tail and CoDel queues, delayed-ACK on and off,
+and both flow directions.
+"""
+
+import math
+import random
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.network import DuplexPath, LinkConfig, PathConfig
+from repro.sim.packet import PacketBatch, make_data_packet
+from repro.sim.queues import CoDelQueue, DropTailQueue
+from repro.tcp.receiver import TcpReceiver
+from repro.traces.trace import OPPORTUNITY_BYTES, Trace
+
+DATA = 0  # flow id used throughout
+
+
+# ----------------------------------------------------------------------
+# Engine: claimed sequence numbers and the quiescence horizon
+# ----------------------------------------------------------------------
+class TestEngineHelpers:
+    def test_claimed_seq_breaks_ties_at_claim_point(self):
+        """Two events at the same time fire in seq-claim order, even when
+        pushed in the opposite order (the pump's tie-break contract)."""
+        sim = Simulator()
+        order = []
+        early = sim.claim_seq()
+        sim.schedule_at(1.0, lambda: order.append("late"))  # claims after
+        sim.schedule_claimed(1.0, early, lambda: order.append("early"))
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_requeue_claimed_reuses_entry_with_given_seq(self):
+        sim = Simulator()
+        order = []
+        seq_a = sim.claim_seq()
+        event = sim.schedule_claimed(1.0, seq_a, lambda: order.append("a"))
+        sim.run(until=1.5)
+        seq_b = sim.claim_seq()
+        sim.schedule_at(2.0, lambda: order.append("plain"))
+        sim.requeue_claimed(event, 2.0, seq_b)
+        event[2] = lambda: order.append("b")
+        sim.run()
+        assert order == ["a", "b", "plain"]
+
+    def test_schedule_claimed_rejects_past(self):
+        sim = Simulator()
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_claimed(0.5, sim.claim_seq(), lambda: None)
+
+    def test_horizon_excluding_skips_only_the_excluded_head(self):
+        sim = Simulator()
+        pump = sim.schedule_at(1.0, lambda: None)
+        sim.schedule_at(2.0, lambda: None)
+        sim.schedule_at(3.0, lambda: None)
+        assert sim.horizon_excluding(pump) == 2.0
+        assert sim.horizon_excluding(None) == 1.0
+
+    def test_horizon_excluding_empty_heap_is_infinite(self):
+        sim = Simulator()
+        assert sim.horizon_excluding(None) == math.inf
+        lone = sim.schedule_at(1.0, lambda: None)
+        assert sim.horizon_excluding(lone) == math.inf
+
+    def test_run_until_visible_during_run(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule_at(1.0, lambda: seen.append(sim.run_until))
+        sim.run(until=5.0)
+        assert seen == [5.0]
+        assert sim.run_until is None
+
+
+# ----------------------------------------------------------------------
+# Queues: drain_opportunity vs the scalar pop loop
+# ----------------------------------------------------------------------
+def _scalar_drain(queue, now, budget):
+    out = []
+    while True:
+        head = queue.peek()
+        if head is None or head.size > budget:
+            break
+        packet = queue.pop(now)
+        if packet is None:
+            break
+        budget -= packet.size
+        out.append(packet)
+    return out
+
+
+def _filled(queue_cls, n=10, **kwargs):
+    queue = queue_cls(capacity=64, **kwargs)
+    for seq in range(n):
+        queue.push(make_data_packet(DATA, seq, 0.0), now=0.0)
+    return queue
+
+
+class TestDrainOpportunity:
+    @pytest.mark.parametrize("queue_cls", [DropTailQueue, CoDelQueue])
+    def test_matches_scalar_pop_loop(self, queue_cls):
+        a = _filled(queue_cls)
+        b = _filled(queue_cls)
+        budget = OPPORTUNITY_BYTES
+        drained = a.drain_opportunity(1.0, budget)
+        reference = _scalar_drain(b, 1.0, budget)
+        assert [p.seq for p in drained] == [p.seq for p in reference]
+        assert a.bytes == b.bytes
+        assert len(a) == len(b)
+
+    def test_budget_smaller_than_head_drains_nothing(self):
+        queue = _filled(DropTailQueue)
+        assert queue.drain_opportunity(1.0, 10) == []
+        assert len(queue) == 10
+
+    def test_codel_sojourn_state_advances_identically(self):
+        """CoDel's control law must see the same pop sequence: drain a
+        long-sojourn backlog and compare drop behaviour to the scalar
+        loop over several opportunities."""
+        a = _filled(CoDelQueue, n=40, target=0.001, interval=0.01)
+        b = _filled(CoDelQueue, n=40, target=0.001, interval=0.01)
+        now = 1.0
+        for _ in range(30):
+            drained = a.drain_opportunity(now, OPPORTUNITY_BYTES)
+            reference = _scalar_drain(b, now, OPPORTUNITY_BYTES)
+            assert [p.seq for p in drained] == [p.seq for p in reference]
+            now += 0.005
+        assert a.drops == b.drops
+
+
+# ----------------------------------------------------------------------
+# PacketBatch
+# ----------------------------------------------------------------------
+class TestPacketBatch:
+    def test_columns_and_slice(self):
+        pkts = [make_data_packet(DATA, s, 0.5) for s in (3, 4, 5, 6)]
+        batch = PacketBatch(pkts)
+        assert len(batch) == 4
+        assert batch.seqs == [3, 4, 5, 6]
+        assert batch.sizes == [p.size for p in pkts]
+        assert batch.total_bytes == sum(p.size for p in pkts)
+        part = batch.slice(1, 3)
+        assert part.seqs == [4, 5]
+        assert list(part) == pkts[1:3]
+
+    def test_contiguous_from(self):
+        batch = PacketBatch([make_data_packet(DATA, s, 0.0) for s in (7, 8, 9)])
+        assert batch.contiguous_from(7)
+        assert not batch.contiguous_from(6)
+        gappy = PacketBatch([make_data_packet(DATA, s, 0.0) for s in (7, 9)])
+        assert not gappy.contiguous_from(7)
+
+
+# ----------------------------------------------------------------------
+# Receiver: batched in-order receive vs per-packet
+# ----------------------------------------------------------------------
+def _receiver_pair(delayed_ack=False):
+    sims = Simulator(), Simulator()
+    acks = [], []
+    receivers = tuple(
+        TcpReceiver(sim, DATA, send_ack=sink.append, delayed_ack=delayed_ack)
+        for sim, sink in zip(sims, acks)
+    )
+    return sims, receivers, acks
+
+
+def _ack_key(packet):
+    return (packet.ack, packet.tsval, packet.tsecr,
+            tuple((s.start, s.end) for s in packet.sacks))
+
+
+class TestReceiveBatch:
+    def test_contiguous_batch_matches_per_packet(self):
+        (sim_a, sim_b), (batched, scalar), (acks_a, acks_b) = _receiver_pair()
+        pkts = [make_data_packet(DATA, s, 0.01 * s) for s in range(6)]
+        sim_a.schedule_at(1.0, lambda: batched.receive_batch(PacketBatch(pkts)))
+        sim_b.schedule_at(1.0, lambda: [scalar.receive(p) for p in pkts])
+        sim_a.run()
+        sim_b.run()
+        assert batched.rcv_nxt == scalar.rcv_nxt == 6
+        assert [_ack_key(p) for p in acks_a] == [_ack_key(p) for p in acks_b]
+        assert batched.data_packets_received == scalar.data_packets_received
+        assert batched.unique_segments == scalar.unique_segments
+
+    def test_gap_falls_back_to_per_packet(self):
+        (sim_a, sim_b), (batched, scalar), (acks_a, acks_b) = _receiver_pair()
+        pkts = [make_data_packet(DATA, s, 0.0) for s in (0, 1, 3, 4)]
+        sim_a.schedule_at(1.0, lambda: batched.receive_batch(PacketBatch(pkts)))
+        sim_b.schedule_at(1.0, lambda: [scalar.receive(p) for p in pkts])
+        sim_a.run()
+        sim_b.run()
+        assert batched.rcv_nxt == scalar.rcv_nxt == 2
+        assert [_ack_key(p) for p in acks_a] == [_ack_key(p) for p in acks_b]
+
+    def test_delayed_ack_falls_back_to_per_packet(self):
+        (sim_a, sim_b), (batched, scalar), (acks_a, acks_b) = _receiver_pair(
+            delayed_ack=True
+        )
+        pkts = [make_data_packet(DATA, s, 0.0) for s in range(4)]
+        sim_a.schedule_at(1.0, lambda: batched.receive_batch(PacketBatch(pkts)))
+        sim_b.schedule_at(1.0, lambda: [scalar.receive(p) for p in pkts])
+        sim_a.run()
+        sim_b.run()
+        assert [_ack_key(p) for p in acks_a] == [_ack_key(p) for p in acks_b]
+
+
+# ----------------------------------------------------------------------
+# Compiled schedule
+# ----------------------------------------------------------------------
+class TestCompiledSchedule:
+    def test_first_at_or_after_matches_linear_scan(self):
+        rng = random.Random(7)
+        times = sorted(round(rng.uniform(0, 9.9), 3) for _ in range(500))
+        trace = Trace(times, duration=10.0)
+        compiled = trace.compiled()
+        arr = list(compiled.times)
+        for probe in [0.0, 0.0005, 5.0, 9.95, times[0], times[-1]]:
+            want = next(
+                (i for i, t in enumerate(arr) if t >= probe), len(arr)
+            )
+            assert compiled.first_at_or_after(probe) == want
+        lo = 100
+        for probe in [arr[lo], arr[lo] + 1e-9, 9.99]:
+            want = next(
+                (i for i in range(lo, len(arr)) if arr[i] >= probe), len(arr)
+            )
+            assert compiled.first_at_or_after(probe, lo) == want
+
+    def test_compiled_is_cached(self):
+        trace = Trace([0.1, 0.2], duration=1.0)
+        assert trace.compiled() is trace.compiled()
+
+
+# ----------------------------------------------------------------------
+# Link pump: batched delivery instants identical to scalar, fewer events
+# ----------------------------------------------------------------------
+def _quantized_trace():
+    """Dense ms-quantised schedule with a 200 ms outage: same-instant
+    opportunity runs (multi-packet groups) plus an idle fast-forward."""
+    times = np.arange(0.0, 1.0, 0.0004)
+    times = np.floor(times * 1000.0) / 1000.0
+    times = times[(times < 0.4) | (times >= 0.6)]
+    return Trace(times, duration=1.0, name="quantized")
+
+
+def _drive_bursts(fast, monkeypatch):
+    monkeypatch.setenv("REPRO_FAST_PATH", "1" if fast else "0")
+    sim = Simulator()
+    trace = _quantized_trace()
+    path = DuplexPath(sim, PathConfig(
+        downlink=LinkConfig(trace=trace, prop_delay=0.02, buffer_packets=512),
+        uplink=LinkConfig(trace=trace, prop_delay=0.02, buffer_packets=512),
+    ))
+    deliveries = []
+
+    def sink(packet):
+        deliveries.append((sim.now, packet.seq))
+
+    def batch_sink(batch):
+        now = sim.now
+        deliveries.extend((now, p.seq) for p in batch.packets)
+
+    path.attach_flow(DATA, sink, lambda p: None,
+                     forward_batch_sink=batch_sink)
+    state = {"seq": 0}
+
+    def refill():
+        now = sim.now
+        seq = state["seq"]
+        for i in range(40):
+            path.send_forward(make_data_packet(DATA, seq + i, now))
+        state["seq"] = seq + 40
+        if now + 0.3 < 2.0:
+            sim.schedule(0.3, refill)
+
+    sim.schedule_at(0.05, refill)
+    sim.run(until=3.0)
+    return deliveries, sim.events_processed
+
+
+class TestLinkPump:
+    def test_delivery_instants_bit_identical(self, monkeypatch):
+        scalar, scalar_events = _drive_bursts(False, monkeypatch)
+        fast, fast_events = _drive_bursts(True, monkeypatch)
+        assert fast == scalar
+        assert len(fast) == 7 * 40
+        # The whole point: batching collapsed serve + delivery events.
+        assert fast_events < scalar_events
+
+    def test_scalar_toggle_reaches_link(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAST_PATH", "0")
+        sim = Simulator()
+        path = DuplexPath(sim, PathConfig(
+            downlink=LinkConfig(trace=_quantized_trace()),
+            uplink=LinkConfig(rate=1_000_000.0),
+        ))
+        assert path.forward_link.fast_path is False
+        monkeypatch.setenv("REPRO_FAST_PATH", "1")
+        path2 = DuplexPath(Simulator(), PathConfig(
+            downlink=LinkConfig(trace=_quantized_trace()),
+            uplink=LinkConfig(rate=1_000_000.0),
+        ))
+        assert path2.forward_link.fast_path is True
+
+
+# ----------------------------------------------------------------------
+# Randomized end-to-end differential: full sender/receiver stacks
+# ----------------------------------------------------------------------
+def _random_trace(rng, duration=6.0):
+    n = rng.randrange(1500, 3500)
+    times = sorted(rng.uniform(0.0, duration * 0.999) for _ in range(n))
+    times = [math.floor(t * 1000.0) / 1000.0 for t in times]
+    for _ in range(rng.randrange(1, 4)):  # carve outage gaps
+        start = rng.uniform(0.0, duration * 0.7)
+        span = rng.uniform(0.05, 0.4)
+        times = [t for t in times if not (start <= t < start + span)]
+    return Trace(times, duration=duration, name=f"rand{n}")
+
+
+def _run_leg(fast, monkeypatch, seed, algo, aqm, direction, delack):
+    from repro.experiments.algorithms import paper_algorithms
+    from repro.experiments.runner import (
+        FlowSpec,
+        cellular_path_config,
+        run_experiment,
+    )
+
+    monkeypatch.setenv("REPRO_FAST_PATH", "1" if fast else "0")
+    rng = random.Random(seed)
+    down = _random_trace(rng)
+    up = _random_trace(rng)
+    config = cellular_path_config(down, up, aqm=aqm)
+    results = run_experiment(
+        config,
+        [FlowSpec(cc_factory=paper_algorithms()[algo], direction=direction,
+                  delayed_ack=delack)],
+        duration=4.0, measure_start=0.5,
+    )
+    return results[0].summary()
+
+
+@pytest.mark.parametrize(
+    "seed,algo,aqm,direction,delack",
+    [
+        (1, "PR(M)", "droptail", "down", False),
+        (2, "CUBIC", "codel", "down", False),
+        (3, "BBR", "droptail", "down", True),
+        (4, "PR(M)", "codel", "up", False),
+        (5, "CUBIC", "droptail", "up", True),
+        (6, "Sprout", "codel", "down", True),
+    ],
+)
+def test_random_trace_differential(monkeypatch, seed, algo, aqm,
+                                   direction, delack):
+    scalar = _run_leg(False, monkeypatch, seed, algo, aqm, direction, delack)
+    fast = _run_leg(True, monkeypatch, seed, algo, aqm, direction, delack)
+    assert fast == scalar
+
+
+def test_audited_run_under_fast_path(monkeypatch):
+    """The auditor's conservation invariants hold with batched
+    deliveries (it wraps both the per-packet and batch delivery taps)."""
+    from repro.experiments.algorithms import paper_algorithms
+    from repro.experiments.runner import run_single_flow
+
+    monkeypatch.setenv("REPRO_FAST_PATH", "1")
+    rng = random.Random(11)
+    result = run_single_flow(
+        paper_algorithms()["PR(M)"],
+        _random_trace(rng),
+        uplink_trace=_random_trace(rng),
+        duration=4.0, measure_start=0.5, audit=True,
+    )
+    assert result.delivered_bytes > 0

@@ -4,7 +4,7 @@ import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.link import CellularLink, WiredLink
-from repro.sim.packet import ACK_PACKET_BYTES, Packet, make_data_packet
+from repro.sim.packet import ACK_PACKET_BYTES, make_data_packet
 from repro.sim.queues import DropTailQueue
 from repro.traces.generator import constant_rate_trace
 from repro.traces.trace import Trace

@@ -5,7 +5,6 @@ import pytest
 from repro.sim.packet import (
     ACK_PACKET_BYTES,
     DATA_PACKET_BYTES,
-    Packet,
     SackBlock,
     make_ack_packet,
     make_data_packet,

@@ -290,6 +290,16 @@ class _KillOnceSpec:
 
 
 @dataclass(frozen=True)
+class _AlwaysKillSpec:
+    """SIGKILLs its worker on every attempt — a poison spec."""
+
+    tag: int = 0
+
+    def execute(self):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+@dataclass(frozen=True)
 class _StallOnceSpec:
     """Hangs far past any timeout on the first attempt, then succeeds."""
 
@@ -372,14 +382,24 @@ class TestRobustness:
         outcomes = run_batch(specs, n_jobs=2, retries=1)
         assert [o.ok for o in outcomes] == [True, True]
         assert outcomes[0].result == 7
-        assert outcomes[0].attempts == 2  # one loss charged, then success
+        assert outcomes[0].attempts == 2  # dispatched, lost, re-dispatched
 
-    def test_killed_worker_without_retries_reports_loss(self, tmp_path):
-        flag = str(tmp_path / "killed")
-        outcomes = run_batch([_KillOnceSpec(flag, 7)] * 2, n_jobs=2)
-        assert not all(o.ok for o in outcomes)
-        failed = [o for o in outcomes if not o.ok]
-        assert all("worker process died" in o.error for o in failed)
+    def test_killed_worker_without_retries_reports_loss(self):
+        outcomes = run_batch(
+            [_AlwaysKillSpec(7), _AlwaysKillSpec(8)], n_jobs=2
+        )
+        assert [o.ok for o in outcomes] == [False, False]
+        assert all("worker process died" in o.error for o in outcomes)
+
+    def test_worker_death_not_charged_to_innocent_bystander(self):
+        # Regression: one pool breakage used to charge every in-flight
+        # spec, so with retries=0 a poison queue-mate failed this
+        # sleeper too.  Only the culprit may absorb the loss.
+        specs = [_AlwaysKillSpec(7), _SleepSpec(0.3, 1)]
+        outcomes = run_batch(specs, n_jobs=2)
+        assert not outcomes[0].ok
+        assert "worker process died" in outcomes[0].error
+        assert outcomes[1].ok and outcomes[1].result == 1
 
     def test_timeout_reports_and_other_specs_survive(self):
         specs = [_SleepSpec(300.0, 0), _SleepSpec(0.05, 1)]

@@ -6,7 +6,6 @@ invariant the SACK scoreboard, retransmission queue and RTO machinery
 exist to uphold.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.sim.engine import Simulator

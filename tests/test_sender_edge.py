@@ -1,7 +1,5 @@
 """Sender edge cases: tail loss, completion semantics, pathologies."""
 
-import pytest
-
 from repro.sim.engine import Simulator
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
