@@ -17,10 +17,21 @@ outage-heavy mobile traces (DESIGN.md §9).  Links bind their serve
 callback at construction, so each leg pins ``REPRO_FAST_PATH`` before
 building its worlds (and restores the caller's value afterwards).
 
+``--contention`` mode — both promises at N flows: multi-flow contention
+cells (including 16-flow mixes where some flows starve outright) keep
+fast == scalar, and the reduced contention grid's JSON artifact is
+byte-identical between ``run_grid(n_jobs=1)`` and ``n_jobs=4``.
+
+All modes compare *canonical* summaries
+(:func:`repro.experiments.runner.canonical_summary`): a starved flow's
+delay statistics are NaN, and ``nan != nan`` would make bit-identical
+runs falsely diverge under plain tuple equality.
+
 Usage::
 
     PYTHONPATH=src python scripts/check_determinism.py
     PYTHONPATH=src python scripts/check_determinism.py --fastpath
+    PYTHONPATH=src python scripts/check_determinism.py --contention
 """
 
 from __future__ import annotations
@@ -44,9 +55,19 @@ FASTPATH_GRID = [
 
 FASTPATH_ALGOS = ["PR(M)", "CUBIC", "BBR", "Sprout", "Verus"]
 
+#: --contention grid: (mix, flow count).  16-flow cells on a 1 Mbps
+#: bottleneck guarantee starved flows, exercising the NaN-canonical
+#: comparison that plain tuple equality gets wrong.
+CONTENTION_CELLS = [
+    ("pr-vs-cubic", 4),
+    ("cubic-self", 16),
+    ("pr-heavy", 16),
+]
+
 
 def check_scheduler() -> int:
     from repro.experiments.frontier import iter_frontier, sweep_frontier
+    from repro.experiments.runner import canonical_summary
     from repro.traces.presets import isp_trace
 
     down = isp_trace("A", "mobile", duration=20.0)
@@ -65,7 +86,8 @@ def check_scheduler() -> int:
     failures = 0
     for label, candidate in (("n_jobs=4", parallel), ("iter_frontier", streamed)):
         for ref, got in zip(serial, candidate):
-            if ref.result.summary() != got.result.summary():
+            if (canonical_summary(ref.result.summary())
+                    != canonical_summary(got.result.summary())):
                 failures += 1
                 print(
                     f"DIVERGENCE [{label}] target "
@@ -89,6 +111,7 @@ def check_fastpath() -> int:
     from repro.experiments.algorithms import paper_algorithms
     from repro.experiments.runner import (
         FlowSpec,
+        canonical_summary,
         cellular_path_config,
         run_experiment,
     )
@@ -110,7 +133,7 @@ def check_fastpath() -> int:
                               delayed_ack=delack)],
                     duration=DURATION, measure_start=WARMUP,
                 )
-                out[(label, name)] = results[0].summary()
+                out[(label, name)] = canonical_summary(results[0].summary())
         return out
 
     saved = os.environ.get("REPRO_FAST_PATH")
@@ -144,9 +167,96 @@ def check_fastpath() -> int:
     return 0
 
 
+def check_contention() -> int:
+    import json
+
+    from repro.experiments.contention_grid import (
+        MIXES,
+        REDUCED_GRID,
+        build_contention_flows,
+        run_grid,
+    )
+    from repro.experiments.runner import (
+        canonical_summary,
+        cellular_path_config,
+        run_experiment,
+    )
+    from repro.traces.generator import constant_rate_trace
+
+    failures = 0
+
+    # Leg 1: fast == scalar on multi-flow contention cells.
+    def leg(fast: bool):
+        os.environ["REPRO_FAST_PATH"] = "1" if fast else "0"
+        out = {}
+        for mix, n_flows in CONTENTION_CELLS:
+            flows, duration = build_contention_flows(
+                MIXES[mix], n_flows, "staggered",
+                stagger=0.1, settle=1.0, overlap=4.0,
+            )
+            down = constant_rate_trace(1.0e6 / 8.0, duration + 1.0,
+                                       name="wired:1mbps")
+            results = run_experiment(
+                cellular_path_config(down), flows, duration=duration
+            )
+            out[(mix, n_flows)] = [
+                canonical_summary(r.summary()) for r in results
+            ]
+        return out
+
+    saved = os.environ.get("REPRO_FAST_PATH")
+    try:
+        scalar = leg(False)
+        fast = leg(True)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_FAST_PATH", None)
+        else:
+            os.environ["REPRO_FAST_PATH"] = saved
+
+    for key, ref in scalar.items():
+        for ref_flow, fast_flow in zip(ref, fast[key]):
+            if ref_flow != fast_flow:
+                failures += 1
+                print(
+                    f"DIVERGENCE [fastpath] cell {key}:\n"
+                    f"  scalar: {ref_flow}\n"
+                    f"  fast:   {fast_flow}",
+                    file=sys.stderr,
+                )
+
+    # Leg 2: the reduced grid artifact is byte-identical serial vs
+    # parallel (to_dict carries no wall-clock, so this is exact).
+    serial = json.dumps(
+        run_grid(REDUCED_GRID, n_jobs=1, audit=True).to_dict(),
+        sort_keys=True,
+    )
+    parallel = json.dumps(
+        run_grid(REDUCED_GRID, n_jobs=4, audit=True, retries=1).to_dict(),
+        sort_keys=True,
+    )
+    if serial != parallel:
+        failures += 1
+        print("DIVERGENCE [grid] reduced-grid JSON differs between "
+              "n_jobs=1 and n_jobs=4", file=sys.stderr)
+
+    if failures:
+        print(f"contention gate FAILED: {failures} divergences",
+              file=sys.stderr)
+        return 1
+    print(
+        f"contention gate OK: {len(CONTENTION_CELLS)} multi-flow cells "
+        f"bit-identical fast-vs-scalar; reduced grid byte-identical "
+        f"serial-vs-parallel"
+    )
+    return 0
+
+
 def main() -> int:
     if "--fastpath" in sys.argv[1:]:
         return check_fastpath()
+    if "--contention" in sys.argv[1:]:
+        return check_contention()
     return check_scheduler()
 
 

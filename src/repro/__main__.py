@@ -5,6 +5,8 @@ Commands
 ``run``        one flow of a chosen algorithm over a chosen trace
 ``shootout``   the full Figure-7 line-up over a chosen trace
 ``frontier``   sweep PropRate's target buffer delay (Figure 10)
+``grid``       the N×M contention/fairness grid (Figure 12
+               generalized; see docs/contention_grid.md)
 ``traces``     print Table-2 statistics for the synthetic traces
 ``experiments`` list the paper-artifact → benchmark registry
 ``trace``      summarize (or diff) telemetry traces written with
@@ -158,6 +160,28 @@ def _cmd_frontier(args: argparse.Namespace) -> None:
         )
 
 
+def _cmd_grid(args: argparse.Namespace) -> None:
+    # Lazy: the grid layer drags in the scheduler and report stack.
+    from repro.experiments.contention_grid import (
+        FULL_GRID,
+        REDUCED_GRID,
+        grid_size,
+        run_grid,
+    )
+    from repro.report import grid_to_json, render_grid_heatmaps
+
+    config = REDUCED_GRID if args.reduced else FULL_GRID
+    report = run_grid(
+        config,
+        audit=True if args.audit else None,
+        **_batch_kwargs(args, grid_size(config)),
+    )
+    print(render_grid_heatmaps(report))
+    if args.out is not None:
+        path = grid_to_json(report.to_dict(), args.out)
+        print(f"\nwrote {path}")
+
+
 def _cmd_traces(args: argparse.Namespace) -> None:
     print(f"{'Trace':22s} {'mean KB/s':>10s} {'target':>8s} {'std KB/s':>9s} {'target':>8s}")
     for (isp, mode), (mean_t, std_t) in sorted(TABLE2_TARGETS.items()):
@@ -234,8 +258,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--timeout", type=float, default=None, metavar="SECONDS",
             help="per-run wall-clock budget; a run that exceeds it has "
-            "its worker killed and reports a timeout (enforced with "
-            "--jobs >= 2)",
+            "its worker killed (--jobs >= 2) or is cut short by the "
+            "engine's run deadline (serial) and reports a timeout",
         )
         p.add_argument(
             "--retries", type=int, default=0, metavar="N",
@@ -260,6 +284,32 @@ def build_parser() -> argparse.ArgumentParser:
     p_front.add_argument("--high", type=int, default=120, help="highest target (ms)")
     p_front.add_argument("--step", type=int, default=12, help="grid step (ms)")
     p_front.set_defaults(func=_cmd_frontier)
+
+    p_grid = sub.add_parser(
+        "grid", help="N×M contention/fairness grid (Figure 12 generalized)"
+    )
+    _jobs(p_grid)
+    p_grid.add_argument(
+        "--reduced", action="store_true",
+        help="run the CI-sized subset (2 mixes × {2,4} flows × 1 wired "
+        "trace) instead of the full grid",
+    )
+    p_grid.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="also write the deterministic JSON artifact to PATH "
+        "(cell schema: docs/contention_grid.md)",
+    )
+    p_grid.add_argument(
+        "--audit", action="store_true",
+        help="run the repro.debug invariant auditor in every cell "
+        "(flow-scaled t_buff bands; results are unchanged)",
+    )
+    p_grid.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write a merged repro.obs JSONL trace to PATH; each cell's "
+        "records are tagged with a grid.cell header",
+    )
+    p_grid.set_defaults(func=_cmd_grid)
 
     p_traces = sub.add_parser("traces", help="Table-2 trace statistics")
     p_traces.set_defaults(func=_cmd_traces)

@@ -8,25 +8,36 @@ or from the CLI with ``--audit``.  See DESIGN.md, "The audit layer".
 from __future__ import annotations
 
 import os
+from typing import Any, Optional, Union
 
-from repro.debug.auditor import InvariantAuditor, InvariantViolation
+from repro.debug.auditor import AuditConfig, InvariantAuditor, InvariantViolation
 from repro.debug.recorder import FlightRecorder
 
 __all__ = [
     "AUDIT_ENV",
+    "AuditArg",
+    "AuditConfig",
     "FlightRecorder",
     "InvariantAuditor",
     "InvariantViolation",
     "audit_enabled",
+    "make_auditor",
 ]
 
 #: Environment switch: any value but ""/"0"/"false" enables auditing in
 #: every run whose ``audit`` argument is left at None.
 AUDIT_ENV = "REPRO_AUDIT"
 
+#: What the ``audit=`` knob accepts everywhere: None (defer to the
+#: environment), a bool, or an :class:`AuditConfig` with per-scenario
+#: band overrides.
+AuditArg = Union[None, bool, AuditConfig]
 
-def audit_enabled(audit=None) -> bool:
+
+def audit_enabled(audit: AuditArg = None) -> bool:
     """Resolve an ``audit`` knob: explicit wins, else the environment."""
+    if isinstance(audit, AuditConfig):
+        return audit.enabled
     if audit is not None:
         return bool(audit)
     return os.environ.get(AUDIT_ENV, "").strip().lower() not in (
@@ -34,3 +45,16 @@ def audit_enabled(audit=None) -> bool:
         "0",
         "false",
     )
+
+
+def make_auditor(sim: Any, audit: AuditArg = None) -> Optional[InvariantAuditor]:
+    """Build the auditor an ``audit=`` knob asks for (None if disabled).
+
+    Drivers call this instead of constructing :class:`InvariantAuditor`
+    directly so an :class:`AuditConfig` override reaches the bands.
+    """
+    if not audit_enabled(audit):
+        return None
+    if isinstance(audit, AuditConfig):
+        return audit.build(sim)
+    return InvariantAuditor(sim)

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro.debug import AuditArg
 from repro.traces.trace import Trace
 
 from repro.core.proprate import PropRate
@@ -74,7 +75,7 @@ def run_shootout(
     duration: float = 40.0,
     measure_start: float = 5.0,
     n_jobs: int = 1,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome=None,

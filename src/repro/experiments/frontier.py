@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
+from repro.debug import AuditArg
 from repro.experiments.parallel import (
     OutcomeCallback,
     RunSpec,
@@ -59,7 +60,7 @@ def _frontier_specs(
     duration: float,
     measure_start: float,
     enable_feedback: bool,
-    audit: Optional[bool],
+    audit: AuditArg,
 ) -> List[RunSpec]:
     return [
         RunSpec(
@@ -83,7 +84,7 @@ def sweep_frontier(
     measure_start: float = 4.0,
     enable_feedback: bool = True,
     n_jobs: int = 1,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
@@ -129,7 +130,7 @@ def iter_frontier(
     measure_start: float = 4.0,
     enable_feedback: bool = True,
     n_jobs: int = 1,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
@@ -189,7 +190,7 @@ def nfl_convergence(
     measure_start: float = 4.0,
     propagation_delay: float = 0.020,
     n_jobs: int = 1,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,

@@ -64,11 +64,13 @@ from typing import (
 )
 
 import repro.obs as obs
+from repro.debug import AuditArg
 from repro.experiments.runner import (
     DEFAULT_PROP_DELAY,
     FlowResult,
     run_single_flow,
 )
+from repro.sim.engine import RunDeadlineExceeded, set_run_deadline
 from repro.sim.queues import DEFAULT_BUFFER_PACKETS
 from repro.tcp.congestion.base import CongestionControl
 from repro.traces import cache as trace_cache
@@ -153,7 +155,7 @@ class RunSpec:
     aqm: str = "droptail"
     #: Invariant auditing (:mod:`repro.debug`): None defers to the
     #: REPRO_AUDIT environment switch, which worker processes inherit.
-    audit: Optional[bool] = None
+    audit: AuditArg = None
     #: Telemetry trace path for this run (:mod:`repro.obs`).  Normally
     #: left ``None``; a batch-level ``telemetry=`` target assigns each
     #: spec a worker part file and merges them at the coordinator.
@@ -451,9 +453,12 @@ def iter_batch(
         Per-spec wall-clock budget in seconds, measured from dispatch to
         a worker.  A spec that exceeds it has its pool torn down (the
         only way to reclaim a stuck worker) and counts one charged loss;
-        other in-flight specs are re-queued without charge.  Enforced on
-        the pool path only — the serial path cannot interrupt a running
-        simulation.
+        other in-flight specs are re-queued without charge.  On the
+        serial path (``n_jobs=1``) the budget is enforced in-process:
+        the simulation event loop checks a monotonic wall-clock deadline
+        between event batches (:func:`repro.sim.engine.set_run_deadline`)
+        and the overrunning spec is charged exactly like a pool-path
+        timeout.
     retries:
         How many charged losses (timeout or worker death) a spec may
         absorb before its outcome reports the failure.  A loss is only
@@ -500,13 +505,64 @@ def iter_batch(
         return outcome
 
     if jobs == 1 or (len(entries) == 1 and timeout is None):
+        # Serial in-process path.  ``timeout`` is enforced via the
+        # engine's ambient wall-clock deadline: there is no worker to
+        # kill, so the event loop itself checks ``time.monotonic()``
+        # between event batches and raises RunDeadlineExceeded, which is
+        # settled with the same charge/retry semantics as a pool-path
+        # timeout.
+        tasks = deque(_Task(i, s) for i, s in entries)
         try:
-            for index, spec in entries:
+            while tasks:
+                task = tasks.popleft()
+                task.dispatches += 1
                 if bt is not None:
-                    bt.event(obs.SCHED_DISPATCH, spec=index, attempt=1)
-                _, result, error = _run_entry((index, spec))
+                    bt.event(
+                        obs.SCHED_DISPATCH,
+                        spec=task.index,
+                        attempt=task.dispatches,
+                    )
+                timed_out = False
+                try:
+                    if timeout is not None:
+                        set_run_deadline(time.monotonic() + timeout)
+                    result, error = task.spec.execute(), None
+                except RunDeadlineExceeded:
+                    timed_out = True
+                except Exception:  # noqa: BLE001 - reported on the outcome
+                    result, error = None, traceback.format_exc()
+                finally:
+                    if timeout is not None:
+                        set_run_deadline(None)
+                if timed_out:
+                    task.failures += 1
+                    if bt is not None:
+                        bt.event(
+                            obs.SCHED_TIMEOUT,
+                            spec=task.index,
+                            failures=task.failures,
+                        )
+                    if task.failures <= retries:
+                        tasks.append(task)
+                        if bt is not None:
+                            bt.event(
+                                obs.SCHED_RETRY,
+                                spec=task.index,
+                                failures=task.failures,
+                            )
+                        continue
+                    result, error = None, (
+                        f"timed out after {timeout:.6g}s "
+                        f"(attempt {task.dispatches})"
+                    )
                 yield emit(
-                    RunOutcome(index=index, spec=spec, result=result, error=error)
+                    RunOutcome(
+                        index=task.index,
+                        spec=task.spec,
+                        result=result,
+                        error=error,
+                        attempts=task.dispatches,
+                    )
                 )
         finally:
             if bt is not None:

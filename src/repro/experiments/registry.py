@@ -118,6 +118,19 @@ _EXPERIMENTS = [
         bench="benchmarks/bench_fig14_uplink.py",
     ),
     Experiment(
+        id="F12N",
+        artifact="Figure 12 (N×M)",
+        description="Systematic contention/fairness grid: algorithm "
+        "mixes × flow counts {2,4,16,64} × start patterns × traces, "
+        "reduced to Jain's index, goodput shares, and t_buff inflation",
+        modules=(
+            "repro.experiments.contention_grid",
+            "repro.metrics.stats",
+            "repro.report.heatmap",
+        ),
+        bench="benchmarks/bench_fairness_grid.py",
+    ),
+    Experiment(
         id="W1",
         artifact="Figures 1-2 (packet-level)",
         description="The buffer-delay sawtooth extracted from the full "

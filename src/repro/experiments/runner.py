@@ -9,12 +9,13 @@ packet delay over a measurement window.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field, replace
 from time import perf_counter
 from typing import Any, Callable, Dict, List, Optional
 
 import repro.obs as obs
-from repro.debug import InvariantViolation, audit_enabled
+from repro.debug import AuditArg, InvariantViolation, make_auditor
 from repro.metrics.collector import DeliveryCollector
 from repro.tcp.application import Application
 from repro.metrics.stats import DelaySummary, delay_summary
@@ -148,6 +149,26 @@ class FlowResult:
         return self.throughput / self.capacity
 
 
+def canonical_summary(value: Any) -> Any:
+    """A :meth:`FlowResult.summary` rendered NaN-comparable.
+
+    The determinism gates compare summary tuples with ``==``, but a
+    starved flow (no deliveries in its window) carries NaN delay
+    statistics — and ``nan != nan``, so two bit-identical runs would
+    falsely diverge wherever any flow starves.  This maps every NaN
+    (recursively, through tuples and lists) to a sentinel, so equality
+    of canonical summaries means "bit-identical up to NaN positions
+    matching".  Any real numeric difference still compares unequal.
+    """
+    if isinstance(value, float) and math.isnan(value):
+        return "nan"
+    if isinstance(value, tuple):
+        return tuple(canonical_summary(v) for v in value)
+    if isinstance(value, list):
+        return [canonical_summary(v) for v in value]
+    return value
+
+
 def cellular_path_config(
     downlink_trace: Trace,
     uplink_trace: Optional[Trace] = None,
@@ -216,7 +237,7 @@ def run_experiment(
     measure_start: float = 5.0,
     measure_end: Optional[float] = None,
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     telemetry: Optional[Any] = None,
 ) -> List[FlowResult]:
     """Run ``flows`` over one shared path and reduce the results.
@@ -272,7 +293,7 @@ def _run_experiment_traced(
     measure_start: float,
     measure_end: Optional[float],
     ts_granularity: float,
-    audit: Optional[bool],
+    audit: AuditArg,
     tracer,
 ) -> List[FlowResult]:
     wall_start = perf_counter() if tracer is not None else 0.0
@@ -280,12 +301,9 @@ def _run_experiment_traced(
     path = DuplexPath(sim, path_config)
     harnessed = []
 
-    auditor = None
     forward_audit = reverse_audit = None
-    if audit_enabled(audit):
-        from repro.debug import InvariantAuditor
-
-        auditor = InvariantAuditor(sim)
+    auditor = make_auditor(sim, audit)
+    if auditor is not None:
         forward_audit, reverse_audit = auditor.attach_path(path)
 
     for flow_id, spec in enumerate(flows):
@@ -485,7 +503,7 @@ def run_single_flow(
     prop_delay: float = DEFAULT_PROP_DELAY,
     aqm: str = "droptail",
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     telemetry: Optional[Any] = None,
 ) -> FlowResult:
     """Convenience wrapper: one downlink flow over a cellular path."""

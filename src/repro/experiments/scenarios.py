@@ -21,6 +21,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.experiments.parallel import CcSpec, RefOrKey
 
+from repro.debug import AuditArg
 from repro.experiments.runner import (
     CcFactory,
     FlowResult,
@@ -43,7 +44,7 @@ def self_contention(
     downlink_trace: Trace,
     uplink_trace: Optional[Trace] = None,
     name: str = "",
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
 ) -> Tuple[FlowResult, FlowResult]:
     """Two flows of the same algorithm share the path (Figure 12(a)).
 
@@ -83,7 +84,7 @@ def contention_vs_cubic(
     uplink_trace: Optional[Trace] = None,
     cubic_first: bool = True,
     name: str = "algo",
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
 ) -> Dict[str, FlowResult]:
     """One algorithm against CUBIC cross traffic (Figure 12(b)).
 
@@ -109,7 +110,11 @@ def contention_vs_cubic(
             measure_end=end,
         ),
     }
-    ordered = sorted(specs.values(), key=lambda f: f.start)
+    # (start, name) — start alone leaves tie-start ordering (and with it
+    # flow-id assignment, hence event tie-breaks) to dict-insertion
+    # accident, which is invisible here but breaks byte-identity when a
+    # grid cell launches both flows at t=0.
+    ordered = sorted(specs.values(), key=lambda f: (f.start, f.name))
     results = run_experiment(
         cellular_path_config(downlink_trace, uplink_trace),
         ordered,
@@ -126,7 +131,7 @@ def uplink_congestion(
     duration: float = 40.0,
     measure_start: float = 5.0,
     name: str = "down",
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
 ) -> Dict[str, FlowResult]:
     """Figure 14: a download races a CUBIC upload saturating the uplink.
 
@@ -155,7 +160,7 @@ def wired_path(
     duration: float = 30.0,
     measure_start: float = 3.0,
     name: str = "",
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
 ) -> FlowResult:
     """Figure 13: a single flow over an inter-continental wired path.
 
@@ -184,7 +189,7 @@ def shallow_buffer(
     duration: float = 30.0,
     measure_start: float = 3.0,
     name: str = "",
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
 ) -> FlowResult:
     """§6 discussion: shallow bottleneck buffers and CoDel AQM."""
     config = cellular_path_config(
@@ -208,7 +213,7 @@ def baseline_shift(
     duration: float = 30.0,
     measure_start: float = 4.0,
     name: str = "",
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
 ) -> FlowResult:
     """§4.1: shift the underlying one-way delay mid-flow (handover).
 
@@ -217,7 +222,7 @@ def baseline_shift(
     estimate read too high until the old RD minimum ages out of the
     estimator's window; a negative one self-heals immediately.
     """
-    from repro.debug import InvariantViolation, audit_enabled
+    from repro.debug import InvariantViolation, make_auditor
     from repro.sim.engine import Simulator
     from repro.sim.network import DuplexPath
     from repro.metrics.collector import DeliveryCollector
@@ -229,12 +234,9 @@ def baseline_shift(
     config = cellular_path_config(downlink_trace)
     path = DuplexPath(sim, config)
 
-    auditor = None
     forward_audit = None
-    if audit_enabled(audit):
-        from repro.debug import InvariantAuditor
-
-        auditor = InvariantAuditor(sim)
+    auditor = make_auditor(sim, audit)
+    if auditor is not None:
         forward_audit, _ = auditor.attach_path(path)
 
     collector = DeliveryCollector()
@@ -319,7 +321,7 @@ class ScenarioSpec:
     options: Tuple[Tuple[str, object], ...] = ()
     #: Invariant auditing (:mod:`repro.debug`): None defers to the
     #: REPRO_AUDIT environment switch, which worker processes inherit.
-    audit: Optional[bool] = None
+    audit: AuditArg = None
     #: Telemetry trace path (:mod:`repro.obs`); assigned by the batch
     #: layer when a batch-level target is given.
     telemetry: Optional[str] = None
@@ -355,7 +357,7 @@ def run_scenario_grid(
     downlink_trace: Optional[Trace] = None,
     uplink_trace: Optional[Trace] = None,
     n_jobs: int = 1,
-    audit: Optional[bool] = None,
+    audit: AuditArg = None,
     timeout: Optional[float] = None,
     retries: int = 0,
     on_outcome=None,

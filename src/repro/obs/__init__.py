@@ -19,6 +19,7 @@ from repro.obs.events import (
     CC_RTO,
     CC_STATE,
     FORMAT,
+    GRID_CELL,
     LINK_BATCH,
     LINK_HANDOVER,
     LINK_OUTAGE,
@@ -58,7 +59,7 @@ __all__ = [
     "ALL_KINDS", "AUDIT_DUMP", "AUDIT_VIOLATION", "CC_EPOCH",
     "CC_ESTIMATOR", "CC_LOSS", "CC_LOSS_RUNS", "CC_NFL", "CC_RECOVERY",
     "CC_RTO",
-    "CC_STATE", "FORMAT", "LINK_BATCH", "LINK_HANDOVER", "LINK_OUTAGE",
+    "CC_STATE", "FORMAT", "GRID_CELL", "LINK_BATCH", "LINK_HANDOVER", "LINK_OUTAGE",
     "LINK_RECOVER",
     "META", "METRICS", "QUEUE_SAMPLE", "RUN_END", "RUN_START",
     "SCHED_DISPATCH", "SCHED_OUTCOME", "SCHED_RETRY", "SCHED_TIMEOUT",

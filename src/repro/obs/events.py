@@ -65,6 +65,12 @@ RUN_END = "run.end"
 #: Metrics registry snapshot (scope: run | batch).
 METRICS = "metrics"
 
+# -- contention grid ---------------------------------------------------
+#: Grid-cell header written at the top of a cell's trace: the cell
+#: coordinates (mix, flows, pattern, trace, baseline) tag every record
+#: that follows in the per-cell part file.
+GRID_CELL = "grid.cell"
+
 # -- parallel scheduler (wall-clock t, seconds since batch start) ------
 SCHED_DISPATCH = "sched.dispatch"
 SCHED_RETRY = "sched.retry"
@@ -77,7 +83,7 @@ ALL_KINDS = frozenset({
     META, CC_STATE, CC_NFL, CC_ESTIMATOR, CC_EPOCH, CC_LOSS, CC_LOSS_RUNS,
     CC_RTO, CC_RECOVERY, LINK_OUTAGE, LINK_RECOVER, LINK_HANDOVER,
     LINK_BATCH, QUEUE_SAMPLE,
-    AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS,
+    AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS, GRID_CELL,
     SCHED_DISPATCH, SCHED_RETRY, SCHED_TIMEOUT, SCHED_WORKER_DEATH,
     SCHED_OUTCOME,
 })

@@ -1,15 +1,20 @@
-"""Result export: CSV tables and gnuplot scripts for the figures."""
+"""Result export: CSV/JSON tables, gnuplot scripts, ASCII heatmaps."""
 
 from repro.report.export import (
     flow_results_to_csv,
     frontier_to_csv,
     gnuplot_scatter_script,
+    grid_to_json,
     timeseries_to_csv,
 )
+from repro.report.heatmap import render_grid_heatmap, render_grid_heatmaps
 
 __all__ = [
     "flow_results_to_csv",
     "frontier_to_csv",
     "gnuplot_scatter_script",
+    "grid_to_json",
+    "render_grid_heatmap",
+    "render_grid_heatmaps",
     "timeseries_to_csv",
 ]

@@ -126,3 +126,22 @@ def gnuplot_scatter_script(
     )
     output_path.write_text(script.getvalue(), encoding="ascii")
     return output_path
+
+
+def grid_to_json(report: Dict[str, object], path: PathLike) -> Path:
+    """Persist a contention-grid report as a deterministic JSON artifact.
+
+    ``report`` is :meth:`repro.experiments.contention_grid.GridReport.
+    to_dict` output — already JSON-safe (NaN rendered as ``null``) and
+    free of wall-clock data.  Keys are sorted and floats repr-encoded
+    by the standard encoder, so two runs of the same grid produce
+    byte-identical files (the CI determinism gate relies on this).
+    """
+    import json
+
+    path = Path(path)
+    payload = json.dumps(
+        report, sort_keys=True, indent=2, allow_nan=False
+    )
+    path.write_text(payload + "\n", encoding="ascii")
+    return path

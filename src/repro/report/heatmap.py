@@ -1,0 +1,111 @@
+"""ASCII heatmaps for the contention grid (``repro grid``).
+
+Same spirit as the ``repro trace --plot`` waveform view: a terminal
+rendering that makes the shape of the data visible without leaving the
+shell.  One panel per (trace, start pattern); rows are algorithm mixes,
+columns the flow-count ladder, each cell the metric's value plus a
+shade glyph so gradients read at a glance.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["render_grid_heatmap", "render_grid_heatmaps"]
+
+#: Shade ramp, light to dark.  Index by the normalized cell value.
+_SHADES = " ░▒▓█"
+
+#: Metric key → (title, how to normalize a value into [0, 1]).
+_METRICS = {
+    "jain": "Jain's fairness index (1 = fair, 1/n = one flow wins)",
+    "tbuff_inflation": (
+        "t_buff inflation vs single-flow baseline (1 = no added queue)"
+    ),
+}
+
+
+def _shade(value: Optional[float], lo: float, hi: float) -> str:
+    if value is None:
+        return " "
+    if hi <= lo:
+        return _SHADES[-1]
+    frac = (value - lo) / (hi - lo)
+    frac = min(1.0, max(0.0, frac))
+    return _SHADES[round(frac * (len(_SHADES) - 1))]
+
+
+def _fmt(value: Optional[float]) -> str:
+    return "   --" if value is None else f"{value:5.2f}"
+
+
+def _panels(
+    cells: Sequence[Dict[str, Any]],
+) -> List[Tuple[Tuple[str, str], List[Dict[str, Any]]]]:
+    """Cells grouped by (trace, pattern), in first-seen order."""
+    order: List[Tuple[str, str]] = []
+    grouped: Dict[Tuple[str, str], List[Dict[str, Any]]] = {}
+    for cell in cells:
+        key = (cell["trace"], cell["pattern"])
+        if key not in grouped:
+            grouped[key] = []
+            order.append(key)
+        grouped[key].append(cell)
+    return [(key, grouped[key]) for key in order]
+
+
+def render_grid_heatmap(report: Any, metric: str = "jain") -> str:
+    """Render one metric of a grid report as ASCII heatmap panels.
+
+    ``report`` is a :class:`~repro.experiments.contention_grid.
+    GridReport` or its :meth:`to_dict` rendering.  ``metric`` is a
+    :class:`CellResult` field name; ``"jain"`` and
+    ``"tbuff_inflation"`` get descriptive legends, anything else is
+    rendered raw.
+    """
+    if hasattr(report, "to_dict"):
+        report = report.to_dict()
+    cells = report["cells"]
+    if not cells:
+        return "(empty grid)"
+    lines: List[str] = []
+    legend = _METRICS.get(metric, metric)
+    values = [c.get(metric) for c in cells if c.get(metric) is not None]
+    # Jain's index lives on [0, 1]; other metrics scale to their range.
+    lo, hi = (0.0, 1.0) if metric == "jain" else (
+        (min(values), max(values)) if values else (0.0, 1.0)
+    )
+    lines.append(f"{legend}")
+    for (trace, pattern), panel in _panels(cells):
+        flow_counts = sorted({c["flows"] for c in panel})
+        mixes: List[str] = []
+        for c in panel:
+            if c["mix"] not in mixes:
+                mixes.append(c["mix"])
+        by_key = {(c["mix"], c["flows"]): c for c in panel}
+        label_w = max(len("mix \\ flows"), max(len(m) for m in mixes))
+        lines.append("")
+        lines.append(f"-- trace {trace} · {pattern} starts --")
+        header = "mix \\ flows".ljust(label_w)
+        for n in flow_counts:
+            header += f" {n:>5d} "
+        lines.append(header)
+        for mix in mixes:
+            row = mix.ljust(label_w)
+            for n in flow_counts:
+                cell = by_key.get((mix, n))
+                value = cell.get(metric) if cell is not None else None
+                row += f" {_fmt(value)}{_shade(value, lo, hi)}"
+            lines.append(row.rstrip())
+    return "\n".join(lines)
+
+
+def render_grid_heatmaps(report: Any) -> str:
+    """Both standard panels — fairness and t_buff inflation."""
+    if hasattr(report, "to_dict"):
+        report = report.to_dict()
+    return (
+        render_grid_heatmap(report, "jain")
+        + "\n\n"
+        + render_grid_heatmap(report, "tbuff_inflation")
+    )

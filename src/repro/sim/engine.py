@@ -26,7 +26,41 @@ from __future__ import annotations
 
 import itertools
 from heapq import heapify, heappop, heappush
+from time import monotonic
 from typing import Callable, List, Optional
+
+
+class RunDeadlineExceeded(RuntimeError):
+    """A :meth:`Simulator.run` call overran its wall-clock deadline.
+
+    Raised between event batches when an ambient deadline installed with
+    :func:`set_run_deadline` has passed.  The batch layer's serial path
+    uses this to enforce per-spec timeouts in-process, where there is no
+    worker to kill (:mod:`repro.experiments.parallel`).
+    """
+
+
+#: Ambient wall-clock deadline (``time.monotonic`` seconds) honoured by
+#: every :meth:`Simulator.run` call, or None.  A single mutable cell so
+#: the event loop reads it once per run and per check, not per event.
+_RUN_DEADLINE: List[Optional[float]] = [None]
+
+#: Events between wall-clock deadline checks.  Coarse enough that the
+#: check (one ``monotonic()`` call) is invisible next to the event
+#: callbacks it interleaves with, fine enough to bound overshoot to
+#: milliseconds of wall time at realistic event rates.
+_DEADLINE_STRIDE = 512
+
+
+def set_run_deadline(deadline: Optional[float]) -> None:
+    """Install (or clear, with None) the ambient run deadline.
+
+    ``deadline`` is an absolute ``time.monotonic()`` instant.  While set,
+    any :meth:`Simulator.run` raises :class:`RunDeadlineExceeded` from
+    the first inter-event check past the deadline.  Callers must clear
+    the deadline (pass None) when their scope ends.
+    """
+    _RUN_DEADLINE[0] = deadline
 
 
 class Event(list):
@@ -250,6 +284,8 @@ class Simulator:
         ring = self.audit_ring
         if ring is not None:
             ring_t, ring_cb, ring_n, ring_mask, countdown, stride = ring
+        deadline = _RUN_DEADLINE[0]
+        ticks = _DEADLINE_STRIDE
         processed = 0
         try:
             if ring is None and audit is None:
@@ -266,6 +302,15 @@ class Simulator:
                     self.now = event[0]
                     processed += 1
                     callback()
+                    if deadline is not None:
+                        ticks -= 1
+                        if ticks == 0:
+                            ticks = _DEADLINE_STRIDE
+                            if monotonic() >= deadline:
+                                raise RunDeadlineExceeded(
+                                    f"run overran its wall-clock deadline "
+                                    f"at t={self.now:.6f}"
+                                )
                 if until is not None and until > self.now:
                     self.now = until
                 return
@@ -281,6 +326,15 @@ class Simulator:
                 self.now = now
                 processed += 1
                 callback()
+                if deadline is not None:
+                    ticks -= 1
+                    if ticks == 0:
+                        ticks = _DEADLINE_STRIDE
+                        if monotonic() >= deadline:
+                            raise RunDeadlineExceeded(
+                                f"run overran its wall-clock deadline "
+                                f"at t={self.now:.6f}"
+                            )
                 # NOTE: record `now`/`callback` locals, not event[0]/
                 # event[2] — the callback may have rescheduled its own
                 # entry (reuse mutates the slots in place).

@@ -14,15 +14,23 @@ import pytest
 from repro.core.proprate import PropRate
 from repro.debug import (
     AUDIT_ENV,
+    AuditConfig,
     FlightRecorder,
     InvariantAuditor,
     InvariantViolation,
     audit_enabled,
 )
+from repro.debug.auditor import DEFAULT_TBUFF_TOLERANCE
 from repro.debug.recorder import TRACE_DIR_ENV
-from repro.experiments.runner import cellular_path_config, run_single_flow
+from repro.experiments.runner import (
+    FlowSpec,
+    cellular_path_config,
+    run_experiment,
+    run_single_flow,
+)
 from repro.sim.engine import Simulator
 from repro.sim.network import DuplexPath
+from repro.tcp.congestion.cubic import Cubic
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.sender import TcpSender
 from repro.traces.generator import constant_rate_trace
@@ -394,3 +402,147 @@ class TestScoreboardInvariants:
             sim.run(until=4.0)
         assert exc_info.value.check == "receiver-ooo"
         assert "not fully backed" in exc_info.value.detail
+
+
+# ----------------------------------------------------------------------
+# Multi-flow tolerance scaling and AuditConfig overrides (PR 7)
+# ----------------------------------------------------------------------
+class _StaleDelayEstimator:
+    """A delay estimator frozen at an absurd over-read.
+
+    Feedback is swallowed (``on_ack`` is a no-op), so the sender keeps
+    acting on a t_buff reading that never decays — the exact failure
+    mode the estimator band exists to catch.
+    """
+
+    tbuff_smooth = 10.0
+
+    def on_ack(self, now, one_way_delay):
+        pass
+
+    def __setattr__(self, name, value):
+        pass  # stays frozen even if the CC pokes at it
+
+
+def _wire_contention(n: int, auditor_kwargs=None, stagger: float = 0.5):
+    """``n`` staggered PropRate flows sharing one audited bottleneck."""
+    sim = Simulator()
+    path = DuplexPath(
+        sim, cellular_path_config(constant_rate_trace(1.5e6, 14.0))
+    )
+    auditor = InvariantAuditor(sim, **(auditor_kwargs or {}))
+    forward_audit, _ = auditor.attach_path(path)
+    senders = []
+    for i in range(n):
+        receiver = TcpReceiver(sim, i, send_ack=path.send_reverse)
+        sender = TcpSender(
+            sim, i, PropRate(target_buffer_delay=0.040),
+            send_packet=path.send_forward,
+        )
+        path.attach_flow(i, receiver.receive, sender.on_ack_packet)
+        auditor.attach_flow(sender, receiver, data_link=forward_audit)
+        sim.schedule_at(i * stagger, sender.start)
+        senders.append(sender)
+    return sim, path, senders, auditor, forward_audit
+
+
+class TestMultiFlowTolerance:
+    def test_four_flow_cubic_contention_audits_clean(self):
+        # Regression (ROADMAP carry-over): the single-flow t_buff band
+        # must not trip spuriously when four flows contend.
+        trace = constant_rate_trace(1.5e6, 10.0)
+        flows = [
+            FlowSpec(
+                cc_factory=Cubic, name=f"cubic{i}", start=0.5 * i,
+                measure_start=3.0,
+            )
+            for i in range(4)
+        ]
+        results = run_experiment(
+            cellular_path_config(trace), flows, duration=9.0, audit=True
+        )
+        assert len(results) == 4
+        assert sum(r.delivered_bytes for r in results) > 0
+
+    def test_four_flow_proprate_contention_audits_clean(self):
+        # Same regression for the estimator-bearing sender: PropRate's
+        # t_buff is checked against the shared-queue sojourn, so this
+        # exercises the flow-scaled band directly.
+        trace = constant_rate_trace(1.5e6, 10.0)
+        flows = [
+            FlowSpec(
+                cc_factory=lambda: PropRate(target_buffer_delay=0.040),
+                name=f"pr{i}", start=0.5 * i, measure_start=3.0,
+            )
+            for i in range(4)
+        ]
+        results = run_experiment(
+            cellular_path_config(trace), flows, duration=9.0, audit=True
+        )
+        assert len(results) == 4
+
+    def test_tbuff_band_scales_with_active_flows(self):
+        sim, path, senders, auditor, forward_audit = _wire_contention(4)
+        bands = []
+        # By t=2.5 all four staggered flows have started; none complete.
+        sim.schedule_at(2.5, lambda: bands.append(
+            auditor._tbuff_band(forward_audit)
+        ))
+        sim.run(until=3.0)
+        assert bands == [pytest.approx(4 * DEFAULT_TBUFF_TOLERANCE)]
+        # flow_scale=False restores the fixed single-flow band.
+        auditor.flow_scale = False
+        assert auditor._tbuff_band(forward_audit) == DEFAULT_TBUFF_TOLERANCE
+
+    def test_stale_estimator_still_trips_at_scaled_tolerance(
+        self, tmp_path, monkeypatch
+    ):
+        # The widened band must stay a real check: an estimator frozen
+        # far above the 4-flow band (4 x 150 ms) still trips.
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        sim, path, senders, auditor, _ = _wire_contention(4)
+
+        def go_stale():
+            senders[0].cc.delay_estimator = _StaleDelayEstimator()
+
+        sim.schedule_at(3.0, go_stale)
+        with pytest.raises(InvariantViolation) as exc_info:
+            sim.run(until=12.0)
+        assert exc_info.value.check == "estimator-tbuff"
+
+
+class TestAuditConfig:
+    def test_enabled_flag_resolves(self, monkeypatch):
+        monkeypatch.setenv(AUDIT_ENV, "1")
+        assert audit_enabled(AuditConfig(enabled=False)) is False
+        monkeypatch.delenv(AUDIT_ENV)
+        assert audit_enabled(AuditConfig()) is True
+
+    def test_overrides_reach_the_auditor(self):
+        cfg = AuditConfig(
+            tbuff_tolerance=0.5, sustain=3, flow_scale=False, strict=False,
+        )
+        auditor = cfg.build(Simulator())
+        assert auditor.tbuff_tolerance == 0.5
+        assert auditor.sustain == 3
+        assert auditor.flow_scale is False
+        assert auditor.strict is False
+
+    def test_config_threads_through_run_experiment(self, tmp_path, monkeypatch):
+        # An impossibly tight band + sustain=1 must trip on a clean run
+        # if (and only if) the config actually reaches the auditor.
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        cfg = AuditConfig(tbuff_tolerance=-10.0, sustain=1, flow_scale=False)
+        with pytest.raises(InvariantViolation) as exc_info:
+            run_single_flow(
+                lambda: PropRate(target_buffer_delay=0.040),
+                constant_rate_trace(750_000.0, 8.0),
+                duration=6.0, measure_start=1.0, audit=cfg,
+            )
+        assert exc_info.value.check == "estimator-tbuff"
+
+    def test_config_pickles(self):
+        import pickle
+
+        cfg = AuditConfig(sustain=7)
+        assert pickle.loads(pickle.dumps(cfg)) == cfg

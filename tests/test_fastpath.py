@@ -369,6 +369,60 @@ def test_random_trace_differential(monkeypatch, seed, algo, aqm,
     assert fast == scalar
 
 
+# ----------------------------------------------------------------------
+# Multi-flow contention differential: the N-flow cells of the grid
+# ----------------------------------------------------------------------
+def _contention_leg(fast, monkeypatch, mix, n_flows):
+    from repro.experiments.contention_grid import (
+        MIXES,
+        build_contention_flows,
+    )
+    from repro.experiments.runner import (
+        canonical_summary,
+        cellular_path_config,
+        run_experiment,
+    )
+    from repro.traces.generator import constant_rate_trace
+
+    monkeypatch.setenv("REPRO_FAST_PATH", "1" if fast else "0")
+    flows, duration = build_contention_flows(
+        MIXES[mix], n_flows, "staggered",
+        stagger=0.1, settle=0.5, overlap=3.0,
+    )
+    down = constant_rate_trace(1.0e6 / 8.0, duration + 1.0, name="1mbps")
+    results = run_experiment(
+        cellular_path_config(down), flows, duration=duration
+    )
+    return [canonical_summary(r.summary()) for r in results]
+
+
+class TestMultiFlowContention:
+    """Fast == scalar must survive contention, where flows interleave on
+    one bottleneck and — at 16 flows on 1 Mbps — some starve outright.
+    Starved flows carry NaN delay stats, so the comparison goes through
+    ``canonical_summary`` (plain tuple equality is never true for NaN)."""
+
+    @pytest.mark.parametrize(
+        "mix,n_flows",
+        [("pr-vs-cubic", 4), ("cubic-self", 16), ("pr-heavy", 16)],
+    )
+    def test_contention_differential(self, monkeypatch, mix, n_flows):
+        scalar = _contention_leg(False, monkeypatch, mix, n_flows)
+        fast = _contention_leg(True, monkeypatch, mix, n_flows)
+        assert fast == scalar
+
+    def test_canonical_summary_is_nan_blind_but_value_strict(self):
+        from repro.experiments.runner import canonical_summary
+
+        a = ("flow", float("nan"), [float("nan"), 1.0], (2.0,))
+        b = ("flow", float("nan"), [float("nan"), 1.0], (2.0,))
+        assert a != b    # plain equality falsely diverges on NaN
+        assert canonical_summary(a) == canonical_summary(b)
+        assert canonical_summary(("flow", 1.0)) != canonical_summary(
+            ("flow", 2.0)
+        )
+
+
 def test_audited_run_under_fast_path(monkeypatch):
     """The auditor's conservation invariants hold with batched
     deliveries (it wraps both the per-packet and batch delivery taps)."""

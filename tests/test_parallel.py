@@ -322,6 +322,32 @@ class _UnpicklableResultSpec:
         return lambda: None
 
 
+@dataclass(frozen=True)
+class _SlowSimSpec:
+    """A genuine simulation whose wall-clock cost dwarfs any timeout.
+
+    Each event burns real time, so the engine's ambient run deadline —
+    checked between event batches — is what cuts it short.  The serial
+    scheduler path can only enforce ``timeout=`` through that deadline
+    (there is no worker process to kill).
+    """
+
+    tag: int = 0
+
+    def execute(self):
+        from repro.sim.engine import Simulator
+
+        sim = Simulator()
+
+        def tick():
+            time.sleep(0.0005)
+            sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=3600.0)
+        return self.tag  # pragma: no cover - deadline fires first
+
+
 class TestStreaming:
     def test_iter_batch_yields_in_completion_order(self):
         specs = [_SleepSpec(1.2, 0), _SleepSpec(0.1, 1), _SleepSpec(0.1, 2)]
@@ -415,6 +441,19 @@ class TestRobustness:
         assert [o.ok for o in outcomes] == [True, True]
         assert outcomes[0].result == 9
         assert outcomes[0].attempts == 2
+
+    def test_serial_timeout_enforced_and_batch_survives(self):
+        # Regression: jobs=1 used to ignore timeout= entirely, so one
+        # runaway cell could hang a serial CI grid run forever.  The
+        # engine's monotonic run deadline now cuts the spec short, the
+        # retry is charged like a pool-path timeout, and later specs
+        # still run with a fresh deadline.
+        specs = [_SlowSimSpec(0), _SleepSpec(0.05, 1)]
+        outcomes = run_batch(specs, n_jobs=1, timeout=0.5, retries=1)
+        assert not outcomes[0].ok
+        assert "timed out after" in outcomes[0].error
+        assert outcomes[0].attempts == 2  # initial dispatch + one retry
+        assert outcomes[1].ok and outcomes[1].result == 1
 
     def test_unpicklable_result_fails_only_offender(self):
         # Regression: the chunked dispatcher stamped the pickling error

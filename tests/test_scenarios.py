@@ -71,6 +71,39 @@ class TestContentionVsCubic:
         )
         assert set(late_algo) == set(early_algo) == {"cubic", "bbr"}
 
+    def test_tie_start_order_is_deterministic(self, monkeypatch):
+        # Regression: with simultaneous starts the flow order (and so
+        # flow-id assignment and event tie-breaks) used to fall back to
+        # dict-insertion order instead of the documented (start, name)
+        # key.  A CUBIC-vs-CUBIC pair makes the accident visible — with
+        # identical algorithms launched together, which flow gets id 0
+        # decides who wins the early synchronized losses — and "aaa"
+        # sorts before "cubic", so pre-fix this simulated a different
+        # system than the explicit reference below.
+        from repro.experiments.runner import (
+            FlowSpec,
+            cellular_path_config,
+            run_experiment,
+        )
+
+        monkeypatch.setattr(scenarios, "CONTENTION_SECOND_START", 0.0)
+        results = contention_vs_cubic(Cubic, _trace(), name="aaa")
+        end = scenarios.CONTENTION_OVERLAP
+        flows = [
+            FlowSpec(cc_factory=Cubic, name="aaa", start=0.0,
+                     measure_start=0.0, measure_end=end),
+            FlowSpec(cc_factory=Cubic, name="cubic", start=0.0,
+                     measure_start=0.0, measure_end=end),
+        ]
+        ref = {
+            r.name: r
+            for r in run_experiment(
+                cellular_path_config(_trace()), flows, duration=end
+            )
+        }
+        for name in ("aaa", "cubic"):
+            assert results[name].summary() == ref[name].summary()
+
 
 class TestUplinkCongestion:
     def test_download_and_upload_both_measured(self):
