@@ -1,0 +1,100 @@
+#!/usr/bin/env python
+"""CI cross-validation gate: fluid tier vs packet engine.
+
+Runs the overlapping scenario set in :mod:`repro.fluid.xval` — single-
+flow and 2–4-flow contention mixes both tiers can express — through the
+packet engine and the fluid engine, and asserts the reduced metrics
+(total throughput, mean queueing delay, Jain's index) agree within the
+tolerance bands checked into ``benchmarks/baselines/fluid_xval.json``.
+The bands are calibrated measurements plus margin, not aspirations:
+a failure means one of the tiers changed behaviour, and whichever tier
+moved needs either a fix or a re-calibration with a rationale in
+docs/fluid.md.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_fluid_xval.py            # full set
+    PYTHONPATH=src python scripts/check_fluid_xval.py --reduced  # CI subset
+    PYTHONPATH=src python scripts/check_fluid_xval.py --out cmp.json
+
+``--out`` writes the per-scenario comparison table as JSON — CI uploads
+it as an artifact when the gate fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "src"),
+)
+
+BANDS_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+    "benchmarks", "baselines", "fluid_xval.json",
+)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--reduced", action="store_true",
+        help="run the CI subset of scenarios only",
+    )
+    parser.add_argument(
+        "--bands", default=BANDS_PATH,
+        help="tolerance-band JSON (default: checked-in baselines)",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="write the per-scenario comparison table to this JSON path",
+    )
+    args = parser.parse_args()
+
+    from repro.fluid.xval import REDUCED_NAMES, run_xval
+
+    names = REDUCED_NAMES if args.reduced else None
+
+    def progress(row):
+        status = "ok  " if row.passed else "FAIL"
+        print(
+            f"[{status}] {row.scenario:26s} "
+            f"tp {row.errors['throughput_rel']*100:5.1f}%  "
+            f"tbuff {row.errors['tbuff_abs']*1000:6.1f}ms "
+            f"({row.errors['tbuff_rel']*100:5.1f}%)  "
+            f"jfi {row.errors['jfi_abs']:.3f}",
+            flush=True,
+        )
+        for failure in row.failures:
+            print(f"       {failure}", flush=True)
+
+    rows = run_xval(args.bands, names=names, on_row=progress)
+
+    if args.out:
+        table = {
+            "format": "repro.fluid-xval-report/1",
+            "bands": args.bands,
+            "rows": [row.to_dict() for row in rows],
+        }
+        with open(args.out, "w") as fh:
+            json.dump(table, fh, indent=2, sort_keys=True)
+        print(f"comparison table written to {args.out}")
+
+    failed = [row for row in rows if not row.passed]
+    print(
+        f"fluid-xval: {len(rows) - len(failed)}/{len(rows)} scenarios "
+        f"within bands"
+    )
+    if failed:
+        print("FAILED scenarios: " + ", ".join(r.scenario for r in failed))
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -182,6 +182,28 @@ def _cmd_grid(args: argparse.Namespace) -> None:
         print(f"\nwrote {path}")
 
 
+def _cmd_fluid(args: argparse.Namespace) -> None:
+    # Lazy: the fluid tier drags in numpy.
+    from repro.fluid import fan_in_scenario, run_fluid
+    from repro.report import fluid_to_json, render_fluid_towers
+
+    flows, towers, handovers = fan_in_scenario(
+        args.flows, args.towers, args.duration, mix=args.mix,
+        handover_count=args.handovers,
+        tower_labels=tuple(args.tower_trace or ()),
+        seed=args.seed,
+    )
+    report = run_fluid(
+        flows, towers, args.duration, dt=args.dt,
+        measure_start=args.warmup, handovers=handovers,
+        telemetry=args.telemetry,
+    )
+    print(render_fluid_towers(report))
+    if args.out is not None:
+        path = fluid_to_json(report.to_dict(), args.out)
+        print(f"\nwrote {path}")
+
+
 def _cmd_traces(args: argparse.Namespace) -> None:
     print(f"{'Trace':22s} {'mean KB/s':>10s} {'target':>8s} {'std KB/s':>9s} {'target':>8s}")
     for (isp, mode), (mean_t, std_t) in sorted(TABLE2_TARGETS.items()):
@@ -310,6 +332,59 @@ def build_parser() -> argparse.ArgumentParser:
         "records are tagged with a grid.cell header",
     )
     p_grid.set_defaults(func=_cmd_grid)
+
+    p_fluid = sub.add_parser(
+        "fluid",
+        help="flow-level fluid tier: cell-tower fan-in at thousands of "
+        "flows (docs/fluid.md)",
+    )
+    p_fluid.add_argument(
+        "--flows", type=int, default=1000,
+        help="number of flows fanned into the towers (default 1000)",
+    )
+    p_fluid.add_argument(
+        "--towers", type=int, default=8,
+        help="number of cell towers (default 8)",
+    )
+    p_fluid.add_argument("--duration", type=float, default=30.0)
+    p_fluid.add_argument("--warmup", type=float, default=5.0)
+    p_fluid.add_argument(
+        # Keep in sync with repro.fluid.scenarios.FAN_IN_MIXES (listed
+        # literally so the parser builds without importing numpy).
+        "--mix", choices=("cubic-self", "pr-heavy", "pr-self",
+                          "pr-vs-cubic"),
+        default="pr-vs-cubic",
+        help="controller rotation across flows (default pr-vs-cubic)",
+    )
+    p_fluid.add_argument(
+        "--handovers", type=int, default=0,
+        help="handovers spread over the run, migrating flows between "
+        "towers (default 0)",
+    )
+    p_fluid.add_argument(
+        "--tower-trace", action="append", metavar="LABEL",
+        help="tower capacity label ('wired:<N>mbps' or "
+        "'cellular:<ISP>-<mode>'); repeat to cycle over towers "
+        "(default: constant 12.5e6 B/s towers)",
+    )
+    p_fluid.add_argument(
+        "--dt", type=float, default=0.005,
+        help="integration step in seconds (default 0.005)",
+    )
+    p_fluid.add_argument(
+        "--seed", type=int, default=0,
+        help="deterministic scenario rotation seed (default 0)",
+    )
+    p_fluid.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the deterministic JSON artifact to PATH",
+    )
+    p_fluid.add_argument(
+        "--telemetry", metavar="PATH", default=None,
+        help="write a repro.obs JSONL trace to PATH (fluid.run/"
+        "fluid.tower/fluid.handover/fluid.loss events)",
+    )
+    p_fluid.set_defaults(func=_cmd_fluid)
 
     p_traces = sub.add_parser("traces", help="Table-2 trace statistics")
     p_traces.set_defaults(func=_cmd_traces)

@@ -82,8 +82,14 @@ def simulate_sawtooth(
         raise ValueError("kf must exceed 1")
     if not 0.0 <= kd < 1.0:
         raise ValueError("kd must be in [0, 1)")
-    if rho <= 0 or rtt <= 0 or threshold <= 0:
-        raise ValueError("rho, rtt and threshold must be positive")
+    if rho <= 0 or rtt <= 0:
+        raise ValueError("rho and rtt must be positive")
+    # threshold == 0 is a legal degenerate placement: the controller
+    # drains as soon as any queueing is observed and never re-fills
+    # (observed delay cannot go *below* zero), so the queue empties and
+    # stays empty — the T→0 limit of Eq. 5's trade-off.
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
 
     n = int(round(duration / dt))
     times = np.arange(n) * dt

@@ -131,6 +131,20 @@ _EXPERIMENTS = [
         bench="benchmarks/bench_fairness_grid.py",
     ),
     Experiment(
+        id="FL1",
+        artifact="§3 fluid model (flow-level tier)",
+        description="Multi-flow fluid engine: per-flow rate/t_buff "
+        "trajectories on trace-driven capacity with cell-tower fan-in "
+        "and handovers, cross-validated against the packet engine "
+        "(scripts/check_fluid_xval.py)",
+        modules=(
+            "repro.fluid.engine",
+            "repro.fluid.controllers",
+            "repro.fluid.xval",
+        ),
+        bench="benchmarks/bench_fluid_scaling.py",
+    ),
+    Experiment(
         id="W1",
         artifact="Figures 1-2 (packet-level)",
         description="The buffer-delay sawtooth extracted from the full "

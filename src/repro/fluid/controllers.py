@@ -1,0 +1,254 @@
+"""Vectorized fluid controller banks for the flow-level tier.
+
+The packet tier steps one event at a time; the fluid tier steps *time*
+and needs every flow's control decision as an array operation.  Each
+bank holds the state of all flows of one controller family as numpy
+arrays and answers two questions per step:
+
+* :meth:`rates` — the send rate (bytes/s) each flow demands right now,
+  given its *lagged* observation of the bottleneck buffer delay;
+* :meth:`on_overflow` — which flows register a loss epoch when their
+  tower's buffer overflows (loss-based controllers only).
+
+Two families are modelled:
+
+* :class:`PropRateBank` — the paper's two-state fill/drain oscillator
+  (§3) with the feedback lag applied by the engine: fill at k_f·ρ̂,
+  drain at k_d·ρ̂, switching when the observed buffer delay crosses the
+  threshold T from :func:`repro.core.model.derive_parameters`.  The ρ̂
+  estimate is an RTT-time-constant EWMA of the flow's delivered rate,
+  held with the packet implementation's slow decay while deliberately
+  under-sending (``RHO_HOLD_TAU``), and floored at one segment per RTT
+  so a starved flow keeps a self-clock (the fluid stand-in for the
+  Monitor state's probe).
+* :class:`CubicBank` — CUBIC's real-time window curve (RFC 8312):
+  continuous slow-start doubling until the first loss epoch, then
+  w(t) = C·(t − t_epoch − K)³ + W_max, converted to a rate through the
+  current RTT + buffer delay (the fluid form of ACK self-clocking).
+  A tower buffer overflow is the loss signal; every cubic flow with
+  traffic at the tower multiplies down together (fluid models drop-tail
+  loss as synchronized — see docs/fluid.md for why that is a known,
+  tolerated divergence from the packet tier).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.core.model import derive_parameters
+from repro.core.proprate import RHO_HOLD_TAU
+from repro.tcp.congestion.cubic import Cubic
+
+__all__ = ["ControllerBank", "PropRateBank", "CubicBank", "MSS"]
+
+#: Segment size shared with the packet tier (bytes).
+MSS = 1500.0
+
+#: Slow-start / startup probe window, segments (IW=10, as the packet
+#: tier's PROBE_BURST).
+INITIAL_WINDOW = 10.0
+
+#: Floor on the PropRate rate estimate: one segment per RTT keeps a
+#: starved flow's self-clock alive (the Monitor-probe stand-in).
+RHO_FLOOR_SEGMENTS = 1.0
+
+#: PropRate fill/drain modes (int8 state array values).
+STARTUP, FILL, DRAIN = 0, 1, 2
+
+
+class ControllerBank:
+    """State for all flows of one controller family.
+
+    ``index`` maps the bank's local order to engine flow indices; all
+    per-flow arrays below are in local order.  Subclasses fill in the
+    family-specific state and the two step hooks.
+    """
+
+    #: Report label for flows of this bank.
+    kind = "base"
+    #: Whether tower buffer overflow is a congestion signal.
+    loss_based = False
+
+    def __init__(self, index: Sequence[int], rtts: Sequence[float],
+                 starts: Sequence[float], dt: float) -> None:
+        self.index = np.asarray(index, dtype=np.intp)
+        self.n = int(self.index.size)
+        self.rtt = np.asarray(rtts, dtype=np.float64)
+        self.start = np.asarray(starts, dtype=np.float64)
+        self.dt = float(dt)
+        #: Loss epochs registered per flow (report statistic).
+        self.loss_epochs = np.zeros(self.n, dtype=np.int64)
+
+    def rates(self, t: float, observed: np.ndarray, tbuff_now: np.ndarray,
+              delivered: np.ndarray, active: np.ndarray) -> np.ndarray:
+        """Send rates (bytes/s, local order) for simulated time ``t``.
+
+        ``observed`` is the feedback-lagged buffer delay each flow sees,
+        ``tbuff_now`` the current delay at the flow's tower (for rate
+        conversion — self-clocking sees the real queue), ``delivered``
+        the flow's delivered rate last step, ``active`` whether the flow
+        has started.
+        """
+        raise NotImplementedError
+
+    def on_overflow(self, t: float, hit: np.ndarray) -> int:
+        """Register a loss epoch for flows in ``hit`` (local bool mask).
+
+        Returns how many flows actually reacted (after per-flow loss
+        hold-off); rate-based families ignore the signal entirely.
+        """
+        return 0
+
+
+class PropRateBank(ControllerBank):
+    """Fluid PropRate: the §3 two-state oscillator, vectorized."""
+
+    kind = "proprate"
+    loss_based = False
+
+    def __init__(self, index: Sequence[int], rtts: Sequence[float],
+                 starts: Sequence[float], dt: float,
+                 targets: Sequence[float]) -> None:
+        super().__init__(index, rtts, starts, dt)
+        self.target = np.asarray(targets, dtype=np.float64)
+        threshold = np.empty(self.n)
+        kf = np.empty(self.n)
+        kd = np.empty(self.n)
+        for i in range(self.n):
+            params = derive_parameters(float(self.target[i]),
+                                       float(self.rtt[i]))
+            threshold[i] = params.threshold
+            kf[i] = params.kf
+            kd[i] = params.kd
+        self.threshold = threshold
+        self.kf = kf
+        self.kd = kd
+        self.mode = np.full(self.n, STARTUP, dtype=np.int8)
+        #: ρ̂ bootstrap: the IW=10 probe burst's implied rate.
+        self.rho = INITIAL_WINDOW * MSS / self.rtt
+        self._rho_floor = RHO_FLOOR_SEGMENTS * MSS / self.rtt
+        #: EWMA gains: RTT time constant while measuring, RHO_HOLD_TAU
+        #: while deliberately under-sending in Drain.
+        self._alpha_fast = 1.0 - np.exp(-dt / self.rtt)
+        self._alpha_hold = 1.0 - float(np.exp(-dt / RHO_HOLD_TAU))
+
+    def rates(self, t: float, observed: np.ndarray, tbuff_now: np.ndarray,
+              delivered: np.ndarray, active: np.ndarray) -> np.ndarray:
+        # ρ̂ update — only once the first feedback has returned, so the
+        # bootstrap survives the initial silent RTT.
+        feedback = active & (t >= self.start + self.rtt)
+        holding = (self.mode == DRAIN) & (delivered < self.rho)
+        alpha = np.where(holding, self._alpha_hold, self._alpha_fast)
+        self.rho = np.where(
+            feedback,
+            np.maximum(self.rho + alpha * (delivered - self.rho),
+                       self._rho_floor),
+            self.rho,
+        )
+
+        # State transitions on the *observed* (lagged) delay: the
+        # overshoot past T on both sides is the paper's sawtooth.
+        above = observed > self.threshold
+        below = observed < self.threshold
+        startup = self.mode == STARTUP
+        fill = self.mode == FILL
+        drain = self.mode == DRAIN
+        self.mode = np.where((startup | fill) & above, DRAIN, self.mode)
+        self.mode = np.where(drain & below, FILL, self.mode)
+
+        # Startup paces at 2·ρ̂ (the packet tier's paced slow start);
+        # Fill/Drain are the proportional-rate states.
+        gain = np.where(self.mode == STARTUP, 2.0,
+                        np.where(self.mode == FILL, self.kf, self.kd))
+        return np.where(active, gain * self.rho, 0.0)
+
+
+class CubicBank(ControllerBank):
+    """Fluid CUBIC: the real-time window curve driven by loss epochs."""
+
+    kind = "cubic"
+    loss_based = True
+
+    #: RFC 8312 constants, shared with the packet implementation.
+    C = Cubic.C
+    BETA = Cubic.BETA
+    MIN_CWND = Cubic.MIN_CWND
+
+    def __init__(self, index: Sequence[int], rtts: Sequence[float],
+                 starts: Sequence[float], dt: float) -> None:
+        super().__init__(index, rtts, starts, dt)
+        self.w = np.full(self.n, INITIAL_WINDOW)
+        self.w_max = np.full(self.n, INITIAL_WINDOW)
+        self.k = np.zeros(self.n)
+        self.epoch = self.start.copy()
+        self.slow_start = np.ones(self.n, dtype=bool)
+        self.last_loss = np.full(self.n, -np.inf)
+        #: Continuous doubling per RTT.
+        self._ss_growth = 2.0 ** (dt / self.rtt)
+
+    def rates(self, t: float, observed: np.ndarray, tbuff_now: np.ndarray,
+              delivered: np.ndarray, active: np.ndarray) -> np.ndarray:
+        grow = active & self.slow_start
+        self.w = np.where(grow, self.w * self._ss_growth, self.w)
+        tau = t - self.epoch
+        w_cubic = self.C * (tau - self.k) ** 3 + self.w_max
+        self.w = np.where(active & ~self.slow_start, w_cubic, self.w)
+        self.w = np.maximum(self.w, self.MIN_CWND)
+        # Window → rate through the *current* delay: self-clocking slows
+        # the send rate as the standing queue grows.
+        rate = self.w * MSS / (self.rtt + tbuff_now)
+        return np.where(active, rate, 0.0)
+
+    def on_overflow(self, t: float, hit: np.ndarray) -> int:
+        # One loss epoch per RTT per flow: a multi-step overflow burst is
+        # one congestion event, as the packet scoreboard treats it.
+        react = hit & (t - self.last_loss > self.rtt)
+        if not bool(react.any()):
+            return 0
+        self.w_max = np.where(react, self.w, self.w_max)
+        self.k = np.where(
+            react,
+            np.cbrt(self.w_max * (1.0 - self.BETA) / self.C),
+            self.k,
+        )
+        self.w = np.where(react, np.maximum(self.BETA * self.w,
+                                            self.MIN_CWND), self.w)
+        self.epoch = np.where(react, t, self.epoch)
+        self.slow_start = self.slow_start & ~react
+        self.last_loss = np.where(react, t, self.last_loss)
+        self.loss_epochs += react
+        return int(react.sum())
+
+
+def build_banks(specs: Sequence, dt: float) -> List[ControllerBank]:
+    """Group :class:`FluidFlowSpec`s into controller banks.
+
+    ``specs`` is the engine's flow list; flows keep their global index
+    through each bank's ``index`` array, so engine arrays scatter and
+    gather with plain fancy indexing.
+    """
+    pr_idx, pr_rtt, pr_start, pr_target = [], [], [], []
+    cu_idx, cu_rtt, cu_start = [], [], []
+    for i, spec in enumerate(specs):
+        if spec.controller == "proprate":
+            pr_idx.append(i)
+            pr_rtt.append(spec.rtt)
+            pr_start.append(spec.start)
+            pr_target.append(spec.target_tbuff)
+        elif spec.controller == "cubic":
+            cu_idx.append(i)
+            cu_rtt.append(spec.rtt)
+            cu_start.append(spec.start)
+        else:
+            raise ValueError(
+                f"unknown fluid controller {spec.controller!r}; "
+                "have 'proprate' and 'cubic'"
+            )
+    banks: List[ControllerBank] = []
+    if pr_idx:
+        banks.append(PropRateBank(pr_idx, pr_rtt, pr_start, dt, pr_target))
+    if cu_idx:
+        banks.append(CubicBank(cu_idx, cu_rtt, cu_start, dt))
+    return banks

@@ -18,6 +18,11 @@ from repro.obs.events import (
     CC_RECOVERY,
     CC_RTO,
     CC_STATE,
+    FLUID_END,
+    FLUID_HANDOVER,
+    FLUID_LOSS,
+    FLUID_RUN,
+    FLUID_TOWER,
     FORMAT,
     GRID_CELL,
     LINK_BATCH,
@@ -59,7 +64,8 @@ __all__ = [
     "ALL_KINDS", "AUDIT_DUMP", "AUDIT_VIOLATION", "CC_EPOCH",
     "CC_ESTIMATOR", "CC_LOSS", "CC_LOSS_RUNS", "CC_NFL", "CC_RECOVERY",
     "CC_RTO",
-    "CC_STATE", "FORMAT", "GRID_CELL", "LINK_BATCH", "LINK_HANDOVER", "LINK_OUTAGE",
+    "CC_STATE", "FLUID_END", "FLUID_HANDOVER", "FLUID_LOSS", "FLUID_RUN",
+    "FLUID_TOWER", "FORMAT", "GRID_CELL", "LINK_BATCH", "LINK_HANDOVER", "LINK_OUTAGE",
     "LINK_RECOVER",
     "META", "METRICS", "QUEUE_SAMPLE", "RUN_END", "RUN_START",
     "SCHED_DISPATCH", "SCHED_OUTCOME", "SCHED_RETRY", "SCHED_TIMEOUT",

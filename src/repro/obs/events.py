@@ -71,6 +71,18 @@ METRICS = "metrics"
 #: that follows in the per-cell part file.
 GRID_CELL = "grid.cell"
 
+# -- fluid tier --------------------------------------------------------
+#: Fluid run header (duration, dt, flows, towers, handovers).
+FLUID_RUN = "fluid.run"
+#: Periodic per-tower sample (tower, tbuff, capacity, arrival, flows).
+FLUID_TOWER = "fluid.tower"
+#: A handover migrated a flow between towers (flow, src, dst).
+FLUID_HANDOVER = "fluid.handover"
+#: Tower buffer overflow registered as a loss epoch (family, flows).
+FLUID_LOSS = "fluid.loss"
+#: Fluid run finished (flows, jfi).
+FLUID_END = "fluid.end"
+
 # -- parallel scheduler (wall-clock t, seconds since batch start) ------
 SCHED_DISPATCH = "sched.dispatch"
 SCHED_RETRY = "sched.retry"
@@ -84,6 +96,7 @@ ALL_KINDS = frozenset({
     CC_RTO, CC_RECOVERY, LINK_OUTAGE, LINK_RECOVER, LINK_HANDOVER,
     LINK_BATCH, QUEUE_SAMPLE,
     AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS, GRID_CELL,
+    FLUID_RUN, FLUID_TOWER, FLUID_HANDOVER, FLUID_LOSS, FLUID_END,
     SCHED_DISPATCH, SCHED_RETRY, SCHED_TIMEOUT, SCHED_WORKER_DEATH,
     SCHED_OUTCOME,
 })

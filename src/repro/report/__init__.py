@@ -2,18 +2,25 @@
 
 from repro.report.export import (
     flow_results_to_csv,
+    fluid_to_json,
     frontier_to_csv,
     gnuplot_scatter_script,
     grid_to_json,
     timeseries_to_csv,
 )
-from repro.report.heatmap import render_grid_heatmap, render_grid_heatmaps
+from repro.report.heatmap import (
+    render_fluid_towers,
+    render_grid_heatmap,
+    render_grid_heatmaps,
+)
 
 __all__ = [
     "flow_results_to_csv",
+    "fluid_to_json",
     "frontier_to_csv",
     "gnuplot_scatter_script",
     "grid_to_json",
+    "render_fluid_towers",
     "render_grid_heatmap",
     "render_grid_heatmaps",
     "timeseries_to_csv",

@@ -145,3 +145,22 @@ def grid_to_json(report: Dict[str, object], path: PathLike) -> Path:
     )
     path.write_text(payload + "\n", encoding="ascii")
     return path
+
+
+def fluid_to_json(report: Dict[str, object], path: PathLike) -> Path:
+    """Persist a fluid-tier report as a deterministic JSON artifact.
+
+    ``report`` is :meth:`repro.fluid.engine.FluidReport.to_dict` output
+    — JSON-safe (non-finite floats rendered as ``null``) and free of
+    wall-clock data, so repeated runs of the same scenario produce
+    byte-identical files, the same contract :func:`grid_to_json` keeps
+    for the contention grid.
+    """
+    import json
+
+    path = Path(path)
+    payload = json.dumps(
+        report, sort_keys=True, indent=2, allow_nan=False
+    )
+    path.write_text(payload + "\n", encoding="ascii")
+    return path

@@ -11,7 +11,11 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["render_grid_heatmap", "render_grid_heatmaps"]
+__all__ = [
+    "render_grid_heatmap",
+    "render_grid_heatmaps",
+    "render_fluid_towers",
+]
 
 #: Shade ramp, light to dark.  Index by the normalized cell value.
 _SHADES = " ░▒▓█"
@@ -109,3 +113,49 @@ def render_grid_heatmaps(report: Any) -> str:
         + "\n\n"
         + render_grid_heatmap(report, "tbuff_inflation")
     )
+
+
+def render_fluid_towers(report: Any) -> str:
+    """Per-tower panel for a fluid run (``repro fluid``).
+
+    One row per tower: attached flows, mean capacity, utilization and
+    peak buffer delay (shaded so the loaded towers stand out), drops
+    and loss epochs.  ``report`` is a
+    :class:`~repro.fluid.engine.FluidReport` or its ``to_dict``
+    rendering.
+    """
+    if hasattr(report, "to_dict"):
+        report = report.to_dict()
+    towers = report["towers"]
+    if not towers:
+        return "(no towers)"
+    peaks = [t["peak_tbuff"] for t in towers
+             if t.get("peak_tbuff") is not None]
+    peak_hi = max(peaks) if peaks else 1.0
+    label_w = max(len("tower"), max(len(t["name"]) for t in towers))
+    lines = [
+        f"{'tower'.ljust(label_w)} {'flows':>5s} {'cap KB/s':>9s} "
+        f"{'util':>5s}  {'peak ms':>8s}  {'drop KB':>8s} {'loss':>4s}"
+    ]
+    for t in towers:
+        cap = t.get("mean_capacity")
+        util = t.get("utilization")
+        peak = t.get("peak_tbuff")
+        drops = t.get("dropped_bytes")
+        lines.append(
+            f"{t['name'].ljust(label_w)} {t['flows']:5d} "
+            f"{'--' if cap is None else format(cap / 1000, '9.1f')} "
+            f"{_fmt(util)}{_shade(util, 0.0, 1.0)} "
+            f"{'--' if peak is None else format(peak * 1000, '8.1f')}"
+            f"{_shade(peak, 0.0, peak_hi)} "
+            f"{'--' if drops is None else format(drops / 1000, '8.1f')} "
+            f"{t['loss_epochs']:4d}"
+        )
+    jfi = report.get("jfi")
+    lines.append("")
+    lines.append(
+        f"flows: {report['config']['n_flows']}  "
+        f"jfi: {'--' if jfi is None else format(jfi, '.3f')}  "
+        f"handovers: {report['handovers_applied']}"
+    )
+    return "\n".join(lines)

@@ -102,7 +102,6 @@ class TestReceiveRateEstimator:
             est.on_ack(i * 0.01, i * 1500)
         rate_before = est.rate
         # Rate doubles; the EWMA must move toward it gradually.
-        base = 50 * 0.01, 50 * 1500
         for j in range(3):
             est.on_ack(0.5 + j * 0.01, 75_000 + j * 3000)
         assert rate_before < est.rate < 300_000.0

@@ -121,7 +121,7 @@ class TestFluidMechanics:
         with pytest.raises(ValueError):
             simulate_sawtooth(0.0, RTT, 0.02, 1.5, 0.5)
         with pytest.raises(ValueError):
-            simulate_sawtooth(RHO, RTT, 0.0, 1.5, 0.5)
+            simulate_sawtooth(RHO, RTT, -0.01, 1.5, 0.5)
 
     def test_waveform_arrays_consistent(self):
         r = simulate_sawtooth(RHO, RTT, 0.02, 1.4, 0.5, duration=5.0)
@@ -141,3 +141,50 @@ class TestFluidMechanics:
         r = simulate_sawtooth(RHO, RTT, 0.04, 1.3, 0.7, duration=20.0)
         assert r.dmax > r.dmin
         assert r.period > 0
+
+
+class TestEdgeCases:
+    """Degenerate parameter placements the closed forms don't cover."""
+
+    def test_kf_barely_above_one_never_fills(self):
+        # kf → 1⁺: the fill rate (kf − 1)·ρ is negligible, so the
+        # buffer never reaches the threshold — the waveform stays in
+        # the fill state with an (almost) empty buffer throughout.
+        r = simulate_sawtooth(RHO, RTT, 0.02, kf=1.000001, kd=0.5,
+                              duration=10.0)
+        assert set(r.states.tolist()) == {1}
+        assert r.dmax < 0.001
+        # An almost-empty buffer counts as empty (no standing queue).
+        assert r.empty_fraction > 0.9
+
+    def test_threshold_zero_drains_and_stays_empty(self):
+        # T = 0: the first observed queueing flips the controller to
+        # drain, and since the observed delay can never go *below*
+        # zero it never fills again — the T→0 limit of the latency/
+        # utilization trade-off.
+        r = simulate_sawtooth(RHO, RTT, 0.0, kf=1.5, kd=0.5,
+                              duration=10.0)
+        assert r.states[-1] == -1
+        assert r.tbuff[-1] == 0.0
+        # Steady state is an empty buffer: utilization collapses.
+        assert r.empty_fraction > 0.9
+
+    def test_initial_tbuff_above_threshold_converges(self):
+        # Starting with a standing queue well above T must converge to
+        # the same steady-state sawtooth as starting empty.
+        params = derive_parameters(0.080, RTT)
+        from_empty = simulate_sawtooth(
+            RHO, RTT, params.threshold, params.kf, params.kd,
+            duration=30.0,
+        )
+        from_above = simulate_sawtooth(
+            RHO, RTT, params.threshold, params.kf, params.kd,
+            duration=30.0, initial_tbuff=0.300,
+        )
+        assert from_above.dmax == pytest.approx(from_empty.dmax, rel=0.05)
+        assert from_above.avg_tbuff == pytest.approx(
+            from_empty.avg_tbuff, rel=0.05
+        )
+        assert from_above.period == pytest.approx(
+            from_empty.period, rel=0.10
+        )

@@ -158,7 +158,6 @@ class TestRtoHandling:
         """Paper §4.3: loss needs no special handling."""
         cc, feeder = _proprate()
         _warm_to_fill(cc, feeder)
-        rate = cc.pacing_rate
         state = cc.state
         feeder.ack(dt=0.01, in_recovery=True, newly_lost=3)
         sample = feeder.ack(dt=0.01)
