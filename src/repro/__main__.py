@@ -11,6 +11,9 @@ Commands
 ``experiments`` list the paper-artifact → benchmark registry
 ``trace``      summarize (or diff) telemetry traces written with
                ``--telemetry`` (see docs/observability.md)
+``watch``      auto-refreshing ASCII dashboard following a live
+               ``--telemetry`` trace (queue sawtooth, CC state lane,
+               scheduler progress, fluid tower occupancy)
 """
 
 from __future__ import annotations
@@ -105,6 +108,8 @@ def _batch_kwargs(args: argparse.Namespace, total: int) -> dict:
         retries=args.retries,
         on_outcome=_progress_printer(total) if args.progress else None,
         telemetry=args.telemetry,
+        sampling=args.sample,
+        profile=True if args.profile else None,
     )
 
 
@@ -116,6 +121,8 @@ def _cmd_run(args: argparse.Namespace) -> None:
         duration=args.duration, measure_start=args.warmup,
         audit=True if args.audit else None,
         telemetry=args.telemetry,
+        sampling=args.sample,
+        profile=True if args.profile else None,
     )
     print(
         f"{args.algorithm} on {args.trace}: "
@@ -197,6 +204,8 @@ def _cmd_fluid(args: argparse.Namespace) -> None:
         flows, towers, args.duration, dt=args.dt,
         measure_start=args.warmup, handovers=handovers,
         telemetry=args.telemetry,
+        sampling=args.sample,
+        profile=True if args.profile else None,
     )
     print(render_fluid_towers(report))
     if args.out is not None:
@@ -229,7 +238,12 @@ def _cmd_trace(args: argparse.Namespace) -> None:
     from repro.obs import analyze
 
     events = analyze.read_trace(args.path)
-    if args.plot:
+    if args.profile:
+        table = analyze.profile_table(events)
+        print(table if table
+              else "no profiling data in trace (run with --profile "
+                   "or REPRO_PROFILE=1)")
+    elif args.plot:
         print(analyze.render_plot(events, width=args.plot_width))
     elif args.diff is not None:
         other = analyze.read_trace(args.diff)
@@ -237,6 +251,21 @@ def _cmd_trace(args: argparse.Namespace) -> None:
                                   label_a=args.path, label_b=args.diff))
     else:
         print(analyze.summarize_trace(events, label=args.path))
+
+
+def _cmd_watch(args: argparse.Namespace) -> None:
+    # Lazy: the dashboard reuses the analyzer's render helpers (numpy).
+    from repro.obs.live import watch
+
+    watch(
+        args.path,
+        interval=args.interval,
+        frames=args.frames,
+        width=args.width,
+        height=args.height,
+        once=args.once,
+        clear=args.clear,
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -261,7 +290,25 @@ def build_parser() -> argparse.ArgumentParser:
             help="write a repro.obs JSONL telemetry trace to PATH "
             "(CC state/NFL/estimator events, queue samples, metrics; "
             "batch commands merge worker traces into one file); "
-            "inspect it with 'repro trace PATH'",
+            "inspect it with 'repro trace PATH' or follow it live "
+            "with 'repro watch PATH'",
+        )
+        _obs_knobs(p)
+
+    def _obs_knobs(p):
+        p.add_argument(
+            "--sample", metavar="SPEC", default=None,
+            help="per-event-kind sampling budgets for the telemetry "
+            "trace, e.g. 'queue.sample:every=10;cc.nfl:interval=0.5;"
+            "*:max=100000' (';'-separated kind:rule items, '*' is the "
+            "default; drops are counted in run.telemetry.dropped.*)",
+        )
+        p.add_argument(
+            "--profile", action="store_true",
+            help="attribute run time to subsystem phases (ACK path, "
+            "link serve, delivery pump, scheduler dispatch, fluid "
+            "integration); requires --telemetry; read the table with "
+            "'repro trace PATH --profile'",
         )
 
     p_run = sub.add_parser("run", help="run one flow")
@@ -331,6 +378,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a merged repro.obs JSONL trace to PATH; each cell's "
         "records are tagged with a grid.cell header",
     )
+    _obs_knobs(p_grid)
     p_grid.set_defaults(func=_cmd_grid)
 
     p_fluid = sub.add_parser(
@@ -384,6 +432,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a repro.obs JSONL trace to PATH (fluid.run/"
         "fluid.tower/fluid.handover/fluid.loss events)",
     )
+    _obs_knobs(p_fluid)
     p_fluid.set_defaults(func=_cmd_fluid)
 
     p_traces = sub.add_parser("traces", help="Table-2 trace statistics")
@@ -408,7 +457,42 @@ def build_parser() -> argparse.ArgumentParser:
         "--plot-width", type=int, default=100, metavar="COLS",
         help="plot width in columns (default 100)",
     )
+    p_trace.add_argument(
+        "--profile", action="store_true",
+        help="print the per-phase timing table recorded by --profile/"
+        "REPRO_PROFILE runs instead of the summary",
+    )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_watch = sub.add_parser(
+        "watch",
+        help="auto-refreshing ASCII dashboard following a live "
+        "--telemetry trace (works on in-progress parallel/grid/fluid "
+        "runs and across file rotation)",
+    )
+    p_watch.add_argument("path", help="trace file a run is writing with "
+                         "--telemetry (may not exist yet)")
+    p_watch.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="refresh interval (default 1.0)",
+    )
+    p_watch.add_argument(
+        "--once", action="store_true",
+        help="drain what is on disk, render one frame, and exit "
+        "(CI smoke mode)",
+    )
+    p_watch.add_argument(
+        "--frames", type=int, default=None, metavar="N",
+        help="exit after N refreshes (default: until the run completes)",
+    )
+    p_watch.add_argument("--width", type=int, default=100, metavar="COLS")
+    p_watch.add_argument("--height", type=int, default=6, metavar="ROWS")
+    p_watch.add_argument(
+        "--no-clear", dest="clear", action="store_false", default=True,
+        help="append frames instead of clearing the screen between "
+        "refreshes",
+    )
+    p_watch.set_defaults(func=_cmd_watch)
     return parser
 
 

@@ -80,6 +80,8 @@ def run_shootout(
     retries: int = 0,
     on_outcome=None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ):
     """Run the Figure-7 line-up over one trace; name → :class:`FlowResult`.
 
@@ -91,8 +93,9 @@ def run_shootout(
     (per-run wall clock), ``retries`` (bounded re-dispatch of runs lost
     to a timeout or worker death), and ``on_outcome`` (streaming
     progress callback) forward to
-    :func:`repro.experiments.parallel.run_batch`, as does ``telemetry``
-    (a merged batch trace, :mod:`repro.obs`).
+    :func:`repro.experiments.parallel.run_batch`, as do ``telemetry``
+    (a merged batch trace, :mod:`repro.obs`), ``sampling`` (per-kind
+    event budgets), and ``profile`` (phase timers).
     """
     # Imported here: the parallel layer resolves CcSpecs through
     # paper_algorithms(), so the import must not be circular.
@@ -119,6 +122,8 @@ def run_shootout(
             retries=retries,
             on_outcome=on_outcome,
             telemetry=telemetry,
+            sampling=sampling,
+            profile=profile,
         )
     )
     return dict(zip(lineup, results))

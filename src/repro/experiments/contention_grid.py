@@ -272,6 +272,13 @@ class GridCellSpec:
     #: Telemetry trace path; assigned by the batch layer when a
     #: batch-level target is given.
     telemetry: Optional[str] = None
+    #: Per-kind sampling budget spec (``repro.obs.SamplingPolicy``
+    #: grammar); only meaningful with ``telemetry``.  The grid.cell
+    #: tag record is a protected kind and never sampled away.
+    sampling: Optional[str] = None
+    #: Enable phase profiling for the cell; only meaningful with
+    #: ``telemetry``.
+    profile: Optional[bool] = None
 
     @property
     def is_baseline(self) -> bool:
@@ -309,12 +316,20 @@ class GridCellSpec:
         if self.telemetry is None:
             return _run()
         # Tag the cell's trace: one grid.cell record up front, then the
-        # run's own events — run_experiment binds the ambient tracer.
-        with obs.tracing(self.telemetry):
+        # run's own events — run_experiment binds the ambient tracer
+        # (and profiler) and flushes metrics/timings at the end.
+        with obs.tracing(self.telemetry, sampling=self.sampling):
             tracer = obs.current_tracer()
             if tracer is not None:
                 tracer.emit(obs.GRID_CELL, 0.0, **self.cell_tags())
-            return _run()
+            profiler = obs.resolve_profiler(self.profile, True)
+            if profiler is not None:
+                obs.activate_profiler(profiler)
+            try:
+                return _run()
+            finally:
+                if profiler is not None:
+                    obs.deactivate_profiler()
 
 
 # ----------------------------------------------------------------------
@@ -544,14 +559,18 @@ def run_grid(
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ) -> GridReport:
     """Run every cell (plus baselines) and reduce to a :class:`GridReport`.
 
     All specs go through one :func:`iter_batch` call, so baselines and
     cells share the work-stealing queue; ``timeout``/``retries``/
-    ``on_outcome``/``telemetry`` forward to the scheduler.  The report
-    is deterministic: serial and parallel runs, at any job count,
-    produce byte-identical :meth:`GridReport.to_dict` renderings.
+    ``on_outcome``/``telemetry``/``sampling``/``profile`` forward to
+    the scheduler.  The report is deterministic: serial and parallel
+    runs, at any job count, produce byte-identical
+    :meth:`GridReport.to_dict` renderings (sampling only thins the
+    event trace, never the results).
     """
     baseline_specs, cell_specs = expand_grid(config, audit=audit)
     specs = baseline_specs + cell_specs
@@ -563,6 +582,8 @@ def run_grid(
             retries=retries,
             on_outcome=on_outcome,
             telemetry=telemetry,
+            sampling=sampling,
+            profile=profile,
         )
     )
     outcomes.sort(key=lambda o: o.index)

@@ -89,6 +89,8 @@ def sweep_frontier(
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ) -> List[FrontierPoint]:
     """Run PropRate across a grid of t̄_buff targets (Figure 10).
 
@@ -97,9 +99,10 @@ def sweep_frontier(
     and returned in target order.  ``audit`` enables the invariant
     auditor per point (None defers to REPRO_AUDIT).  ``timeout``,
     ``retries``, and ``on_outcome`` forward to
-    :func:`repro.experiments.parallel.run_batch`; use
-    :func:`iter_frontier` to consume points as they complete instead of
-    waiting for the whole grid.
+    :func:`repro.experiments.parallel.run_batch`, as do ``sampling``
+    (per-kind event budgets) and ``profile`` (phase timers) when
+    ``telemetry`` is set; use :func:`iter_frontier` to consume points
+    as they complete instead of waiting for the whole grid.
     """
     grid = list(targets) if targets is not None else paper_frontier_targets()
     specs = _frontier_specs(
@@ -114,6 +117,8 @@ def sweep_frontier(
             retries=retries,
             on_outcome=on_outcome,
             telemetry=telemetry,
+            sampling=sampling,
+            profile=profile,
         )
     )
     return [
@@ -135,6 +140,8 @@ def iter_frontier(
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ) -> Iterator[FrontierPoint]:
     """Stream Figure-10 points **in completion order**.
 
@@ -158,6 +165,8 @@ def iter_frontier(
         retries=retries,
         on_outcome=on_outcome,
         telemetry=telemetry,
+        sampling=sampling,
+        profile=profile,
     ):
         if not outcome.ok:
             raise RuntimeError(
@@ -195,6 +204,8 @@ def nfl_convergence(
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ) -> List[ConvergencePoint]:
     """Figure 9: achieved vs target buffer delay, with and without NFL.
 
@@ -230,6 +241,8 @@ def nfl_convergence(
             retries=retries,
             on_outcome=on_outcome,
             telemetry=telemetry,
+            sampling=sampling,
+            profile=profile,
         )
     )
     points = []

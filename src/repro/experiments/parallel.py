@@ -49,6 +49,7 @@ import time
 import traceback
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import (
@@ -160,6 +161,13 @@ class RunSpec:
     #: left ``None``; a batch-level ``telemetry=`` target assigns each
     #: spec a worker part file and merges them at the coordinator.
     telemetry: Optional[str] = None
+    #: Sampling-budget spec string for this run's tracer (see
+    #: ``SamplingPolicy.parse``); stamped by the batch layer so workers
+    #: apply the same budget as the coordinator.
+    sampling: Optional[str] = None
+    #: Enable phase-scoped profiling timers for this run (requires
+    #: telemetry); stamped by the batch layer alongside ``telemetry``.
+    profile: Optional[bool] = None
 
     def execute(self) -> FlowResult:
         down = resolve_trace(self.downlink)
@@ -176,6 +184,8 @@ class RunSpec:
             aqm=self.aqm,
             audit=self.audit,
             telemetry=self.telemetry,
+            sampling=self.sampling,
+            profile=self.profile,
         )
         return result.detached()
 
@@ -328,9 +338,17 @@ class _BatchTelemetry:
     own part, which also makes the serial (``n_jobs=1``) path identical.
     """
 
-    def __init__(self, base: Union[str, os.PathLike]) -> None:
+    def __init__(self, base: Union[str, os.PathLike],
+                 sampling: Optional[str] = None,
+                 profile: Optional[bool] = None) -> None:
         self.base = str(base)
-        self.tracer = obs.Tracer(obs.JsonlSink(self.base))
+        self.sampling = obs.sampling_spec(sampling)
+        self.profile = profile
+        self.tracer = obs.Tracer(
+            obs.JsonlSink(self.base),
+            sampling=obs.resolve_sampling(self.sampling),
+        )
+        self.prof = obs.PhaseProfiler() if profile else None
         self.workers = 1
         self._t0 = time.monotonic()
         self._parts: Dict[int, str] = {}
@@ -359,13 +377,25 @@ class _BatchTelemetry:
             return spec
         part = f"{self.base}.part{index:04d}.jsonl"
         self._parts[index] = part
-        return replace(spec, telemetry=part)
+        updates: Dict[str, Any] = {"telemetry": part}
+        if self.sampling is not None and \
+                getattr(spec, "sampling", False) is None:
+            updates["sampling"] = self.sampling
+        if self.profile is not None and \
+                getattr(spec, "profile", False) is None:
+            updates["profile"] = self.profile
+        return replace(spec, **updates)
 
     def event(self, kind: str, **fields: Any) -> None:
         counted = self._counted.get(kind)
         if counted is not None:
             self.counters[counted] += 1
         self.tracer.emit(kind, time.monotonic() - self._t0, **fields)
+        # Scheduler events are rare; flushing each one lets a live
+        # `repro watch` follower see batch progress as it happens.
+        flush = getattr(self.tracer.sink, "flush", None)
+        if flush is not None:
+            flush()
 
     def finalize(self) -> None:
         """Merge worker parts, write the batch metrics record, close."""
@@ -395,6 +425,15 @@ class _BatchTelemetry:
         metrics.counter("batch.sched.steals").add(
             max(0, self.counters["dispatched"] - self.workers)
         )
+        if self.prof is not None:
+            self.prof.flush_into(metrics, prefix="batch.timing.prof.")
+        dropped = self.tracer.drain_dropped()
+        if dropped:
+            total = 0
+            for kind, count in dropped.items():
+                metrics.counter(f"batch.telemetry.dropped.{kind}").add(count)
+                total += count
+            metrics.counter("batch.telemetry.dropped_events").add(total)
         obs.merge_snapshots(totals, metrics.snapshot())
         self.event(obs.METRICS, scope="batch", metrics=totals)
         self.tracer.close()
@@ -426,6 +465,8 @@ def iter_batch(
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ) -> Iterator[RunOutcome]:
     """Execute ``specs``, yielding outcomes **in completion order**.
 
@@ -479,6 +520,17 @@ def iter_batch(
         and, when the batch finishes, merges the parts into one trace
         (records tagged ``"run": <index>``) with an aggregated
         ``scope="batch"`` metrics record.
+    sampling:
+        Per-event-kind sampling budget (a ``SamplingPolicy`` spec
+        string) applied to the batch trace and stamped onto every spec
+        that doesn't carry its own, so worker part files honour the
+        same budget.  Requires ``telemetry``.
+    profile:
+        Enable phase-scoped profiling: the coordinator times its own
+        dispatch loop (``batch.timing.prof.sched.dispatch``) and every
+        stamped spec runs with the per-run phase timers on
+        (``run.timing.prof.*`` in the merged metrics).  Requires
+        ``telemetry``.
     """
     entries = list(enumerate(specs))
     if not entries:
@@ -488,9 +540,20 @@ def iter_batch(
     jobs = resolve_n_jobs(n_jobs)
     _install_table(table)  # serial path + fork parent share the table
 
-    bt = _BatchTelemetry(telemetry) if telemetry is not None else None
+    if telemetry is None and (sampling is not None or profile):
+        raise ValueError("sampling=/profile= require a batch telemetry target")
+    bt = (
+        _BatchTelemetry(telemetry, sampling=sampling, profile=profile)
+        if telemetry is not None
+        else None
+    )
     if bt is not None:
         entries = [(i, bt.assign(i, s)) for i, s in entries]
+    prof = bt.prof if bt is not None else None
+
+    def dispatch_span():
+        return prof.span("sched.dispatch") if prof is not None \
+            else nullcontext()
 
     def emit(outcome: RunOutcome) -> RunOutcome:
         if bt is not None:
@@ -514,14 +577,15 @@ def iter_batch(
         tasks = deque(_Task(i, s) for i, s in entries)
         try:
             while tasks:
-                task = tasks.popleft()
-                task.dispatches += 1
-                if bt is not None:
-                    bt.event(
-                        obs.SCHED_DISPATCH,
-                        spec=task.index,
-                        attempt=task.dispatches,
-                    )
+                with dispatch_span():
+                    task = tasks.popleft()
+                    task.dispatches += 1
+                    if bt is not None:
+                        bt.event(
+                            obs.SCHED_DISPATCH,
+                            spec=task.index,
+                            attempt=task.dispatches,
+                        )
                 timed_out = False
                 try:
                     if timeout is not None:
@@ -637,25 +701,26 @@ def iter_batch(
                 )
             suspect_inflight = any(t.suspect for t, _ in inflight.values())
             held = []
-            while queue and len(inflight) < workers:
-                task = queue.popleft()
-                if task.suspect and suspect_inflight:
-                    held.append(task)  # quarantine: one suspect at a time
-                    continue
-                suspect_inflight = suspect_inflight or task.suspect
-                task.dispatches += 1
-                if bt is not None:
-                    bt.event(
-                        obs.SCHED_DISPATCH,
-                        spec=task.index,
-                        attempt=task.dispatches,
+            with dispatch_span():
+                while queue and len(inflight) < workers:
+                    task = queue.popleft()
+                    if task.suspect and suspect_inflight:
+                        held.append(task)  # quarantine: one suspect at a time
+                        continue
+                    suspect_inflight = suspect_inflight or task.suspect
+                    task.dispatches += 1
+                    if bt is not None:
+                        bt.event(
+                            obs.SCHED_DISPATCH,
+                            spec=task.index,
+                            attempt=task.dispatches,
+                        )
+                    future = pool.submit(_run_entry, (task.index, task.spec))
+                    deadline = (
+                        None if timeout is None else time.monotonic() + timeout
                     )
-                future = pool.submit(_run_entry, (task.index, task.spec))
-                deadline = (
-                    None if timeout is None else time.monotonic() + timeout
-                )
-                inflight[future] = (task, deadline)
-            queue.extendleft(reversed(held))
+                    inflight[future] = (task, deadline)
+                queue.extendleft(reversed(held))
 
             wait_for = None
             if timeout is not None:
@@ -775,13 +840,16 @@ def run_batch(
     retries: int = 0,
     on_outcome: Optional[OutcomeCallback] = None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
 ) -> List[RunOutcome]:
     """Execute ``specs`` and return outcomes in submission order.
 
     The in-order façade over :func:`iter_batch` — identical execution
     and robustness semantics (work-stealing dispatch, ``timeout``,
-    ``retries``, ``on_outcome``, ``telemetry``), with the completed
-    outcomes sorted back into submission order before returning.
+    ``retries``, ``on_outcome``, ``telemetry``, ``sampling``,
+    ``profile``), with the completed outcomes sorted back into
+    submission order before returning.
 
     ``chunksize`` is accepted for backwards compatibility and ignored:
     the scheduler dispatches one spec per task from a shared queue, so
@@ -797,6 +865,8 @@ def run_batch(
             retries=retries,
             on_outcome=on_outcome,
             telemetry=telemetry,
+            sampling=sampling,
+            profile=profile,
         )
     )
     outcomes.sort(key=lambda o: o.index)

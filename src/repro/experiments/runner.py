@@ -239,6 +239,8 @@ def run_experiment(
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
     audit: AuditArg = None,
     telemetry: Optional[Any] = None,
+    sampling: Optional[Any] = None,
+    profile: Optional[Any] = None,
 ) -> List[FlowResult]:
     """Run ``flows`` over one shared path and reduce the results.
 
@@ -258,16 +260,31 @@ def run_experiment(
     bit-identical to pre-telemetry builds; with it on, each
     :class:`FlowResult` additionally carries a ``metrics`` snapshot and
     every CC/link/queue event is appended to the trace.
+
+    ``sampling`` budgets the trace volume: a
+    :class:`~repro.obs.SamplingPolicy` or spec string (see
+    ``docs/observability.md``), applied when this call constructs the
+    tracer; dropped records are counted per kind into
+    ``run.telemetry.dropped.*``.  ``profile`` (bool or
+    :class:`~repro.obs.PhaseProfiler`) turns on the phase timers,
+    reported as ``run.timing.prof.*`` metrics; it requires telemetry.
     """
     if duration <= 0:
         raise ValueError("duration must be positive")
 
-    tracer, owns_tracer = obs.resolve_tracer(telemetry)
+    tracer, owns_tracer = obs.resolve_tracer(telemetry, sampling=sampling)
     if tracer is not None and obs.current_tracer() is not tracer:
         obs.activate(tracer)
         activated = True
     else:
         activated = False
+    profiler = obs.current_profiler()
+    owns_profiler = False
+    if profiler is None:
+        profiler = obs.resolve_profiler(profile, tracer is not None)
+        if profiler is not None:
+            obs.activate_profiler(profiler)
+            owns_profiler = True
     try:
         return _run_experiment_traced(
             path_config,
@@ -278,8 +295,11 @@ def run_experiment(
             ts_granularity,
             audit,
             tracer,
+            profiler,
         )
     finally:
+        if owns_profiler:
+            obs.deactivate_profiler()
         if activated:
             obs.deactivate()
         if owns_tracer:
@@ -295,6 +315,7 @@ def _run_experiment_traced(
     ts_granularity: float,
     audit: AuditArg,
     tracer,
+    profiler=None,
 ) -> List[FlowResult]:
     wall_start = perf_counter() if tracer is not None else 0.0
     sim = Simulator()
@@ -441,6 +462,15 @@ def _run_experiment_traced(
             if close is not None:
                 close(sim.now)
         metrics.gauge("run.timing.wall_s").set(perf_counter() - wall_start)
+        if profiler is not None:
+            profiler.flush_into(metrics)
+        dropped = tracer.drain_dropped()
+        if dropped:
+            total = 0
+            for kind, count in dropped.items():
+                metrics.counter(f"run.telemetry.dropped.{kind}").add(count)
+                total += count
+            metrics.counter("run.telemetry.dropped_events").add(total)
         snapshot = metrics.snapshot()
         tracer.emit(obs.METRICS, sim.now, scope="run", metrics=snapshot)
         tracer.emit(obs.RUN_END, sim.now, events=sim.events_processed)
@@ -505,6 +535,8 @@ def run_single_flow(
     ts_granularity: float = DEFAULT_TS_GRANULARITY,
     audit: AuditArg = None,
     telemetry: Optional[Any] = None,
+    sampling: Optional[Any] = None,
+    profile: Optional[Any] = None,
 ) -> FlowResult:
     """Convenience wrapper: one downlink flow over a cellular path."""
     config = cellular_path_config(
@@ -522,5 +554,7 @@ def run_single_flow(
         ts_granularity=ts_granularity,
         audit=audit,
         telemetry=telemetry,
+        sampling=sampling,
+        profile=profile,
     )
     return results[0]

@@ -325,6 +325,12 @@ class ScenarioSpec:
     #: Telemetry trace path (:mod:`repro.obs`); assigned by the batch
     #: layer when a batch-level target is given.
     telemetry: Optional[str] = None
+    #: Per-kind sampling budget spec (``repro.obs.SamplingPolicy``
+    #: grammar); only meaningful with ``telemetry``.
+    sampling: Optional[str] = None
+    #: Enable phase profiling (``repro.obs.PhaseProfiler``) for the
+    #: scenario's simulations; only meaningful with ``telemetry``.
+    profile: Optional[bool] = None
 
     def execute(self):
         from repro.experiments.parallel import detach_results, resolve_trace
@@ -342,10 +348,19 @@ class ScenarioSpec:
             import repro.obs as obs
 
             # Scenario drivers build their simulations internally, and
-            # instrumented components bind the ambient tracer at
-            # construction — activate it around the whole driver call.
-            with obs.tracing(self.telemetry):
-                outcome = driver(*args, **kwargs)
+            # instrumented components bind the ambient tracer (and
+            # profiler) at construction — activate both around the
+            # whole driver call.  The inner run_experiment finds them
+            # ambient and flushes metrics/timings per run.
+            with obs.tracing(self.telemetry, sampling=self.sampling):
+                profiler = obs.resolve_profiler(self.profile, True)
+                if profiler is not None:
+                    obs.activate_profiler(profiler)
+                try:
+                    outcome = driver(*args, **kwargs)
+                finally:
+                    if profiler is not None:
+                        obs.deactivate_profiler()
         else:
             outcome = driver(*args, **kwargs)
         return detach_results(outcome)
@@ -362,6 +377,8 @@ def run_scenario_grid(
     retries: int = 0,
     on_outcome=None,
     telemetry: Optional[str] = None,
+    sampling: Optional[str] = None,
+    profile: Optional[bool] = None,
     **options: object,
 ) -> Dict[str, object]:
     """Run one scenario for several algorithms, optionally in parallel.
@@ -372,8 +389,9 @@ def run_scenario_grid(
     enables invariant auditing per cell (None defers to REPRO_AUDIT,
     which worker processes inherit).  ``timeout`` (per-cell wall
     clock), ``retries`` (bounded re-dispatch after a timeout or worker
-    death), ``on_outcome`` (streaming progress callback), and
-    ``telemetry`` (merged batch trace, :mod:`repro.obs`) forward to
+    death), ``on_outcome`` (streaming progress callback), ``telemetry``
+    (merged batch trace, :mod:`repro.obs`), ``sampling`` (per-kind
+    event budgets), and ``profile`` (phase timers) forward to
     :func:`repro.experiments.parallel.run_batch`.
     """
     from repro.experiments.parallel import collect, run_batch
@@ -402,6 +420,8 @@ def run_scenario_grid(
             retries=retries,
             on_outcome=on_outcome,
             telemetry=telemetry,
+            sampling=sampling,
+            profile=profile,
         )
     )
     return dict(zip(labels, results))

@@ -285,6 +285,8 @@ def run_fluid(
     handovers: Sequence[HandoverSpec] = (),
     capacity_window: float = DEFAULT_CAPACITY_WINDOW,
     telemetry: Optional[Any] = None,
+    sampling: Optional[Any] = None,
+    profile: Optional[Any] = None,
 ) -> FluidReport:
     """Integrate a multi-flow, multi-tower fluid scenario.
 
@@ -292,7 +294,10 @@ def run_fluid(
     exactly as in :func:`repro.experiments.runner.run_experiment`
     (per-flow start times push a flow's own window later).
     ``telemetry`` follows the same resolution rules as the packet
-    drivers (path, live tracer, or None → ``REPRO_TELEMETRY``).
+    drivers (path, live tracer, or None → ``REPRO_TELEMETRY``);
+    ``sampling`` budgets the per-tower sample volume exactly as in the
+    packet runner, and ``profile`` times the integration loop
+    (``run.timing.prof.fluid.integrate``).
 
     The integration is pure numpy on a fixed grid — no wall-clock, no
     RNG — so a repeated run of the same scenario is bit-identical.
@@ -317,12 +322,19 @@ def run_fluid(
             raise ValueError(f"handover at {ho.time} references tower "
                              f"{ho.to_tower} of {len(towers)}")
 
-    tracer, owns_tracer = obs.resolve_tracer(telemetry)
+    tracer, owns_tracer = obs.resolve_tracer(telemetry, sampling=sampling)
     if tracer is not None and obs.current_tracer() is not tracer:
         obs.activate(tracer)
         activated = True
     else:
         activated = False
+    profiler = obs.current_profiler()
+    owns_profiler = False
+    if profiler is None:
+        profiler = obs.resolve_profiler(profile, tracer is not None)
+        if profiler is not None:
+            obs.activate_profiler(profiler)
+            owns_profiler = True
     try:
         if tracer is not None:
             tracer.emit(
@@ -332,9 +344,11 @@ def run_fluid(
             )
         return _integrate(
             flows, towers, duration, dt, measure_start, measure_end,
-            handovers, capacity_window, tracer,
+            handovers, capacity_window, tracer, profiler,
         )
     finally:
+        if owns_profiler:
+            obs.deactivate_profiler()
         if activated:
             obs.deactivate()
         if owns_tracer:
@@ -351,6 +365,7 @@ def _integrate(
     handovers: Sequence[HandoverSpec],
     capacity_window: float,
     tracer,
+    profiler=None,
 ) -> FluidReport:
     n_flows = len(flows)
     n_towers = len(towers)
@@ -419,6 +434,8 @@ def _integrate(
     plan_i = 0
     handovers_applied = 0
     sample_every = max(1, int(round(TOWER_SAMPLE_INTERVAL / dt)))
+    prof_token = (profiler.begin("fluid.integrate")
+                  if profiler is not None else None)
 
     for step in range(n_steps):
         t = step * dt
@@ -546,6 +563,9 @@ def _integrate(
                     flows=int(np.count_nonzero(tower_id == j)),
                 )
 
+    if prof_token is not None:
+        profiler.end(prof_token)
+
     # -- reduction -----------------------------------------------------
     loss_by_flow = np.zeros(n_flows, dtype=np.int64)
     for bank in banks:
@@ -617,6 +637,21 @@ def _integrate(
         metrics.counter("run.fluid.loss_epochs").add(
             int(loss_by_flow.sum())
         )
+        if profiler is not None:
+            profiler.flush_into(metrics)
+        dropped = tracer.drain_dropped()
+        if dropped:
+            total = 0
+            for kind, count in dropped.items():
+                metrics.counter(f"run.telemetry.dropped.{kind}").add(count)
+                total += count
+            metrics.counter("run.telemetry.dropped_events").add(total)
+        # Standalone fluid runs previously never wrote their metrics
+        # snapshot into the trace (the counters only surfaced through a
+        # batch merge); emit it so `repro trace` and the dashboard see
+        # fluid counters and dropped-event accounting.
+        tracer.emit(obs.METRICS, duration, scope="run",
+                    metrics=metrics.snapshot())
         tracer.emit(
             obs.FLUID_END, duration, flows=n_flows,
             jfi=_finite(report.jfi),

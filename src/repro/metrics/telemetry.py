@@ -75,6 +75,11 @@ class QueueSampler:
         self.lengths.append(n)
         tr = self._tracer
         if tr is not None:
+            # This pre-encoded line bypasses Tracer.emit, so the
+            # sampling budget has to be consulted here too.
+            pol = tr.sampling
+            if pol is not None and not pol.admit(QUEUE_SAMPLE, now):
+                return
             tr.sink.write_line(self._fmt % (now, n))
             tr.events += 1
 

@@ -40,6 +40,15 @@ from repro.obs.events import (
     SCHED_TIMEOUT,
     SCHED_WORKER_DEATH,
 )
+from repro.obs.prof import (
+    PROFILE_ENV,
+    PhaseProfiler,
+    activate_profiler,
+    current_profiler,
+    deactivate_profiler,
+    env_profile,
+    resolve_profiler,
+)
 from repro.obs.registry import (
     MetricsRegistry,
     canonical_metrics,
@@ -47,9 +56,24 @@ from repro.obs.registry import (
     merge_snapshots,
     merge_value,
 )
-from repro.obs.sink import JsonlSink, encode, iter_trace_files
+from repro.obs.sampling import (
+    PROTECTED_KINDS,
+    KindBudget,
+    SamplingPolicy,
+    resolve_sampling,
+    sampling_spec,
+)
+from repro.obs.sink import (
+    JsonlSink,
+    RingSink,
+    Sink,
+    StreamSink,
+    encode,
+    iter_trace_files,
+)
 from repro.obs.tracer import (
     QUEUE_SAMPLE_INTERVAL,
+    SAMPLE_ENV,
     TELEMETRY_ENV,
     Tracer,
     activate,
@@ -70,8 +94,14 @@ __all__ = [
     "META", "METRICS", "QUEUE_SAMPLE", "RUN_END", "RUN_START",
     "SCHED_DISPATCH", "SCHED_OUTCOME", "SCHED_RETRY", "SCHED_TIMEOUT",
     "SCHED_WORKER_DEATH", "MetricsRegistry", "canonical_metrics",
-    "flow_metrics_view", "merge_snapshots", "merge_value", "JsonlSink",
+    "flow_metrics_view", "merge_snapshots", "merge_value",
+    "JsonlSink", "RingSink", "Sink", "StreamSink",
     "encode", "iter_trace_files", "QUEUE_SAMPLE_INTERVAL",
-    "TELEMETRY_ENV", "Tracer", "activate", "current_tracer",
+    "SAMPLE_ENV", "TELEMETRY_ENV", "Tracer", "activate", "current_tracer",
     "deactivate", "env_trace_path", "resolve_tracer", "tracing",
+    "PROTECTED_KINDS", "KindBudget", "SamplingPolicy",
+    "resolve_sampling", "sampling_spec",
+    "PROFILE_ENV", "PhaseProfiler", "activate_profiler",
+    "current_profiler", "deactivate_profiler", "env_profile",
+    "resolve_profiler",
 ]

@@ -161,6 +161,72 @@ def _fmt_run(run: Optional[int]) -> str:
     return "-" if run is None else str(run)
 
 
+#: Key fragment marking phase-profiler counters (see ``repro.obs.prof``).
+_PROF_MARKER = "timing.prof."
+
+#: Key fragment marking sampling-drop counters (see ``repro.obs.sampling``).
+_DROP_MARKER = "telemetry.dropped."
+
+
+def profile_table(events: List[Dict[str, Any]]) -> str:
+    """Phase-timing table from ``*.timing.prof.*`` counters.
+
+    Aggregates the run/batch-scope profiler counters in the trace's
+    metrics records into one table per (scope, phase), sorted by wall
+    time.  Empty string when the trace carries no profiling data (the
+    run was executed without ``profile=``/``REPRO_PROFILE``).
+    """
+    snap = merged_metrics(events)
+    rows: Dict[Tuple[str, str], Dict[str, float]] = {}
+    for key, value in snap.items():
+        pos = key.find(_PROF_MARKER)
+        if pos < 0 or isinstance(value, dict):
+            continue
+        scope = key[:pos].rstrip(".") or "?"
+        phase, _, fld = key[pos + len(_PROF_MARKER):].rpartition(".")
+        if fld not in ("calls", "wall_s", "cpu_s") or not phase:
+            continue
+        rows.setdefault((scope, phase), {})[fld] = float(value)
+    if not rows:
+        return ""
+    out = [f"  {'phase':18s} {'scope':6s} {'calls':>10s} {'wall s':>9s} "
+           f"{'cpu s':>9s} {'us/call':>9s}"]
+    for (scope, phase), cells in sorted(
+            rows.items(), key=lambda kv: (-kv[1].get("wall_s", 0.0), kv[0])):
+        calls = cells.get("calls", 0.0)
+        wall = cells.get("wall_s", 0.0)
+        cpu = cells.get("cpu_s", 0.0)
+        per = wall / calls * 1e6 if calls else 0.0
+        out.append(f"  {phase:18s} {scope:6s} {calls:10.0f} {wall:9.3f} "
+                   f"{cpu:9.3f} {per:9.1f}")
+    out.append("  (phase times are inclusive; nested phases overlap)")
+    return "\n".join(out)
+
+
+def _sampling_lines(events: List[Dict[str, Any]]) -> List[str]:
+    """Per-kind sampling-drop counters, so truncation is never silent."""
+    snap = merged_metrics(events)
+    per: Dict[Tuple[str, str], float] = {}
+    total = 0.0
+    for key, value in snap.items():
+        if isinstance(value, dict):
+            continue
+        if key.endswith("telemetry.dropped_events"):
+            total += float(value)
+            continue
+        pos = key.find(_DROP_MARKER)
+        if pos < 0:
+            continue
+        scope = key[:pos].rstrip(".") or "?"
+        kind = key[pos + len(_DROP_MARKER):]
+        per[(scope, kind)] = per.get((scope, kind), 0.0) + float(value)
+    lines = [f"  {scope:6s} {kind:20s} {value:.0f} dropped"
+             for (scope, kind), value in sorted(per.items())]
+    if total:
+        lines.append(f"  total dropped by sampling budgets: {total:.0f}")
+    return lines
+
+
 def _sawtooth_lines(events: List[Dict[str, Any]]) -> List[str]:
     rates = link_rates(events)
     lines = []
@@ -439,6 +505,10 @@ def summarize_trace(events: List[Dict[str, Any]], label: str = "trace") -> str:
     if saw:
         out.append("Queue sawtooth (from queue.sample, assuming 1500 B/pkt):")
         out.extend(saw)
+    sampling = _sampling_lines(events)
+    if sampling:
+        out.append("Sampling (events dropped by per-kind budgets):")
+        out.extend(sampling)
     metrics = _metrics_lines(events)
     if metrics:
         out.append("Metrics:")

@@ -1,0 +1,494 @@
+"""Live-run observatory: trace following and the ``repro watch`` CLI.
+
+Watching a run while it happens takes two pieces:
+
+* :class:`TraceFollower` — incremental JSONL tailing of a trace that is
+  still being written.  State is keyed by inode, so a file that the
+  sink rotates away (``os.replace`` to ``<path>.1`` preserves the
+  inode) keeps its read offset and nothing is re-read or lost.  Worker
+  part files (``<base>.partNNNN.jsonl``, possibly themselves rotated)
+  are tailed as they appear, their records tagged with the spec index;
+  when the coordinator merges them back into the base trace the
+  follower skips the re-appearing copies, so every record is yielded
+  exactly once whether it was seen live or post-merge.
+* :class:`DashboardState` — a bounded reduction of the record stream
+  into the panels the paper reasons with: the queue sawtooth per link,
+  the CC state lane and loss marks per flow, scheduler progress
+  (done/total, retries, timeouts, worker deaths), per-tower occupancy
+  for fluid runs, and the sampling layer's dropped-event counters.
+  :meth:`DashboardState.render` draws them with the same
+  eighth-block/lane helpers as ``repro trace --plot``.
+
+:func:`watch` ties them together into an auto-refreshing terminal
+dashboard that exits on its own when the trace completes (the batch
+metrics record, ``run.end``, or ``fluid.end`` has been seen and the
+tail has gone quiet).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import sys
+import time
+from collections import defaultdict, deque
+from typing import Any, Deque, Dict, List, Optional, Set, TextIO, Tuple
+
+from repro.obs.events import (
+    CC_LOSS,
+    CC_LOSS_RUNS,
+    CC_STATE,
+    FLUID_END,
+    FLUID_RUN,
+    FLUID_TOWER,
+    METRICS,
+    QUEUE_SAMPLE,
+    RUN_END,
+    RUN_START,
+    SCHED_DISPATCH,
+    SCHED_OUTCOME,
+    SCHED_RETRY,
+    SCHED_TIMEOUT,
+    SCHED_WORKER_DEATH,
+)
+from repro.obs.sink import iter_trace_files
+
+__all__ = ["TraceFollower", "DashboardState", "watch"]
+
+#: Retained samples per waveform — enough for one screenful at any
+#: plausible width while keeping a 1000-flow fluid run's memory flat.
+WAVE_SAMPLES = 4096
+
+#: Prefix under which the runner records sampling drops.
+DROPPED_PREFIX = "telemetry.dropped."
+
+_PART_RE = re.compile(r"\.part(\d+)\.jsonl$")
+
+
+class TraceFollower:
+    """Incrementally read a live, rotating, possibly-parallel trace.
+
+    ``poll()`` returns the records appended since the previous poll,
+    oldest first.  Records read from worker part files carry a
+    ``"run"`` tag (the spec index from the filename), matching the
+    shape the coordinator's merge gives them, so downstream reductions
+    never care whether they saw the live part or the merged base.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        # inode -> [byte offset, partial-line tail] for every file of
+        # the trace family we have started reading.
+        self._states: Dict[Tuple[int, int], List[Any]] = {}
+        # run index -> records already yielded from that run's part
+        # files; the merged base re-contains exactly those lines (in
+        # the same per-run order), so this many run-tagged base records
+        # are skipped per run.
+        self._from_parts: Dict[int, int] = defaultdict(int)
+        self._skipped: Dict[int, int] = defaultdict(int)
+        self.lines = 0
+        self.decode_errors = 0
+
+    # -- low-level file tailing ----------------------------------------
+    def _read_new(self, fpath: str) -> List[str]:
+        """Complete new lines of one file since the last read of its inode."""
+        try:
+            fh = open(fpath, "rb")
+        except OSError:
+            return []
+        with fh:
+            try:
+                st = os.fstat(fh.fileno())
+            except OSError:
+                return []
+            key = (st.st_dev, st.st_ino)
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = [0, b""]
+            offset, tail = state
+            if st.st_size <= offset:
+                return []
+            fh.seek(offset)
+            chunk = fh.read()
+        state[0] = offset + len(chunk)
+        data = tail + chunk
+        parts = data.split(b"\n")
+        state[1] = parts.pop()  # incomplete final line, kept for next poll
+        out = []
+        for raw in parts:
+            raw = raw.strip()
+            if raw:
+                out.append(raw.decode("utf-8", errors="replace"))
+        return out
+
+    def _part_paths(self) -> List[Tuple[int, str]]:
+        """Live worker part files next to the base trace, by run index."""
+        parent = os.path.dirname(self.path) or "."
+        base = os.path.basename(self.path)
+        found: Dict[int, str] = {}
+        try:
+            names = os.listdir(parent)
+        except OSError:
+            return []
+        for name in names:
+            if not name.startswith(base + ".part"):
+                continue
+            m = _PART_RE.search(name)
+            if m is not None and name == f"{base}.part{int(m.group(1)):04d}.jsonl":
+                found[int(m.group(1))] = os.path.join(parent, name)
+            else:
+                # A rotated part segment (".jsonl.3"); register the run
+                # via its canonical live path so iter_trace_files finds
+                # the whole series even if the live file is mid-rotate.
+                m2 = re.search(r"\.part(\d+)\.jsonl\.\d+$", name)
+                if m2 is not None:
+                    run = int(m2.group(1))
+                    found.setdefault(
+                        run, os.path.join(parent, f"{base}.part{run:04d}.jsonl"))
+        return sorted(found.items())
+
+    # -- record-level polling ------------------------------------------
+    def poll(self) -> List[Dict[str, Any]]:
+        records: List[Dict[str, Any]] = []
+
+        # Worker part files first: they hold the newest run-scoped
+        # events while a batch is in flight.
+        for run, part in self._part_paths():
+            for fpath in iter_trace_files(part):
+                for line in self._read_new(fpath):
+                    rec = self._decode(line)
+                    if rec is None:
+                        continue
+                    rec.setdefault("run", run)
+                    self._from_parts[run] += 1
+                    records.append(rec)
+
+        # Then the base trace (rotations before the live file).
+        for fpath in iter_trace_files(self.path):
+            for line in self._read_new(fpath):
+                rec = self._decode(line)
+                if rec is None:
+                    continue
+                run = rec.get("run")
+                if isinstance(run, int) and \
+                        self._skipped[run] < self._from_parts[run]:
+                    self._skipped[run] += 1  # merged copy of a seen record
+                    continue
+                records.append(rec)
+        return records
+
+    def _decode(self, line: str) -> Optional[Dict[str, Any]]:
+        self.lines += 1
+        try:
+            rec = json.loads(line)
+        except ValueError:
+            self.decode_errors += 1
+            return None
+        return rec if isinstance(rec, dict) else None
+
+
+class DashboardState:
+    """Bounded reduction of a record stream into dashboard panels."""
+
+    def __init__(self, max_runs: int = 3, max_towers: int = 12) -> None:
+        self.max_runs = max_runs
+        self.max_towers = max_towers
+        self.records = 0
+        self.last_t: Dict[Any, float] = {}
+        self.runs_seen: List[Any] = []  # insertion order
+        self.link_rates: Dict[Tuple[Any, str], float] = {}
+        self.queues: Dict[Tuple[Any, str], Deque[Tuple[float, int]]] = \
+            defaultdict(lambda: deque(maxlen=WAVE_SAMPLES))
+        self.states: Dict[Tuple[Any, Any], Deque[Tuple[float, str]]] = \
+            defaultdict(lambda: deque(maxlen=WAVE_SAMPLES))
+        self.losses: Dict[Tuple[Any, Any], Deque[float]] = \
+            defaultdict(lambda: deque(maxlen=WAVE_SAMPLES))
+        self.sched = {"dispatched": 0, "outcomes": 0, "retries": 0,
+                      "timeouts": 0, "worker_deaths": 0}
+        self.sched_specs: Set[int] = set()
+        self.sched_failed = 0
+        self.fluid_meta: Optional[Dict[str, Any]] = None
+        self.fluid_jfi: Optional[float] = None
+        self.towers: Dict[Any, Dict[str, Any]] = {}
+        self.tower_waves: Dict[Any, Deque[Tuple[float, float]]] = \
+            defaultdict(lambda: deque(maxlen=WAVE_SAMPLES))
+        self.dropped: Dict[str, float] = {}
+        self.complete = False
+        self.ended_runs: Set[Any] = set()
+
+    # -- ingestion ------------------------------------------------------
+    def ingest(self, rec: Dict[str, Any]) -> None:
+        self.records += 1
+        kind = rec.get("kind")
+        run = rec.get("run")
+        t = rec.get("t", 0.0)
+        if kind == QUEUE_SAMPLE:
+            self._saw_run(run, t)
+            self.queues[(run, rec.get("link", "?"))].append(
+                (t, rec.get("len", 0)))
+        elif kind == CC_STATE:
+            self._saw_run(run, t)
+            self.states[(run, rec.get("flow"))].append(
+                (t, rec.get("state", "?")))
+        elif kind in (CC_LOSS, CC_LOSS_RUNS):
+            self._saw_run(run, t)
+            self.losses[(run, rec.get("flow"))].append(t)
+        elif kind == RUN_START:
+            self._saw_run(run, t)
+            for name, meta in (rec.get("links") or {}).items():
+                rate = meta.get("rate") if isinstance(meta, dict) else None
+                if rate:
+                    self.link_rates[(run, name)] = rate
+        elif kind == RUN_END:
+            self._saw_run(run, t)
+            self.ended_runs.add(run)
+            if run is None:
+                self.complete = True
+        elif kind == METRICS:
+            snap = rec.get("metrics")
+            if isinstance(snap, dict):
+                self._fold_dropped(snap)
+            if rec.get("scope") == "batch":
+                self.complete = True
+        elif kind == SCHED_DISPATCH:
+            self.sched["dispatched"] += 1
+            spec = rec.get("spec")
+            if isinstance(spec, int):
+                self.sched_specs.add(spec)
+        elif kind == SCHED_OUTCOME:
+            self.sched["outcomes"] += 1
+            if rec.get("ok") is False:
+                self.sched_failed += 1
+        elif kind == SCHED_RETRY:
+            self.sched["retries"] += 1
+        elif kind == SCHED_TIMEOUT:
+            self.sched["timeouts"] += 1
+        elif kind == SCHED_WORKER_DEATH:
+            self.sched["worker_deaths"] += 1
+        elif kind == FLUID_RUN:
+            self._saw_run(run, t)
+            self.fluid_meta = {k: rec.get(k)
+                               for k in ("duration", "dt", "flows",
+                                         "towers", "handovers")}
+        elif kind == FLUID_TOWER:
+            self._saw_run(run, t)
+            tower = rec.get("tower")
+            self.towers[tower] = rec
+            self.tower_waves[tower].append((t, rec.get("tbuff", 0.0)))
+        elif kind == FLUID_END:
+            self._saw_run(run, t)
+            self.fluid_jfi = rec.get("jfi")
+            self.complete = True
+
+    def ingest_all(self, records: List[Dict[str, Any]]) -> int:
+        for rec in records:
+            self.ingest(rec)
+        return len(records)
+
+    def _saw_run(self, run: Any, t: float) -> None:
+        if run not in self.last_t or t > self.last_t[run]:
+            self.last_t[run] = t
+        if run not in self.runs_seen:
+            self.runs_seen.append(run)
+
+    def _fold_dropped(self, snap: Dict[str, Any]) -> None:
+        for key, value in snap.items():
+            at = key.find(DROPPED_PREFIX)
+            if at < 0 or not isinstance(value, (int, float)):
+                continue
+            kind = key[at + len(DROPPED_PREFIX):]
+            self.dropped[kind] = self.dropped.get(kind, 0) + value
+
+    # -- rendering ------------------------------------------------------
+    def render(self, width: int = 100, height: int = 6) -> str:
+        # The plot helpers pull in numpy via analyze; import at render
+        # time so following a trace stays import-light until drawn.
+        import numpy as np
+
+        from repro.obs.analyze import (
+            PACKET_BYTES,
+            _column_values,
+            _mark_lane,
+            _state_lane,
+            _waveform_canvas,
+        )
+
+        out: List[str] = []
+        if self.sched_specs or self.sched["outcomes"]:
+            total = (max(self.sched_specs) + 1) if self.sched_specs else 0
+            done = self.sched["outcomes"]
+            bar_w = max(10, width - 40)
+            frac = min(1.0, done / total) if total else 0.0
+            bar = "#" * int(frac * bar_w)
+            line = (f"sched [{bar:<{bar_w}}] {done}/{total or '?'} done")
+            extras = [f"{k} {v}" for k, v in
+                      (("retries", self.sched["retries"]),
+                       ("timeouts", self.sched["timeouts"]),
+                       ("deaths", self.sched["worker_deaths"]),
+                       ("failed", self.sched_failed)) if v]
+            if extras:
+                line += "  (" + ", ".join(extras) + ")"
+            out.append(line)
+
+        # Most recently active runs win the limited panel space.
+        active = sorted(self.runs_seen,
+                        key=lambda r: self.last_t.get(r, 0.0),
+                        reverse=True)[:self.max_runs]
+        shown = [r for r in self.runs_seen if r in set(active)]
+
+        legend: Dict[str, str] = {}
+        states = sorted({s for curve in self.states.values()
+                         for _, s in curve})
+        for s in states:
+            ch = s[0].upper()
+            while ch in legend.values():
+                ch = chr(ord(ch) + 1)
+            legend[s] = ch
+
+        for run in shown:
+            run_links = sorted(link for r, link in self.queues if r == run)
+            run_flows = sorted(
+                {f for r, f in self.states if r == run} |
+                {f for r, f in self.losses if r == run},
+                key=str)
+            spans: List[float] = []
+            for link in run_links:
+                q = self.queues[(run, link)]
+                if q:
+                    spans.extend((q[0][0], q[-1][0]))
+            for flow in run_flows:
+                curve = self.states.get((run, flow))
+                if curve:
+                    spans.extend((curve[0][0], curve[-1][0]))
+            if not spans:
+                continue
+            t0, t1 = min(spans), max(spans)
+            label = "-" if run is None else str(run)
+            out.append(f"run {label}  [{t0:.2f}s .. {t1:.2f}s]")
+            for link in run_links:
+                q = self.queues[(run, link)]
+                times = np.asarray([s[0] for s in q])
+                lens = np.asarray([s[1] for s in q], dtype=float)
+                rate = self.link_rates.get((run, link))
+                if rate:
+                    values = lens * (PACKET_BYTES / rate) * 1000.0
+                    unit = "ms"
+                else:
+                    values = lens
+                    unit = "pkts"
+                cols = _column_values(times, values, t0, t1, width)
+                vmax = max(cols) if cols else 0.0
+                out.append(f"  {link}: buffering delay, "
+                           f"now {cols[-1] if cols else 0.0:.1f} {unit}, "
+                           f"peak {vmax:.1f} {unit}")
+                for r, row in enumerate(
+                        _waveform_canvas(cols, vmax, height)):
+                    ylabel = (f"{vmax * (height - r) / height:7.1f} "
+                              if vmax else "        ")
+                    out.append(ylabel + "|" + row)
+                out.append("        +" + "-" * width)
+            for flow in run_flows:
+                curve = self.states.get((run, flow))
+                if curve:
+                    out.append(
+                        f"  state  |"
+                        f"{_state_lane(list(curve), legend, t0, t1, width)}"
+                        f"  flow {flow}")
+                marks = self.losses.get((run, flow))
+                if marks:
+                    out.append(
+                        f"  loss   |{_mark_lane(list(marks), t0, t1, width)}"
+                        f"  flow {flow} ({len(marks)} loss events)")
+        if legend:
+            out.append("legend: " + "  ".join(
+                f"{ch}={s}" for s, ch in sorted(legend.items())))
+        hidden = len(self.runs_seen) - len(shown)
+        if hidden > 0:
+            out.append(f"(+ {hidden} more runs not shown)")
+
+        if self.towers:
+            out.extend(self._render_fluid(width))
+        if self.dropped:
+            total = int(sum(self.dropped.values()))
+            parts = ", ".join(f"{k}={int(v)}"
+                              for k, v in sorted(self.dropped.items()))
+            out.append(f"sampling: {total} dropped ({parts})")
+        return "\n".join(out) if out else "(no renderable events yet)"
+
+    def _render_fluid(self, width: int) -> List[str]:
+        from repro.obs.analyze import _EIGHTHS
+
+        out: List[str] = []
+        head = "fluid towers"
+        if self.fluid_meta:
+            head += (f": {self.fluid_meta.get('flows')} flows / "
+                     f"{self.fluid_meta.get('towers')} towers")
+        if self.fluid_jfi is not None:
+            head += f"  (done, JFI {self.fluid_jfi:.3f})"
+        out.append(head)
+        towers = sorted(self.towers, key=str)
+        spark_w = max(10, width - 52)
+        vmax = max((rec.get("tbuff", 0.0) or 0.0
+                    for rec in self.towers.values()), default=0.0)
+        for tower in towers[:self.max_towers]:
+            rec = self.towers[tower]
+            wave = self.tower_waves[tower]
+            tail = list(wave)[-spark_w:]
+            peak = max((v for _, v in tail), default=0.0) or vmax or 1.0
+            spark = "".join(
+                _EIGHTHS[min(8, int((v / peak) * 8 + 0.999))] if v > 0
+                else _EIGHTHS[0]
+                for _, v in tail)
+            cap = rec.get("capacity") or 0.0
+            out.append(
+                f"  tower {tower!s:>4}  tbuff {1000 * (rec.get('tbuff') or 0):7.1f}ms"
+                f"  cap {cap * 8 / 1e6:7.2f}Mbit/s"
+                f"  flows {rec.get('flows', '?'):>4}  |{spark}|")
+        if len(towers) > self.max_towers:
+            out.append(f"  ... {len(towers) - self.max_towers} more towers")
+        return out
+
+
+def watch(path: str, interval: float = 1.0, frames: Optional[int] = None,
+          width: int = 100, height: int = 6, once: bool = False,
+          out: Optional[TextIO] = None, clear: bool = True,
+          idle_exit: int = 3) -> str:
+    """Follow a trace and render the live dashboard until it completes.
+
+    ``once`` drains whatever is on disk and renders a single frame (the
+    CI smoke mode).  Otherwise the dashboard refreshes every
+    ``interval`` seconds and exits on its own once the trace reports
+    completion and ``idle_exit`` consecutive polls saw no new records
+    (or after ``frames`` refreshes, if given).  Returns the final
+    rendered frame.
+    """
+    stream = out if out is not None else sys.stdout
+    follower = TraceFollower(path)
+    state = DashboardState()
+    frame = ""
+    drawn = 0
+    idle = 0
+    while True:
+        fresh = state.ingest_all(follower.poll())
+        idle = idle + 1 if fresh == 0 else 0
+        status = (f"watch {path}  records {state.records}"
+                  f"  runs {len(state.runs_seen)}"
+                  f"{'  [complete]' if state.complete else ''}")
+        frame = status + "\n" + state.render(width=width, height=height)
+        if once:
+            if fresh:
+                continue  # keep draining until the tail is quiet
+            stream.write(frame + "\n")
+            stream.flush()
+            return frame
+        if clear:
+            stream.write("\x1b[2J\x1b[H")
+        stream.write(frame + "\n")
+        stream.flush()
+        drawn += 1
+        if frames is not None and drawn >= frames:
+            return frame
+        if state.complete and idle >= idle_exit:
+            return frame
+        time.sleep(interval)

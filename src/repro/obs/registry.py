@@ -109,10 +109,38 @@ class MetricsRegistry:
 
 
 def merge_value(a: Any, b: Any) -> Any:
-    """Merge two snapshot values of the same key (see module doc)."""
+    """Merge two snapshot values of the same key (see module doc).
+
+    Deterministic semantics for the shape conflicts that arise when
+    heterogeneous runs are folded together:
+
+    * **gauge × gauge — peak wins.**  Gauges merge by ``max`` whether
+      they were written with ``set`` or ``track_max``: a merged
+      snapshot answers "what was the highest value any run saw", which
+      is the useful batch-level reading for queue peaks and the only
+      order-independent choice (``set``'s last-writer-wins has no
+      stable meaning across concurrently-merged runs).
+    * **gauge × histogram — gauge shape wins.**  The result is
+      ``{"gauge": max(gauge value, histogram max)}``; the observation
+      peak is the only field the two shapes share meaningfully.
+    * **histogram × empty histogram — identity.**  A count-0 side
+      contributes nothing, so the other side is returned unchanged
+      rather than letting its ``inf``/``-inf`` sentinels poison the
+      merged min/max.
+    """
     if isinstance(a, dict) and isinstance(b, dict):
-        if "gauge" in a:
-            return {"gauge": max(a["gauge"], b.get("gauge", a["gauge"]))}
+        if "gauge" in a or "gauge" in b:
+            peaks = []
+            for side in (a, b):
+                if "gauge" in side:
+                    peaks.append(side["gauge"])
+                elif side.get("count", 0):
+                    peaks.append(side.get("max", float("-inf")))
+            return {"gauge": max(peaks)}
+        if not b.get("count", 0):
+            return dict(a)
+        if not a.get("count", 0):
+            return dict(b)
         return {
             "count": a.get("count", 0) + b.get("count", 0),
             "sum": a.get("sum", 0.0) + b.get("sum", 0.0),

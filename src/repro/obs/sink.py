@@ -1,19 +1,32 @@
-"""JSONL trace sink with size-based rotation.
+"""Pluggable trace sinks: JSONL files (with rotation), bounded rings,
+and push streams.
 
-Records are written one JSON object per line.  When the live file
-exceeds ``rotate_bytes`` it is renamed to ``<path>.1``, ``<path>.2``,
-... (ascending = chronological) and a fresh file is opened at the
-original path, so a bounded tail is always at the expected location
-while nothing is lost.  ``iter_trace_files`` returns the rotated
-series in write order for readers.
+Every sink speaks the same two-method protocol the tracer and the batch
+merge layer use: ``write(record)`` for dict records and ``write_line``
+for already-encoded JSON lines (the hot path — ``QueueSampler`` and the
+part-file merge both pre-encode).
+
+* :class:`JsonlSink` — append-only file writer.  When the live file
+  exceeds ``rotate_bytes`` it is renamed to ``<path>.1``, ``<path>.2``,
+  ... (ascending = chronological) and a fresh file is opened at the
+  original path, so a bounded tail is always at the expected location
+  while nothing is lost.  ``iter_trace_files`` returns the rotated
+  series in write order for readers, and ``repro watch`` follows the
+  live file across rotations by inode.
+* :class:`RingSink` — bounded in-memory ring of decoded records; keeps
+  the newest ``max_records`` and counts what it evicted.  For embedding
+  telemetry in tests and long-lived processes without filesystem churn.
+* :class:`StreamSink` — pushes encoded lines to a callback or file-like
+  object as they happen (a socket, ``sys.stdout``, a queue ``put``).
 """
 
 from __future__ import annotations
 
 import json
 import os
+from collections import deque
 from pathlib import Path
-from typing import Any, Dict, List, Union
+from typing import Any, Callable, Deque, Dict, List, Union
 
 from repro.obs.events import FORMAT, META
 
@@ -27,7 +40,26 @@ def encode(record: Dict[str, Any]) -> str:
     return json.dumps(record, separators=(",", ":"), default=repr)
 
 
-class JsonlSink:
+class Sink:
+    """Base class for trace sinks.
+
+    Subclasses implement ``write_line`` (one encoded JSON line, no
+    trailing newline) and may override ``write`` when they can use the
+    decoded record directly.  ``close`` is idempotent and a no-op by
+    default.
+    """
+
+    def write(self, record: Dict[str, Any]) -> None:
+        self.write_line(encode(record))
+
+    def write_line(self, line: str) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+class JsonlSink(Sink):
     """Append-only JSONL writer with rotation."""
 
     def __init__(self, path: Union[str, Path], rotate_bytes: int = ROTATE_BYTES,
@@ -40,13 +72,20 @@ class JsonlSink:
         self.rotations = 0
         self._written = 0
         self._closed = False
+        self._header = header
+        # Opening "w" truncates only the live file; rotated segments
+        # from an earlier run at the same path would otherwise survive
+        # and pollute readers with mixed-run records.
+        for stale in iter_trace_files(self.path):
+            if stale != self.path:
+                try:
+                    os.remove(stale)
+                except OSError:
+                    pass
         self._fh = open(self.path, "w", encoding="utf-8")
         if header:
             self.write({"t": 0.0, "kind": META, "format": FORMAT,
                         "pid": os.getpid()})
-
-    def write(self, record: Dict[str, Any]) -> None:
-        self.write_line(encode(record))
 
     def write_line(self, line: str) -> None:
         """Append one already-encoded JSON line (the batch-merge path)."""
@@ -62,11 +101,84 @@ class JsonlSink:
         os.replace(self.path, f"{self.path}.{self.rotations}")
         self._fh = open(self.path, "w", encoding="utf-8")
         self._written = 0
+        if self._header:
+            # Keep every file of the series self-describing; readers
+            # that care can tell a continuation from a fresh trace by
+            # the rotation field.
+            self.write({"t": 0.0, "kind": META, "format": FORMAT,
+                        "pid": os.getpid(), "rotation": self.rotations})
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS (for live followers)."""
+        if not self._closed:
+            self._fh.flush()
 
     def close(self) -> None:
         if not self._closed:
             self._closed = True
             self._fh.close()
+
+
+class RingSink(Sink):
+    """Bounded in-memory sink keeping the newest ``max_records`` records.
+
+    Records are stored decoded; ``records()`` returns them in arrival
+    order.  ``dropped_oldest`` counts evictions so truncation is never
+    silent, matching the sampling layer's contract.
+    """
+
+    def __init__(self, max_records: int = 100_000, header: bool = True) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.max_records = max_records
+        self.dropped_oldest = 0
+        self._ring: Deque[Dict[str, Any]] = deque(maxlen=max_records)
+        if header:
+            self.write({"t": 0.0, "kind": META, "format": FORMAT,
+                        "pid": os.getpid()})
+
+    def write(self, record: Dict[str, Any]) -> None:
+        if len(self._ring) == self.max_records:
+            self.dropped_oldest += 1
+        self._ring.append(record)
+
+    def write_line(self, line: str) -> None:
+        self.write(json.loads(line))
+
+    def records(self) -> List[Dict[str, Any]]:
+        return list(self._ring)
+
+
+class StreamSink(Sink):
+    """Push each encoded line to a callback or writable file object.
+
+    ``target`` is either a callable invoked with the line (no trailing
+    newline) or a file-like object whose ``write`` receives the line
+    plus ``\\n`` (and is flushed per line, so a tail sees events live).
+    """
+
+    def __init__(self, target: Union[Callable[[str], Any], Any],
+                 header: bool = True) -> None:
+        if callable(target):
+            self._call = target
+            self._fh = None
+        else:
+            self._call = None
+            self._fh = target
+        self.lines = 0
+        if header:
+            self.write({"t": 0.0, "kind": META, "format": FORMAT,
+                        "pid": os.getpid()})
+
+    def write_line(self, line: str) -> None:
+        if self._call is not None:
+            self._call(line)
+        else:
+            self._fh.write(line + "\n")
+            flush = getattr(self._fh, "flush", None)
+            if flush is not None:
+                flush()
+        self.lines += 1
 
 
 def iter_trace_files(path: Union[str, Path]) -> List[str]:

@@ -15,6 +15,12 @@ Resolution order for a run (``resolve_tracer``):
 3. the ``REPRO_TELEMETRY`` environment variable: ``1``/``true`` writes
    ``telemetry/trace-<pid>-<n>.jsonl`` under the working directory, any
    other non-empty value is used as a path prefix.
+
+A tracer may carry a :class:`~repro.obs.sampling.SamplingPolicy`
+(``sampling=`` on the entry points, ``REPRO_TELEMETRY_SAMPLE`` from the
+environment): ``emit`` consults it per event kind and the policy counts
+every record it rejects, which the runner folds into
+``run.telemetry.dropped.*`` metrics at the end of the run.
 """
 
 from __future__ import annotations
@@ -26,10 +32,15 @@ from pathlib import Path
 from typing import Any, Iterator, Optional, Tuple, Union
 
 from repro.obs.registry import MetricsRegistry
-from repro.obs.sink import JsonlSink
+from repro.obs.sampling import SamplingPolicy, resolve_sampling
+from repro.obs.sink import JsonlSink, Sink
 
 #: Environment switch, analogous to ``REPRO_AUDIT``.
 TELEMETRY_ENV = "REPRO_TELEMETRY"
+
+#: Default sampling spec applied to env-enabled tracers (and any entry
+#: point that doesn't pass ``sampling=`` explicitly).
+SAMPLE_ENV = "REPRO_TELEMETRY_SAMPLE"
 
 #: Values of the env var that mean "disabled" (same parsing as audit).
 _OFF = ("", "0", "false")
@@ -43,20 +54,30 @@ _env_seq = itertools.count()
 class Tracer:
     """Live telemetry handle: an event sink plus a metrics registry."""
 
-    def __init__(self, sink: JsonlSink,
-                 metrics: Optional[MetricsRegistry] = None) -> None:
+    def __init__(self, sink: Sink,
+                 metrics: Optional[MetricsRegistry] = None,
+                 sampling: Optional[SamplingPolicy] = None) -> None:
         self.sink = sink
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.sampling = sampling
         self.events = 0
 
     def emit(self, kind: str, t: float, flow: Optional[int] = None,
              **fields: Any) -> None:
+        if self.sampling is not None and not self.sampling.admit(kind, t):
+            return
         record = {"t": t, "kind": kind}
         if flow is not None:
             record["flow"] = flow
         record.update(fields)
         self.sink.write(record)
         self.events += 1
+
+    def drain_dropped(self) -> dict:
+        """Per-kind sampling drops since the last drain (``{}`` if none)."""
+        if self.sampling is None:
+            return {}
+        return self.sampling.drain_dropped()
 
     def close(self) -> None:
         self.sink.close()
@@ -83,16 +104,40 @@ def deactivate() -> None:
     _active = None
 
 
+def env_sampling() -> Optional[SamplingPolicy]:
+    """Policy mandated by ``REPRO_TELEMETRY_SAMPLE``, or ``None``."""
+    value = os.environ.get(SAMPLE_ENV, "").strip()
+    if not value or value.lower() in _OFF:
+        return None
+    return SamplingPolicy.parse(value)
+
+
+def _effective_sampling(
+    sampling: Union[str, SamplingPolicy, None],
+) -> Optional[SamplingPolicy]:
+    policy = resolve_sampling(sampling)
+    if policy is None:
+        policy = env_sampling()
+    return policy
+
+
 @contextmanager
-def tracing(target: Union[str, Path, Tracer]) -> Iterator[Tracer]:
+def tracing(target: Union[str, Path, Tracer],
+            sampling: Union[str, SamplingPolicy, None] = None,
+            ) -> Iterator[Tracer]:
     """Activate a tracer for the duration of the block.
 
     A path target creates (and on exit closes) a :class:`JsonlSink`
     tracer; an existing :class:`Tracer` is activated without taking
-    ownership.
+    ownership (and keeps its own sampling policy — ``sampling=`` only
+    applies to path targets).
     """
     owned = not isinstance(target, Tracer)
-    tracer = Tracer(JsonlSink(str(target))) if owned else target
+    if owned:
+        tracer = Tracer(JsonlSink(str(target)),
+                        sampling=_effective_sampling(sampling))
+    else:
+        tracer = target
     activate(tracer)
     try:
         yield tracer
@@ -114,21 +159,26 @@ def env_trace_path() -> Optional[str]:
 
 
 def resolve_tracer(telemetry: Union[str, Path, Tracer, None],
+                   sampling: Union[str, SamplingPolicy, None] = None,
                    ) -> Tuple[Optional[Tracer], bool]:
     """Resolve a run's telemetry target to ``(tracer, owned)``.
 
     ``owned`` tells the caller it must deactivate and close the tracer
     when the run finishes; an ambient or caller-provided tracer is
-    never owned.
+    never owned.  ``sampling`` (a spec string or policy; falls back to
+    ``REPRO_TELEMETRY_SAMPLE``) applies only when a tracer is
+    constructed here — a pre-built or ambient tracer keeps its own.
     """
     if telemetry is not None:
         if isinstance(telemetry, Tracer):
             return telemetry, False
-        return Tracer(JsonlSink(str(telemetry))), True
+        return Tracer(JsonlSink(str(telemetry)),
+                      sampling=_effective_sampling(sampling)), True
     ambient = current_tracer()
     if ambient is not None:
         return ambient, False
     path = env_trace_path()
     if path is not None:
-        return Tracer(JsonlSink(path)), True
+        return Tracer(JsonlSink(path),
+                      sampling=_effective_sampling(sampling)), True
     return None, False

@@ -35,6 +35,7 @@ from repro.obs import (
     LINK_HANDOVER,
     LINK_OUTAGE,
     LINK_RECOVER,
+    current_profiler,
     current_tracer,
 )
 from repro.sim.engine import Event, Simulator
@@ -143,6 +144,15 @@ class CellularLink(Link):
         self._index = 0  # next opportunity index within the current cycle
         self._service_event: Optional[Event] = None
         self._serve_cb = self._serve_fast if self.fast_path else self._serve
+        # Profiling: time the service loop and the delivery pump by
+        # shadowing the callables the event loop invokes (both are
+        # always referenced through ``self``, so instance-attribute
+        # wrappers cover every call; off = no wrapper, no cost).
+        prof = current_profiler()
+        if prof is not None:
+            self._serve_cb = prof.wrap("link.serve", self._serve_cb)
+            self._pump_fire = prof.wrap(  # type: ignore[method-assign]
+                "delivery.pump", self._pump_fire)
         #: Bound on how soon an effect of one of this link's *own*
         #: deliveries can loop back into its queue (see DESIGN.md §9).
         #: 0.0 is fully conservative; :class:`~repro.sim.network

@@ -28,7 +28,14 @@ from __future__ import annotations
 from time import perf_counter
 from typing import Callable, Optional
 
-from repro.obs import CC_LOSS, CC_LOSS_RUNS, CC_RECOVERY, CC_RTO, current_tracer
+from repro.obs import (
+    CC_LOSS,
+    CC_LOSS_RUNS,
+    CC_RECOVERY,
+    CC_RTO,
+    current_profiler,
+    current_tracer,
+)
 from repro.sim.engine import Event, Simulator
 from repro.sim.packet import (
     DATA_PACKET_BYTES,
@@ -162,6 +169,17 @@ class TcpSender:
                 f"flow{flow_id}.timing.ack_cost_us")
             if self._tracer is not None else None
         )
+        # Profiling: shadow the ACK entry points with timed wrappers so
+        # the whole ACK/scoreboard path is attributed to one phase.
+        # The runner passes these *bound attributes* to attach_flow
+        # after construction, so shadowing here covers every call; with
+        # profiling off the plain methods stay untouched.
+        prof = current_profiler()
+        if prof is not None:
+            self.on_ack_packet = prof.wrap(  # type: ignore[method-assign]
+                "ack.scoreboard", self.on_ack_packet)
+            self.on_ack_batch = prof.wrap(  # type: ignore[method-assign]
+                "ack.scoreboard", self.on_ack_batch)
 
     # ------------------------------------------------------------------
     # HostView protocol (what the CC module may observe)

@@ -77,6 +77,54 @@ class TestJsonlSink:
         obs.JsonlSink(f"{base}.part0001.jsonl").close()
         assert obs.iter_trace_files(base) == [base]
 
+    def test_record_exactly_at_rotation_limit(self, tmp_path):
+        # A write that lands exactly on rotate_bytes triggers rotation
+        # *after* the record is safely in the old segment: nothing is
+        # lost, split, or duplicated at the boundary.
+        path = str(tmp_path / "t.jsonl")
+        sink = obs.JsonlSink(path, rotate_bytes=100, header=False)
+        record = '{"pad":"%s"}' % ("y" * 89)  # 99 chars; +newline == limit
+        assert len(record) + 1 == 100
+        sink.write_line(record)
+        assert sink.rotations == 1
+        sink.write_line('{"after":1}')
+        sink.close()
+        files = obs.iter_trace_files(path)
+        assert files == [f"{path}.1", path]
+        assert _read_jsonl(path) == [{"pad": "y" * 89}, {"after": 1}]
+
+    def test_rotated_segments_carry_meta_headers(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        sink = obs.JsonlSink(path, rotate_bytes=200)
+        for i in range(50):
+            sink.write({"t": float(i), "kind": "x", "i": i})
+        sink.close()
+        assert sink.rotations >= 1
+        for fpath in obs.iter_trace_files(path):
+            with open(fpath, encoding="utf-8") as fh:
+                first = json.loads(fh.readline())
+            assert first["kind"] == "meta"
+        # Continuations are distinguishable from fresh traces.
+        with open(f"{path}.1", encoding="utf-8") as fh:
+            assert "rotation" not in json.loads(fh.readline())
+        with open(path, encoding="utf-8") as fh:
+            assert json.loads(fh.readline())["rotation"] == sink.rotations
+
+    def test_reopening_removes_stale_rotation_segments(self, tmp_path):
+        # A second run writing to the same path must not leave the
+        # first run's rotated segments to pollute readers.
+        path = str(tmp_path / "t.jsonl")
+        sink = obs.JsonlSink(path, rotate_bytes=200)
+        for i in range(50):
+            sink.write({"t": float(i), "kind": "x", "i": i})
+        sink.close()
+        assert len(obs.iter_trace_files(path)) > 1
+        fresh = obs.JsonlSink(path)
+        fresh.write({"t": 0.0, "kind": "x", "i": 99})
+        fresh.close()
+        assert obs.iter_trace_files(path) == [path]
+        assert [r["i"] for r in _read_jsonl(path) if r["kind"] == "x"] == [99]
+
 
 # ----------------------------------------------------------------------
 # Metrics registry
@@ -108,6 +156,29 @@ class TestRegistry:
             {"count": 2, "sum": 1.0, "min": 0.5, "max": 0.6},
         )
         assert merged == {"count": 3, "sum": 3.0, "min": 0.5, "max": 2.0}
+
+    def test_merge_value_empty_histogram_is_identity(self):
+        # An empty histogram's min/max sentinels (inf/-inf) must not
+        # poison the merged cell — empty merges as identity, both ways.
+        full = {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+        empty = {"count": 0, "sum": 0.0,
+                 "min": float("inf"), "max": float("-inf")}
+        assert obs.merge_value(full, empty) == full
+        assert obs.merge_value(empty, full) == full
+        assert obs.merge_value(empty, dict(empty))["count"] == 0
+
+    def test_merge_value_gauge_histogram_conflict_peak_wins(self):
+        # A key recorded as a gauge on one side and a histogram on the
+        # other (e.g. track_max vs observe across versions) merges to
+        # the overall peak, as a gauge — the only order-independent
+        # choice.  An empty histogram contributes no peak.
+        hist = {"count": 2, "sum": 4.0, "min": 1.0, "max": 3.0}
+        assert obs.merge_value({"gauge": 2}, hist) == {"gauge": 3}
+        assert obs.merge_value(hist, {"gauge": 2}) == {"gauge": 3}
+        assert obs.merge_value({"gauge": 5}, hist) == {"gauge": 5}
+        empty = {"count": 0, "sum": 0.0,
+                 "min": float("inf"), "max": float("-inf")}
+        assert obs.merge_value({"gauge": 2}, empty) == {"gauge": 2}
 
     def test_merge_snapshots_normalizes_flow_prefix(self):
         total = {}
@@ -263,6 +334,25 @@ class TestBatchTelemetry:
             run_batch(specs, n_jobs=2, telemetry=str(tmp_path / "p.jsonl"))
         )
         assert [r.summary() for r in serial] == [r.summary() for r in parallel]
+
+    def test_rotated_part_files_merge_in_order(self, tmp_path):
+        # A worker whose part trace rotated still merges completely and
+        # chronologically into the batch trace, tagged with its run.
+        from repro.experiments.parallel import _BatchTelemetry
+
+        base = str(tmp_path / "batch.jsonl")
+        bt = _BatchTelemetry(base)
+        spec = bt.assign(0, self._specs(1)[0])
+        part = obs.JsonlSink(spec.telemetry, rotate_bytes=120)
+        for i in range(40):
+            part.write({"t": float(i), "kind": "x", "i": i})
+        part.close()
+        assert part.rotations >= 1
+        bt.finalize()
+        records = [r for r in _read_jsonl(base) if r.get("kind") == "x"]
+        assert [r["i"] for r in records] == list(range(40))
+        assert all(r["run"] == 0 for r in records)
+        assert not [p for p in os.listdir(tmp_path) if ".part" in p]
 
     def test_spec_with_own_path_untouched(self, tmp_path):
         own = str(tmp_path / "own.jsonl")
