@@ -22,6 +22,14 @@ cells (including 16-flow mixes where some flows starve outright) keep
 fast == scalar, and the reduced contention grid's JSON artifact is
 byte-identical between ``run_grid(n_jobs=1)`` and ``n_jobs=4``.
 
+``--env`` mode — the control-plane environment's core promise
+(docs/env.md): a :class:`repro.env.CcEnv` rollout that replays a native
+algorithm through the policy adapter is bit-identical to the native
+``run_single_flow`` run (checked for rate-based PropRate and
+window-based CUBIC on the outage-heavy mobile trace), and the
+adaptive-target algorithm ``PR(A)`` — the env's flagship policy — is
+bit-identical between ``run_batch(n_jobs=1)`` and ``n_jobs=4``.
+
 All modes compare *canonical* summaries
 (:func:`repro.experiments.runner.canonical_summary`): a starved flow's
 delay statistics are NaN, and ``nan != nan`` would make bit-identical
@@ -32,6 +40,7 @@ Usage::
     PYTHONPATH=src python scripts/check_determinism.py
     PYTHONPATH=src python scripts/check_determinism.py --fastpath
     PYTHONPATH=src python scripts/check_determinism.py --contention
+    PYTHONPATH=src python scripts/check_determinism.py --env
 """
 
 from __future__ import annotations
@@ -252,11 +261,88 @@ def check_contention() -> int:
     return 0
 
 
+#: --env replay leg: one rate-based and one window-based algorithm, so
+#: both policy adapters are under the bit-identity contract.
+ENV_REPLAY_ALGOS = ["PR(M)", "CUBIC"]
+
+
+def check_env() -> int:
+    from repro.env import CcEnv, rollout
+    from repro.experiments.algorithms import ADAPTIVE_NAME, paper_algorithms
+    from repro.experiments.parallel import CcSpec, RunSpec, run_batch
+    from repro.experiments.runner import canonical_summary, run_single_flow
+    from repro.traces.cache import as_ref
+    from repro.traces.presets import isp_trace
+
+    algos = paper_algorithms()
+    down = isp_trace("A", "mobile", duration=20.0)
+    up = isp_trace("A", "mobile", duration=20.0, direction="uplink")
+    failures = 0
+
+    # Leg 1: env rollout replaying a native algorithm == the native run.
+    for name in ENV_REPLAY_ALGOS:
+        native = run_single_flow(
+            algos[name], down, up, duration=DURATION, measure_start=WARMUP
+        )
+        env = CcEnv(
+            down, up, inner_cc=algos[name],
+            duration=DURATION, measure_start=WARMUP,
+        )
+        replay = rollout(env).result
+        if (canonical_summary(native.summary())
+                != canonical_summary(replay.summary())):
+            failures += 1
+            print(
+                f"DIVERGENCE [env-replay] {name}:\n"
+                f"  native: {native.summary()}\n"
+                f"  env:    {replay.summary()}",
+                file=sys.stderr,
+            )
+
+    # Leg 2: the adaptive-target algorithm is deterministic across the
+    # batch scheduler, like every other shootout entry.
+    down_ref = as_ref(down)
+    up_ref = as_ref(up)
+    specs = [
+        RunSpec(
+            cc=CcSpec(ADAPTIVE_NAME, (("target_buffer_delay", t),)),
+            downlink=down_ref, uplink=up_ref,
+            duration=DURATION, measure_start=WARMUP,
+            name=f"PR(A)-{t * 1000:.0f}ms",
+        )
+        for t in TARGETS
+    ]
+    serial = [o.result for o in run_batch(specs, n_jobs=1)]
+    parallel = [o.result for o in run_batch(specs, n_jobs=4, retries=1)]
+    for spec, ref, got in zip(specs, serial, parallel):
+        if (canonical_summary(ref.summary())
+                != canonical_summary(got.summary())):
+            failures += 1
+            print(
+                f"DIVERGENCE [env-adaptive] {spec.name}:\n"
+                f"  n_jobs=1: {ref.summary()}\n"
+                f"  n_jobs=4: {got.summary()}",
+                file=sys.stderr,
+            )
+
+    if failures:
+        print(f"env gate FAILED: {failures} divergences", file=sys.stderr)
+        return 1
+    print(
+        f"env gate OK: {len(ENV_REPLAY_ALGOS)} native replays "
+        f"bit-identical through CcEnv; {len(TARGETS)} PR(A) runs "
+        f"bit-identical across n_jobs=1 and n_jobs=4"
+    )
+    return 0
+
+
 def main() -> int:
     if "--fastpath" in sys.argv[1:]:
         return check_fastpath()
     if "--contention" in sys.argv[1:]:
         return check_contention()
+    if "--env" in sys.argv[1:]:
+        return check_env()
     return check_scheduler()
 
 

@@ -48,6 +48,17 @@ Usage::
     PYTHONPATH=src python scripts/perf_smoke.py --loss-update
     PYTHONPATH=src python scripts/perf_smoke.py --delivery-check
     PYTHONPATH=src python scripts/perf_smoke.py --delivery-update
+    PYTHONPATH=src python scripts/perf_smoke.py --env-overhead
+    PYTHONPATH=src python scripts/perf_smoke.py --env-update
+
+The ``--env-overhead`` mode gates the :mod:`repro.env` control-plane
+wrapper: ``benchmarks/bench_env_overhead.py``'s workload runs the
+Table-4 single-flow line-up natively and as a ``CcEnv`` rollout
+replaying the same algorithms, and the gate fails if the env arm costs
+more than ``env_overhead_tolerance`` (default 10%) extra CPU.  Like
+the telemetry gate it compares interleaved paired process-time ratios,
+so the figure is host independent; the baseline entry in
+``perf_smoke.json`` records the reference ratio for drift tracking.
 """
 
 from __future__ import annotations
@@ -77,6 +88,11 @@ DELIVERY_SPEEDUP_FLOOR = 1.30
 
 #: Allowed telemetry-on wall-time overhead vs telemetry-off.
 TELEMETRY_TOLERANCE = 0.10
+
+#: Allowed CcEnv-wrapper CPU overhead vs the native sender loop
+#: (``--env-overhead``); recorded in the baseline as
+#: ``env_overhead_tolerance`` alongside the reference ratio.
+ENV_TOLERANCE = 0.10
 
 #: Allowed overhead with per-kind sampling budgets active
 #: (``--telemetry-overhead --sampled``): decimating the hot event
@@ -160,6 +176,33 @@ def measure_loss() -> float:
     bench.run_workload()  # warm-up pass
     stats = bench.measure(rounds=3)
     return stats["acks"] / stats["ack_cpu_s"]
+
+
+def _env_bench_module():
+    sys.path.insert(0, str(REPO / "benchmarks"))
+    import bench_env_overhead
+
+    return bench_env_overhead
+
+
+def measure_env_overhead():
+    """Interleaved native-vs-CcEnv repeats of the env overhead bench.
+
+    Returns ``(overhead, native_times, env_times)`` where ``overhead``
+    is the best paired per-round ratio minus one (same noise-damping
+    rationale as the telemetry gate).  Aborts if the replayed results
+    are not bit-identical to the native ones — in that case the CPU
+    comparison is meaningless and ``check_determinism.py --env`` is the
+    gate that should be failing.
+    """
+    bench = _env_bench_module()
+    native, env, native_sums, env_sums = bench._measure()
+    if native_sums != env_sums:
+        raise SystemExit(
+            "env replay diverged from the native run; see "
+            "scripts/check_determinism.py --env")
+    overhead = min(e / n - 1.0 for n, e in zip(native, env))
+    return overhead, native, env
 
 
 def measure_telemetry_overhead(sampled: bool = False) -> int:
@@ -254,6 +297,17 @@ def main() -> int:
     group.add_argument("--delivery-update", action="store_true",
                        help="rewrite the delivery fast-path baseline from "
                        "this host")
+    group.add_argument(
+        "--env-overhead", action="store_true",
+        help="fail if driving the Table-4 line-up through the CcEnv "
+        "step/observe/act wrapper costs more than 10%% CPU over the "
+        "native sender loop",
+    )
+    group.add_argument(
+        "--env-update", action="store_true",
+        help="re-measure and record the env-overhead reference ratio "
+        "in the perf_smoke baseline",
+    )
     parser.add_argument(
         "--sampled", action="store_true",
         help="with --telemetry-overhead: run the tracer arm under "
@@ -299,6 +353,27 @@ def main() -> int:
             dump_profile(bench.run_workload, "delivery-fastpath")
             return 1
         return 0
+
+    if args.env_overhead or args.env_update:
+        overhead, native, env = measure_env_overhead()
+        baseline = json.loads(BASELINE.read_text()) if BASELINE.exists() \
+            else {}
+        if args.env_update:
+            baseline["env_overhead_ratio"] = round(1.0 + overhead, 3)
+            baseline["env_overhead_tolerance"] = ENV_TOLERANCE
+            BASELINE.write_text(json.dumps(baseline, indent=2) + "\n")
+            print(f"env overhead baseline updated: {overhead:+.1%} "
+                  f"-> {BASELINE}")
+            return 0
+        tolerance = baseline.get("env_overhead_tolerance", ENV_TOLERANCE)
+        verdict = "OK" if overhead <= tolerance else "FAILED"
+        print(
+            f"env overhead {verdict}: native {min(native):.2f}s, "
+            f"env {min(env):.2f}s ({overhead:+.1%}, "
+            f"tolerance {tolerance:.0%}, baseline ratio "
+            f"{baseline.get('env_overhead_ratio', 'unset')})"
+        )
+        return 0 if overhead <= tolerance else 1
 
     if args.telemetry_overhead:
         return measure_telemetry_overhead(sampled=args.sampled)

@@ -14,6 +14,8 @@ Commands
 ``watch``      auto-refreshing ASCII dashboard following a live
                ``--telemetry`` trace (queue sawtooth, CC state lane,
                scheduler progress, fluid tower occupancy)
+``env``        control-plane environment (docs/env.md):
+               ``env rollout`` drives one episode with a policy
 """
 
 from __future__ import annotations
@@ -60,7 +62,7 @@ def _algorithm_factory(name: str, target_ms: Optional[float]):
     if name.lower() == "proprate":
         target = (target_ms or 40.0) / 1000.0
         return lambda: PropRate(target_buffer_delay=target)
-    if name.lower() in ("proprate-a", "adaptive"):
+    if name.lower() in ("proprate-a", "adaptive", "adaptive-proprate"):
         target = (target_ms or 40.0) / 1000.0
         return lambda: AdaptivePropRate(target_buffer_delay=target)
     algorithms = paper_algorithms()
@@ -213,6 +215,69 @@ def _cmd_fluid(args: argparse.Namespace) -> None:
         print(f"\nwrote {path}")
 
 
+def _build_env_policy(spec: str):
+    # Lazy: keep repro.env off the import path of the other commands.
+    from repro.env import AdaptiveTargetPolicy, ConstantRatePolicy, NativePolicy
+
+    if spec == "native":
+        return NativePolicy()
+    if spec == "adaptive":
+        return AdaptiveTargetPolicy()
+    if spec.startswith("rate:"):
+        return ConstantRatePolicy(float(spec[len("rate:"):]))
+    raise SystemExit(
+        f"unknown policy {spec!r}; choose 'native', 'adaptive' "
+        "(needs a PropRate-family --algorithm), or 'rate:<bytes/s>'"
+    )
+
+
+def _cmd_env_rollout(args: argparse.Namespace) -> None:
+    import repro.obs as obs
+    from repro.env import CcEnv, rollout
+
+    downlink, uplink = _load_traces(args.trace)
+    inner = (
+        None if args.algorithm.lower() == "none"
+        else _algorithm_factory(args.algorithm, args.target)
+    )
+    policy = _build_env_policy(args.policy)
+    env = CcEnv(
+        downlink, uplink,
+        inner_cc=inner,
+        duration=args.duration,
+        measure_start=args.warmup,
+        step_interval=args.step_interval,
+        audit=True if args.audit else None,
+        telemetry=args.telemetry,
+        sampling=args.sample,
+        name=args.algorithm,
+    )
+    profiler = obs.resolve_profiler(
+        True if args.profile else None, args.telemetry is not None
+    )
+    if profiler is not None:
+        obs.activate_profiler(profiler)
+    try:
+        out = rollout(env, policy)
+    finally:
+        if profiler is not None:
+            obs.deactivate_profiler()
+    result = out.result
+    print(
+        f"{args.algorithm}/{args.policy} on {args.trace}: "
+        f"{out.steps} steps, reward {out.total_reward:.2f}, "
+        f"{result.throughput_kbps:.1f} KB/s, "
+        f"mean {result.delay.mean_ms:.1f} ms, "
+        f"p95 {result.delay.p95_ms:.1f} ms, "
+        f"{result.bottleneck_drops} drops, {result.rto_count} RTOs"
+    )
+    final = out.final_obs
+    print(
+        f"final obs (v{final.version}): "
+        + ", ".join(f"{k}={v:.4g}" for k, v in final.as_dict().items())
+    )
+
+
 def _cmd_traces(args: argparse.Namespace) -> None:
     print(f"{'Trace':22s} {'mean KB/s':>10s} {'target':>8s} {'std KB/s':>9s} {'target':>8s}")
     for (isp, mode), (mean_t, std_t) in sorted(TABLE2_TARGETS.items()):
@@ -257,6 +322,10 @@ def _cmd_watch(args: argparse.Namespace) -> None:
     # Lazy: the dashboard reuses the analyzer's render helpers (numpy).
     from repro.obs.live import watch
 
+    if (args.path is None) == (args.connect is None):
+        raise SystemExit(
+            "repro watch: give a trace PATH or --connect host:port "
+            "(exactly one)")
     watch(
         args.path,
         interval=args.interval,
@@ -265,6 +334,7 @@ def _cmd_watch(args: argparse.Namespace) -> None:
         height=args.height,
         once=args.once,
         clear=args.clear,
+        connect=args.connect,
     )
 
 
@@ -399,8 +469,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_fluid.add_argument(
         # Keep in sync with repro.fluid.scenarios.FAN_IN_MIXES (listed
         # literally so the parser builds without importing numpy).
-        "--mix", choices=("cubic-self", "pr-heavy", "pr-self",
-                          "pr-vs-cubic"),
+        "--mix", choices=("cubic-self", "pr-adaptive", "pr-heavy",
+                          "pr-self", "pr-vs-cubic"),
         default="pr-vs-cubic",
         help="controller rotation across flows (default pr-vs-cubic)",
     )
@@ -434,6 +504,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _obs_knobs(p_fluid)
     p_fluid.set_defaults(func=_cmd_fluid)
+
+    p_env = sub.add_parser(
+        "env",
+        help="control-plane environment: step/observe/act over the "
+        "packet tier (docs/env.md)",
+    )
+    env_sub = p_env.add_subparsers(dest="env_command", required=True)
+    p_roll = env_sub.add_parser(
+        "rollout", help="drive one episode of CcEnv with a policy"
+    )
+    _common(p_roll)
+    p_roll.add_argument(
+        "--algorithm", default="proprate",
+        help="inner algorithm the policy adapter wraps (PropRate, "
+        "adaptive-proprate, CUBIC, ...; 'none' = externally driven "
+        "rate, pair with --policy rate:<bytes/s>)",
+    )
+    p_roll.add_argument(
+        "--target", type=float, default=None,
+        help="PropRate target buffer delay (ms)",
+    )
+    p_roll.add_argument(
+        "--policy", default="native",
+        help="'native' (pure replay, bit-identical to the native run), "
+        "'adaptive' (epoch-granular PR(A) target shrink/recovery), or "
+        "'rate:<bytes/s>' (constant pacing override)",
+    )
+    p_roll.add_argument(
+        "--step-interval", type=float, default=0.25, metavar="SECONDS",
+        help="simulated seconds per env step (default 0.25, PropRate's "
+        "feedback epoch)",
+    )
+    p_roll.set_defaults(func=_cmd_env_rollout)
 
     p_traces = sub.add_parser("traces", help="Table-2 trace statistics")
     p_traces.set_defaults(func=_cmd_traces)
@@ -470,8 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry trace (works on in-progress parallel/grid/fluid "
         "runs and across file rotation)",
     )
-    p_watch.add_argument("path", help="trace file a run is writing with "
+    p_watch.add_argument("path", nargs="?", default=None,
+                         help="trace file a run is writing with "
                          "--telemetry (may not exist yet)")
+    p_watch.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="follow a run serving its trace over TCP "
+        "(--telemetry tcp://host:port) instead of tailing a file",
+    )
     p_watch.add_argument(
         "--interval", type=float, default=1.0, metavar="SECONDS",
         help="refresh interval (default 1.0)",

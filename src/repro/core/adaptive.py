@@ -17,6 +17,16 @@ extension:
 The result keeps the configured latency budget as a ceiling while
 automatically de-tuning aggressiveness to the actual buffer depth — the
 tunability-vs-BBR argument of §6 made automatic.
+
+The decision rule itself lives in :class:`TargetAdjuster`, a pure
+event→target policy with no transport state.  It is consumed at two
+granularities behind the :mod:`repro.env` control-plane split:
+
+* per-ACK, in-path, by :class:`AdaptivePropRate` (the shootout
+  algorithm, registered as ``PR(A)`` / ``adaptive-proprate``);
+* per feedback epoch, out-of-path, by
+  :class:`repro.env.policies.AdaptiveTargetPolicy`, which observes a
+  :class:`~repro.env.CcEnv` and emits ``{"target": …}`` actions.
 """
 
 from __future__ import annotations
@@ -43,6 +53,90 @@ RECOVERY_QUIET_TIME = 5.0
 RECOVERY_STEP = 0.005
 
 
+class TargetAdjuster:
+    """The §6 target-adjustment rule as a pure decision policy.
+
+    Feed it loss / timeout / quiet-time events and the current
+    effective target; it answers with the new target to apply (or
+    ``None`` for "keep").  It never touches transport state, so the
+    same instance semantics hold whether it is driven per ACK (the
+    in-sender :class:`AdaptivePropRate`) or per observation epoch (the
+    env policy).
+    """
+
+    def __init__(self, configured_target: float, min_target: float) -> None:
+        if not 0 < min_target <= configured_target:
+            raise ValueError("min_target must be in (0, target]")
+        self.configured_target = configured_target
+        self.min_target = min_target
+        self._consecutive_episodes = 0
+        self._last_episode_at: Optional[float] = None
+        self._last_loss_at: Optional[float] = None
+        self._last_recovery_at: Optional[float] = None
+
+    def clamp(self, target: float) -> float:
+        return min(self.configured_target, max(self.min_target, target))
+
+    def on_loss(self, now: float, target: float) -> Optional[float]:
+        """A fast-retransmit episode at ``now``; maybe shrink."""
+        self._last_loss_at = now
+        if (
+            self._last_episode_at is not None
+            and now - self._last_episode_at <= EPISODE_MEMORY
+        ):
+            self._consecutive_episodes += 1
+        else:
+            self._consecutive_episodes = 1
+        self._last_episode_at = now
+        if self._consecutive_episodes >= LOSS_EPISODES_TO_SHRINK:
+            self._consecutive_episodes = 0
+            return self.clamp(target * SHRINK_FACTOR)
+        return None
+
+    def on_rto(self, target: float) -> float:
+        """A timeout is the strongest overflow signal of all."""
+        return self.clamp(target * SHRINK_FACTOR)
+
+    def on_quiet(self, now: float, target: float) -> Optional[float]:
+        """Loss-free progress at ``now``; maybe recover one step."""
+        quiet_since = self._last_loss_at if self._last_loss_at is not None else 0.0
+        if now - quiet_since < RECOVERY_QUIET_TIME:
+            return None
+        if target >= self.configured_target:
+            return None
+        if (
+            self._last_recovery_at is None
+            or now - self._last_recovery_at >= RECOVERY_QUIET_TIME
+        ):
+            self._last_recovery_at = now
+            return self.clamp(target + RECOVERY_STEP)
+        return None
+
+
+def retarget(cc: PropRate, new_target: float) -> bool:
+    """Point a live PropRate instance at a new target buffer delay.
+
+    Sets ``target_buffer_delay`` and re-centres the threshold feedback
+    loop's band on the new target (same construction as PropRate's
+    ``__init__``), clamping the current threshold into the band.
+    Returns False when the change is below the 1 ns dead-band (nothing
+    mutated).  Shared by :class:`AdaptivePropRate` and the env action
+    path (``{"target": …}``).
+    """
+    if abs(new_target - cc.target_buffer_delay) < 1e-9:
+        return False
+    cc.target_buffer_delay = new_target
+    feedback = cc.feedback
+    feedback.target = new_target
+    feedback.min_threshold = max(0.005, new_target / 2.0)
+    feedback.max_threshold = min(1.0, new_target * 1.5)
+    feedback.threshold = min(
+        max(feedback.threshold, feedback.min_threshold),
+        feedback.max_threshold,
+    )
+    return True
+
+
 class AdaptivePropRate(PropRate):
     """PropRate with loss-driven dynamic adjustment of t̄_buff.
 
@@ -59,64 +153,28 @@ class AdaptivePropRate(PropRate):
         **kwargs,
     ) -> None:
         super().__init__(target_buffer_delay=target_buffer_delay, **kwargs)
-        if not 0 < min_target <= target_buffer_delay:
-            raise ValueError("min_target must be in (0, target]")
+        self._adjuster = TargetAdjuster(target_buffer_delay, min_target)
         self.configured_target = target_buffer_delay
         self.min_target = min_target
-        self._consecutive_episodes = 0
-        self._last_episode_at: Optional[float] = None
-        self._last_loss_at: Optional[float] = None
-        self._last_recovery_at: Optional[float] = None
         self.target_adjustments = 0
 
     # ------------------------------------------------------------------
     def _apply_target(self, new_target: float) -> None:
-        new_target = min(self.configured_target, max(self.min_target, new_target))
-        if abs(new_target - self.target_buffer_delay) < 1e-9:
-            return
-        self.target_buffer_delay = new_target
-        self.target_adjustments += 1
-        # Re-centre the feedback loop on the new target.
-        self.feedback.target = new_target
-        self.feedback.min_threshold = max(0.005, new_target / 2.0)
-        self.feedback.max_threshold = min(1.0, new_target * 1.5)
-        self.feedback.threshold = min(
-            max(self.feedback.threshold, self.feedback.min_threshold),
-            self.feedback.max_threshold,
-        )
+        if retarget(self, self._adjuster.clamp(new_target)):
+            self.target_adjustments += 1
 
     def on_congestion(self, sample: AckSample) -> None:
         super().on_congestion(sample)
-        now = sample.now
-        self._last_loss_at = now
-        if (
-            self._last_episode_at is not None
-            and now - self._last_episode_at <= EPISODE_MEMORY
-        ):
-            self._consecutive_episodes += 1
-        else:
-            self._consecutive_episodes = 1
-        self._last_episode_at = now
-        if self._consecutive_episodes >= LOSS_EPISODES_TO_SHRINK:
-            self._consecutive_episodes = 0
-            self._apply_target(self.target_buffer_delay * SHRINK_FACTOR)
+        proposed = self._adjuster.on_loss(sample.now, self.target_buffer_delay)
+        if proposed is not None:
+            self._apply_target(proposed)
 
     def on_rto(self) -> None:
         super().on_rto()
-        # A timeout is the strongest overflow signal of all.
-        self._apply_target(self.target_buffer_delay * SHRINK_FACTOR)
+        self._apply_target(self._adjuster.on_rto(self.target_buffer_delay))
 
     def on_ack(self, sample: AckSample) -> None:
         super().on_ack(sample)
-        now = sample.now
-        quiet_since = self._last_loss_at if self._last_loss_at is not None else 0.0
-        if now - quiet_since < RECOVERY_QUIET_TIME:
-            return
-        if self.target_buffer_delay >= self.configured_target:
-            return
-        if (
-            self._last_recovery_at is None
-            or now - self._last_recovery_at >= RECOVERY_QUIET_TIME
-        ):
-            self._last_recovery_at = now
-            self._apply_target(self.target_buffer_delay + RECOVERY_STEP)
+        proposed = self._adjuster.on_quiet(sample.now, self.target_buffer_delay)
+        if proposed is not None:
+            self._apply_target(proposed)

@@ -1,0 +1,35 @@
+"""Control-plane environment: the simulator as step/observe/act.
+
+See ``docs/env.md`` for the observation/action schema and the
+determinism contract (native replay through :class:`CcEnv` is
+bit-identical to the native run).
+"""
+
+from repro.env.core import (
+    CcEnv,
+    DEFAULT_STEP_INTERVAL,
+    OBS_FIELDS,
+    OBS_VERSION,
+    Observation,
+)
+from repro.env.policies import (
+    AdaptiveTargetPolicy,
+    ConstantRatePolicy,
+    NativePolicy,
+    Policy,
+)
+from repro.env.rollout import RolloutResult, rollout
+
+__all__ = [
+    "AdaptiveTargetPolicy",
+    "CcEnv",
+    "ConstantRatePolicy",
+    "DEFAULT_STEP_INTERVAL",
+    "NativePolicy",
+    "OBS_FIELDS",
+    "OBS_VERSION",
+    "Observation",
+    "Policy",
+    "RolloutResult",
+    "rollout",
+]

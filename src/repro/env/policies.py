@@ -1,0 +1,113 @@
+"""Policies: observation → action callables for :class:`~repro.env.CcEnv`.
+
+A policy is deliberately tiny — two methods, no base-class state — so
+hand-written controllers, replayed native algorithms, and (eventually)
+learned models share one face:
+
+* :class:`NativePolicy` — no actions at all: the wrapped native
+  algorithm keeps driving through the adapter, making the rollout a
+  bit-identical replay of the native run (the ``--env`` determinism
+  gate).
+* :class:`ConstantRatePolicy` — pins a fixed pacing rate (the simplest
+  externally driven sender).
+* :class:`AdaptiveTargetPolicy` — the §6 adaptive-target rule
+  (:class:`repro.core.adaptive.TargetAdjuster`) re-expressed at
+  feedback-epoch granularity: it watches the observation's cumulative
+  loss-episode / RTO counters and emits ``{"target": …}`` actions,
+  steering a plain PropRate inner from outside the ACK path.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.adaptive import TargetAdjuster
+from repro.env.core import CcEnv, Observation
+
+__all__ = [
+    "Policy",
+    "NativePolicy",
+    "ConstantRatePolicy",
+    "AdaptiveTargetPolicy",
+]
+
+
+class Policy:
+    """Interface: called once per epoch with the latest observation."""
+
+    def reset(self, env: CcEnv, obs: Observation) -> None:
+        """A new episode began (``obs`` is the initial observation)."""
+
+    def action(self, obs: Observation) -> Optional[Dict[str, Any]]:
+        """The action to apply before the next epoch (None = no-op)."""
+        return None
+
+
+class NativePolicy(Policy):
+    """Replay: let the adapter's inner native algorithm drive."""
+
+
+class ConstantRatePolicy(Policy):
+    """Pin the pacing rate to a constant (bytes/s)."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rate must be non-negative")
+        self.rate = rate
+
+    def action(self, obs: Observation) -> Optional[Dict[str, Any]]:
+        return {"rate": self.rate}
+
+
+class AdaptiveTargetPolicy(Policy):
+    """Adaptive-target PropRate as an out-of-path policy.
+
+    The same :class:`~repro.core.adaptive.TargetAdjuster` decision core
+    as :class:`~repro.core.adaptive.AdaptivePropRate`, driven from
+    observation deltas instead of per-ACK hooks: loss episodes and RTOs
+    land at epoch resolution (``obs.t``), so shrink decisions can lag a
+    native in-path run by up to one ``step_interval`` — equivalent in
+    steady state, not bit-identical.  Requires an env whose adapter
+    wraps a PropRate inner.
+    """
+
+    def __init__(self, configured_target: float = 0.040,
+                 min_target: float = 0.005) -> None:
+        # Validate eagerly (same rule as AdaptivePropRate).
+        TargetAdjuster(configured_target, min_target)
+        self.configured_target = configured_target
+        self.min_target = min_target
+        self._adjuster: Optional[TargetAdjuster] = None
+        self._seen_episodes = 0.0
+        self._seen_rtos = 0.0
+
+    def reset(self, env: CcEnv, obs: Observation) -> None:
+        self._adjuster = TargetAdjuster(
+            self.configured_target, self.min_target
+        )
+        self._seen_episodes = obs.loss_episodes
+        self._seen_rtos = obs.rtos
+
+    def action(self, obs: Observation) -> Optional[Dict[str, Any]]:
+        adjuster = self._adjuster
+        if adjuster is None:
+            raise RuntimeError("policy not reset")
+        target = obs.target
+        if target != target:  # NaN: no PropRate inner to steer
+            return None
+        new: Optional[float] = None
+        episodes = int(obs.loss_episodes - self._seen_episodes)
+        rtos = int(obs.rtos - self._seen_rtos)
+        self._seen_episodes = obs.loss_episodes
+        self._seen_rtos = obs.rtos
+        for _ in range(episodes):
+            proposed = adjuster.on_loss(obs.t, target)
+            if proposed is not None:
+                new = target = proposed
+        for _ in range(rtos):
+            new = target = adjuster.on_rto(target)
+        if new is None:
+            new = adjuster.on_quiet(obs.t, target)
+        if new is None or abs(new - obs.target) < 1e-9:
+            return None
+        return {"target": new}

@@ -1,0 +1,54 @@
+"""Drive an env with a policy to completion."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.env.core import CcEnv, Observation
+from repro.env.policies import Policy
+from repro.experiments.runner import FlowResult
+
+__all__ = ["RolloutResult", "rollout"]
+
+
+@dataclass
+class RolloutResult:
+    """Outcome of one complete episode."""
+
+    steps: int
+    total_reward: float
+    result: FlowResult
+    final_obs: Observation
+
+
+def rollout(env: CcEnv, policy: Optional[Policy] = None,
+            close: bool = True) -> RolloutResult:
+    """Reset ``env`` and run it to the episode horizon.
+
+    ``policy`` (None = pure native replay) chooses an action each
+    epoch.  The env is closed afterwards unless ``close=False`` (for
+    repeated episodes on one env).
+    """
+    try:
+        obs = env.reset()
+        if policy is not None:
+            policy.reset(env, obs)
+        steps = 0
+        total_reward = 0.0
+        done = env.done
+        while not done:
+            action = policy.action(obs) if policy is not None else None
+            obs, reward, done, _info = env.step(action)
+            steps += 1
+            total_reward += reward
+        result = env.result()
+    finally:
+        if close:
+            env.close()
+    return RolloutResult(
+        steps=steps,
+        total_reward=total_reward,
+        result=result,
+        final_obs=obs,
+    )

@@ -2,7 +2,9 @@
 
 Factories for every algorithm in Table 3, plus the three PropRate
 configurations PR(L)/PR(M)/PR(H) (t̄_buff = 20/40/80 ms) used throughout
-the figures.
+the figures, and ``PR(A)`` — the §6 adaptive-target extension
+(:class:`~repro.core.adaptive.AdaptivePropRate`, CLI name
+``adaptive-proprate``) entered as a first-class shootout algorithm.
 """
 
 from __future__ import annotations
@@ -12,6 +14,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 from repro.debug import AuditArg
 from repro.traces.trace import Trace
 
+from repro.core.adaptive import AdaptivePropRate
 from repro.core.proprate import PropRate
 from repro.tcp.congestion import (
     Bbr,
@@ -33,6 +36,10 @@ CcFactory = Callable[[], CongestionControl]
 #: PropRate configurations (paper §5.1).
 PR_TARGETS = {"PR(L)": 0.020, "PR(M)": 0.040, "PR(H)": 0.080}
 
+#: Line-up name of the adaptive-target PropRate (§6); accepts CcSpec
+#: params (``target_buffer_delay``, ``min_target``).
+ADAPTIVE_NAME = "PR(A)"
+
 
 def proprate_factory(target: float, **kwargs) -> CcFactory:
     """A factory for PropRate at a fixed t̄_buff."""
@@ -45,6 +52,7 @@ def paper_algorithms(include_proprate: bool = True) -> Dict[str, CcFactory]:
     if include_proprate:
         for name, target in PR_TARGETS.items():
             algorithms[name] = proprate_factory(target)
+        algorithms[ADAPTIVE_NAME] = AdaptivePropRate
     algorithms.update(
         {
             "CUBIC": Cubic,

@@ -89,6 +89,7 @@ MIXES: Dict[str, Tuple[Tuple[str, CcSpec], ...]] = {
         ("pr", proprate_spec(0.040)),
         ("cubic", CcSpec("CUBIC")),
     ),
+    "pr-adaptive": (("pra", CcSpec("PR(A)")), ("cubic", CcSpec("CUBIC"))),
 }
 
 #: Start patterns.  "simultaneous" launches every flow at t=0 (the
@@ -160,7 +161,7 @@ FULL_GRID = GridConfig(
 #: small enough for a smoke job, still multi-flow enough to exercise
 #: the scheduler, the auditor's flow-scaled bands, and the fast path.
 REDUCED_GRID = GridConfig(
-    mixes=("pr-self", "pr-vs-cubic"),
+    mixes=("pr-self", "pr-vs-cubic", "pr-adaptive"),
     flow_counts=(2, 4),
     patterns=("staggered",),
     traces=("wired:4mbps",),

@@ -176,6 +176,20 @@ _EXPERIMENTS = [
         bench="benchmarks/bench_disc_shallow_aqm.py",
     ),
     Experiment(
+        id="ENV",
+        artifact="§6 control-plane environment",
+        description="step/observe/act policy interface over the packet "
+        "engine: native replay through CcEnv is bit-identical "
+        "(scripts/check_determinism.py --env) and PR(A) runs as an "
+        "epoch-granular target policy",
+        modules=(
+            "repro.env",
+            "repro.tcp.congestion.policy",
+            "repro.core.adaptive",
+        ),
+        bench="benchmarks/bench_env_overhead.py",
+    ),
+    Experiment(
         id="PERF",
         artifact="Execution harness",
         description="Parallel batch execution over worker processes: "

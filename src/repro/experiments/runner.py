@@ -306,6 +306,302 @@ def run_experiment(
             tracer.close()
 
 
+class ExperimentHarness:
+    """A fully built experiment graph whose event loop can be stepped.
+
+    This is the build phase of :func:`run_experiment` factored out so
+    the control-plane environment (:mod:`repro.env`) can interleave the
+    event loop with policy decisions: construct, then either
+    :meth:`finalize` in one go (what :func:`run_experiment` does) or
+    call :meth:`advance` repeatedly — consecutive ``advance`` calls
+    compose exactly (the :class:`~repro.sim.engine.Simulator` contract),
+    so a run advanced in increments is bit-identical to one advanced in
+    a single call.
+
+    Construction order (simulator, path, auditor, per-flow receiver/
+    sender/attachment, start events, telemetry samplers) is the
+    determinism-sensitive part: it fixes the event heap's insertion
+    sequence.  Do not reorder it.
+    """
+
+    def __init__(
+        self,
+        path_config: PathConfig,
+        flows: List[FlowSpec],
+        duration: float,
+        measure_start: float = 5.0,
+        measure_end: Optional[float] = None,
+        ts_granularity: float = DEFAULT_TS_GRANULARITY,
+        audit: AuditArg = None,
+        tracer=None,
+        profiler=None,
+    ) -> None:
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        self.path_config = path_config
+        self.duration = duration
+        self.measure_start = measure_start
+        self.measure_end = measure_end
+        self._tracer = tracer
+        self._profiler = profiler
+        self._results: Optional[List[FlowResult]] = None
+        self._samplers_stopped = False
+
+        self._wall_start = perf_counter() if tracer is not None else 0.0
+        self.sim = Simulator()
+        self.path = DuplexPath(self.sim, path_config)
+        self._harnessed: List[tuple] = []
+
+        forward_audit = reverse_audit = None
+        self.auditor = make_auditor(self.sim, audit)
+        if self.auditor is not None:
+            forward_audit, reverse_audit = self.auditor.attach_path(self.path)
+
+        for flow_id, spec in enumerate(flows):
+            name = spec.name or f"flow{flow_id}"
+            collector = DeliveryCollector()
+            cc = spec.cc_factory()
+            if spec.direction == "down":
+                data_sink, ack_sink = self.path.send_forward, self.path.send_reverse
+            else:
+                data_sink, ack_sink = self.path.send_reverse, self.path.send_forward
+            receiver = TcpReceiver(
+                self.sim,
+                flow_id,
+                send_ack=ack_sink,
+                ts_granularity=ts_granularity,
+                on_data=collector.on_data,
+                delayed_ack=spec.delayed_ack,
+            )
+            sender = TcpSender(
+                self.sim,
+                flow_id,
+                cc,
+                send_packet=data_sink,
+                total_segments=spec.total_segments,
+                application=spec.application,
+            )
+            if spec.direction == "down":
+                self.path.attach_flow(
+                    flow_id,
+                    receiver.receive,
+                    sender.on_ack_packet,
+                    forward_batch_sink=receiver.receive_batch,
+                    reverse_batch_sink=sender.on_ack_batch,
+                )
+            else:
+                self.path.attach_flow(
+                    flow_id,
+                    sender.on_ack_packet,
+                    receiver.receive,
+                    forward_batch_sink=sender.on_ack_batch,
+                    reverse_batch_sink=receiver.receive_batch,
+                )
+            self.sim.schedule_at(spec.start, sender.start)
+            if self.auditor is not None:
+                self.auditor.attach_flow(
+                    sender,
+                    receiver,
+                    data_link=(
+                        forward_audit if spec.direction == "down" else reverse_audit
+                    ),
+                )
+            self._harnessed.append((spec, name, collector, sender))
+
+        self._samplers: list = []
+        if tracer is not None:
+            tracer.emit(
+                obs.RUN_START,
+                0.0,
+                duration=duration,
+                measure_start=measure_start,
+                flows=[
+                    {
+                        "flow": flow_id,
+                        "name": name,
+                        "cc": type(sender.cc).__name__,
+                        "direction": spec.direction,
+                        "start": spec.start,
+                    }
+                    for flow_id, (spec, name, collector, sender) in enumerate(
+                        self._harnessed
+                    )
+                ],
+                links={
+                    "downlink": _link_meta(path_config.downlink, duration),
+                    "uplink": _link_meta(path_config.uplink, duration),
+                },
+            )
+            from repro.metrics.telemetry import QueueSampler
+
+            for link_name, link in (
+                ("downlink", self.path.forward_link),
+                ("uplink", self.path.reverse_link),
+            ):
+                self._samplers.append(
+                    QueueSampler(
+                        self.sim,
+                        link.queue,
+                        interval=obs.QUEUE_SAMPLE_INTERVAL,
+                        name=link_name,
+                        tracer=tracer,
+                    )
+                )
+
+    # -- flow accessors -------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    def sender(self, flow_id: int = 0) -> TcpSender:
+        return self._harnessed[flow_id][3]
+
+    def collector(self, flow_id: int = 0) -> DeliveryCollector:
+        return self._harnessed[flow_id][2]
+
+    # -- event loop -----------------------------------------------------
+    def advance(self, until: float) -> float:
+        """Run the event loop up to simulated time ``until`` (clamped to
+        the run duration).  Returns the simulator clock afterwards."""
+        if self._results is not None:
+            raise RuntimeError("harness already finalized")
+        until = min(until, self.duration)
+        try:
+            self.sim.run(until=until)
+        except InvariantViolation:
+            self._stop_samplers()
+            raise
+        except Exception as exc:
+            if self.auditor is not None:
+                self.auditor.record_exception(exc)
+            self._stop_samplers()
+            raise
+        return self.sim.now
+
+    def _stop_samplers(self) -> None:
+        if self._samplers_stopped:
+            return
+        self._samplers_stopped = True
+        for sampler in self._samplers:
+            sampler.stop()
+
+    def finalize(self) -> List[FlowResult]:
+        """Run any remaining events, close out telemetry, and reduce
+        each flow to a :class:`FlowResult`.  Idempotent."""
+        if self._results is not None:
+            return self._results
+        sim, path, tracer = self.sim, self.path, self._tracer
+        try:
+            try:
+                sim.run(until=self.duration)
+                if self.auditor is not None:
+                    self.auditor.final_check()
+            except InvariantViolation:
+                raise
+            except Exception as exc:
+                if self.auditor is not None:
+                    self.auditor.record_exception(exc)
+                raise
+        finally:
+            self._stop_samplers()
+
+        snapshot: Optional[Dict[str, Any]] = None
+        if tracer is not None:
+            metrics = tracer.metrics
+            metrics.counter("run.engine.events").add(sim.events_processed)
+            metrics.counter("run.engine.compactions").add(sim.compactions)
+            for link_name, link in (
+                ("downlink", path.forward_link),
+                ("uplink", path.reverse_link),
+            ):
+                peak = getattr(link.queue, "peak_length", None)
+                if peak is None and self._samplers:
+                    sampler = self._samplers[0 if link_name == "downlink" else 1]
+                    peak = max(sampler.lengths, default=0)
+                metrics.gauge(f"run.link.{link_name}.queue_peak").track_max(peak or 0)
+                batches = getattr(link, "batches_drained", 0)
+                if batches:
+                    metrics.counter(f"run.link.{link_name}.batches").add(batches)
+                    metrics.counter(f"run.link.{link_name}.batched_packets").add(
+                        link.batched_packets
+                    )
+            for flow_id, (spec, name, collector, sender) in enumerate(
+                self._harnessed
+            ):
+                prefix = f"flow{flow_id}."
+                metrics.counter(prefix + "retransmits").add(sender.retransmissions)
+                metrics.counter(prefix + "spurious_rtx").add(sender.spurious_marks)
+                metrics.counter(prefix + "rtos").add(sender.rto_count)
+                metrics.counter(prefix + "acks").add(sender.acks_received)
+                metrics.counter(prefix + "segments_sent").add(sender.segments_sent)
+                metrics.counter(prefix + "lost_total").add(sender.lost_total)
+                close = getattr(sender.cc, "telemetry_close", None)
+                if close is not None:
+                    close(sim.now)
+            metrics.gauge("run.timing.wall_s").set(perf_counter() - self._wall_start)
+            if self._profiler is not None:
+                self._profiler.flush_into(metrics)
+            dropped = tracer.drain_dropped()
+            if dropped:
+                total = 0
+                for kind, count in dropped.items():
+                    metrics.counter(f"run.telemetry.dropped.{kind}").add(count)
+                    total += count
+                metrics.counter("run.telemetry.dropped_events").add(total)
+            snapshot = metrics.snapshot()
+            tracer.emit(obs.METRICS, sim.now, scope="run", metrics=snapshot)
+            tracer.emit(obs.RUN_END, sim.now, events=sim.events_processed)
+
+        results: List[FlowResult] = []
+        for flow_id, (spec, name, collector, sender) in enumerate(self._harnessed):
+            start = spec.measure_start if spec.measure_start is not None else max(
+                self.measure_start, spec.start
+            )
+            end = spec.measure_end if spec.measure_end is not None else (
+                self.measure_end if self.measure_end is not None else self.duration
+            )
+            delays = collector.delays(start, end)
+            delivered = collector.delivered_bytes(start, end)
+            window = max(1e-9, end - start)
+            drops: Dict[int, int] = (
+                path.forward_drops if spec.direction == "down" else path.reverse_drops
+            )
+            link_cfg = (
+                self.path_config.downlink
+                if spec.direction == "down"
+                else self.path_config.uplink
+            )
+            if end <= start:
+                capacity = None
+            elif link_cfg.trace is not None:
+                capacity = link_cfg.trace.capacity_bytes(start, end) / window
+            else:
+                capacity = link_cfg.rate
+            results.append(
+                FlowResult(
+                    name=name,
+                    throughput=delivered / window,
+                    delay=delay_summary(delays),
+                    delivered_bytes=delivered,
+                    bottleneck_drops=drops.get(flow_id, 0),
+                    retransmissions=sender.retransmissions,
+                    rto_count=sender.rto_count,
+                    measure_start=start,
+                    measure_end=end,
+                    collector=collector,
+                    sender=sender,
+                    capacity=capacity,
+                    metrics=(
+                        obs.flow_metrics_view(snapshot, flow_id)
+                        if snapshot is not None
+                        else None
+                    ),
+                )
+            )
+        self._results = results
+        return results
+
+
 def _run_experiment_traced(
     path_config: PathConfig,
     flows: List[FlowSpec],
@@ -317,209 +613,18 @@ def _run_experiment_traced(
     tracer,
     profiler=None,
 ) -> List[FlowResult]:
-    wall_start = perf_counter() if tracer is not None else 0.0
-    sim = Simulator()
-    path = DuplexPath(sim, path_config)
-    harnessed = []
-
-    forward_audit = reverse_audit = None
-    auditor = make_auditor(sim, audit)
-    if auditor is not None:
-        forward_audit, reverse_audit = auditor.attach_path(path)
-
-    for flow_id, spec in enumerate(flows):
-        name = spec.name or f"flow{flow_id}"
-        collector = DeliveryCollector()
-        cc = spec.cc_factory()
-        if spec.direction == "down":
-            data_sink, ack_sink = path.send_forward, path.send_reverse
-        else:
-            data_sink, ack_sink = path.send_reverse, path.send_forward
-        receiver = TcpReceiver(
-            sim,
-            flow_id,
-            send_ack=ack_sink,
-            ts_granularity=ts_granularity,
-            on_data=collector.on_data,
-            delayed_ack=spec.delayed_ack,
-        )
-        sender = TcpSender(
-            sim,
-            flow_id,
-            cc,
-            send_packet=data_sink,
-            total_segments=spec.total_segments,
-            application=spec.application,
-        )
-        if spec.direction == "down":
-            path.attach_flow(
-                flow_id,
-                receiver.receive,
-                sender.on_ack_packet,
-                forward_batch_sink=receiver.receive_batch,
-                reverse_batch_sink=sender.on_ack_batch,
-            )
-        else:
-            path.attach_flow(
-                flow_id,
-                sender.on_ack_packet,
-                receiver.receive,
-                forward_batch_sink=sender.on_ack_batch,
-                reverse_batch_sink=receiver.receive_batch,
-            )
-        sim.schedule_at(spec.start, sender.start)
-        if auditor is not None:
-            auditor.attach_flow(
-                sender,
-                receiver,
-                data_link=(
-                    forward_audit if spec.direction == "down" else reverse_audit
-                ),
-            )
-        harnessed.append((spec, name, collector, sender))
-
-    samplers = []
-    if tracer is not None:
-        tracer.emit(
-            obs.RUN_START,
-            0.0,
-            duration=duration,
-            measure_start=measure_start,
-            flows=[
-                {
-                    "flow": flow_id,
-                    "name": name,
-                    "cc": type(sender.cc).__name__,
-                    "direction": spec.direction,
-                    "start": spec.start,
-                }
-                for flow_id, (spec, name, collector, sender) in enumerate(harnessed)
-            ],
-            links={
-                "downlink": _link_meta(path_config.downlink, duration),
-                "uplink": _link_meta(path_config.uplink, duration),
-            },
-        )
-        from repro.metrics.telemetry import QueueSampler
-
-        for link_name, link in (
-            ("downlink", path.forward_link),
-            ("uplink", path.reverse_link),
-        ):
-            samplers.append(
-                QueueSampler(
-                    sim,
-                    link.queue,
-                    interval=obs.QUEUE_SAMPLE_INTERVAL,
-                    name=link_name,
-                    tracer=tracer,
-                )
-            )
-
-    try:
-        sim.run(until=duration)
-        if auditor is not None:
-            auditor.final_check()
-    except InvariantViolation:
-        raise
-    except Exception as exc:
-        if auditor is not None:
-            auditor.record_exception(exc)
-        raise
-    finally:
-        for sampler in samplers:
-            sampler.stop()
-
-    snapshot: Optional[Dict[str, Any]] = None
-    if tracer is not None:
-        metrics = tracer.metrics
-        metrics.counter("run.engine.events").add(sim.events_processed)
-        metrics.counter("run.engine.compactions").add(sim.compactions)
-        for link_name, link in (
-            ("downlink", path.forward_link),
-            ("uplink", path.reverse_link),
-        ):
-            peak = getattr(link.queue, "peak_length", None)
-            if peak is None and samplers:
-                sampler = samplers[0 if link_name == "downlink" else 1]
-                peak = max(sampler.lengths, default=0)
-            metrics.gauge(f"run.link.{link_name}.queue_peak").track_max(peak or 0)
-            batches = getattr(link, "batches_drained", 0)
-            if batches:
-                metrics.counter(f"run.link.{link_name}.batches").add(batches)
-                metrics.counter(f"run.link.{link_name}.batched_packets").add(
-                    link.batched_packets
-                )
-        for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
-            prefix = f"flow{flow_id}."
-            metrics.counter(prefix + "retransmits").add(sender.retransmissions)
-            metrics.counter(prefix + "spurious_rtx").add(sender.spurious_marks)
-            metrics.counter(prefix + "rtos").add(sender.rto_count)
-            metrics.counter(prefix + "acks").add(sender.acks_received)
-            metrics.counter(prefix + "segments_sent").add(sender.segments_sent)
-            metrics.counter(prefix + "lost_total").add(sender.lost_total)
-            close = getattr(sender.cc, "telemetry_close", None)
-            if close is not None:
-                close(sim.now)
-        metrics.gauge("run.timing.wall_s").set(perf_counter() - wall_start)
-        if profiler is not None:
-            profiler.flush_into(metrics)
-        dropped = tracer.drain_dropped()
-        if dropped:
-            total = 0
-            for kind, count in dropped.items():
-                metrics.counter(f"run.telemetry.dropped.{kind}").add(count)
-                total += count
-            metrics.counter("run.telemetry.dropped_events").add(total)
-        snapshot = metrics.snapshot()
-        tracer.emit(obs.METRICS, sim.now, scope="run", metrics=snapshot)
-        tracer.emit(obs.RUN_END, sim.now, events=sim.events_processed)
-
-    results: List[FlowResult] = []
-    for flow_id, (spec, name, collector, sender) in enumerate(harnessed):
-        start = spec.measure_start if spec.measure_start is not None else max(
-            measure_start, spec.start
-        )
-        end = spec.measure_end if spec.measure_end is not None else (
-            measure_end if measure_end is not None else duration
-        )
-        delays = collector.delays(start, end)
-        delivered = collector.delivered_bytes(start, end)
-        window = max(1e-9, end - start)
-        drops: Dict[int, int] = (
-            path.forward_drops if spec.direction == "down" else path.reverse_drops
-        )
-        link_cfg = (
-            path_config.downlink if spec.direction == "down" else path_config.uplink
-        )
-        if end <= start:
-            capacity = None
-        elif link_cfg.trace is not None:
-            capacity = link_cfg.trace.capacity_bytes(start, end) / window
-        else:
-            capacity = link_cfg.rate
-        results.append(
-            FlowResult(
-                name=name,
-                throughput=delivered / window,
-                delay=delay_summary(delays),
-                delivered_bytes=delivered,
-                bottleneck_drops=drops.get(flow_id, 0),
-                retransmissions=sender.retransmissions,
-                rto_count=sender.rto_count,
-                measure_start=start,
-                measure_end=end,
-                collector=collector,
-                sender=sender,
-                capacity=capacity,
-                metrics=(
-                    obs.flow_metrics_view(snapshot, flow_id)
-                    if snapshot is not None
-                    else None
-                ),
-            )
-        )
-    return results
+    harness = ExperimentHarness(
+        path_config,
+        flows,
+        duration,
+        measure_start=measure_start,
+        measure_end=measure_end,
+        ts_granularity=ts_granularity,
+        audit=audit,
+        tracer=tracer,
+        profiler=profiler,
+    )
+    return harness.finalize()
 
 
 def run_single_flow(

@@ -7,8 +7,10 @@ validated against the packet engine by scripts/check_fluid_xval.py.
 """
 
 from repro.fluid.controllers import (
+    AdaptivePropRateBank,
     ControllerBank,
     CubicBank,
+    PolicyBank,
     PropRateBank,
 )
 from repro.fluid.engine import (
@@ -23,8 +25,10 @@ from repro.fluid.engine import (
 from repro.fluid.scenarios import fan_in_scenario, tower_for_label
 
 __all__ = [
+    "AdaptivePropRateBank",
     "ControllerBank",
     "CubicBank",
+    "PolicyBank",
     "PropRateBank",
     "FluidFlowResult",
     "FluidFlowSpec",

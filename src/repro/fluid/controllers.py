@@ -29,19 +29,47 @@ Two families are modelled:
   traffic at the tower multiplies down together (fluid models drop-tail
   loss as synchronized — see docs/fluid.md for why that is a known,
   tolerated divergence from the packet tier).
+
+Two control-plane extensions ride on those families:
+
+* :class:`AdaptivePropRateBank` — the §6 adaptive-target rule
+  (:class:`repro.core.adaptive.TargetAdjuster`) vectorized over the
+  fleet: tower overflows count as loss episodes, consecutive episodes
+  within :data:`~repro.core.adaptive.EPISODE_MEMORY` shrink each flow's
+  target (floored at its ``min_target``), sustained quiet recovers it
+  additively, and the fill/drain parameters are re-derived whenever a
+  flow's target moves.
+* :class:`PolicyBank` — externally driven rates, the fluid face of the
+  :mod:`repro.env` control-plane split: a callable policy receives the
+  fleet's observation arrays once per step and returns the per-flow
+  send-rate action array.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Callable, Dict, List, Sequence
 
 import numpy as np
 
+from repro.core.adaptive import (
+    EPISODE_MEMORY,
+    LOSS_EPISODES_TO_SHRINK,
+    RECOVERY_QUIET_TIME,
+    RECOVERY_STEP,
+    SHRINK_FACTOR,
+)
 from repro.core.model import derive_parameters
 from repro.core.proprate import RHO_HOLD_TAU
 from repro.tcp.congestion.cubic import Cubic
 
-__all__ = ["ControllerBank", "PropRateBank", "CubicBank", "MSS"]
+__all__ = [
+    "ControllerBank",
+    "PropRateBank",
+    "AdaptivePropRateBank",
+    "CubicBank",
+    "PolicyBank",
+    "MSS",
+]
 
 #: Segment size shared with the packet tier (bytes).
 MSS = 1500.0
@@ -165,6 +193,98 @@ class PropRateBank(ControllerBank):
         return np.where(active, gain * self.rho, 0.0)
 
 
+class AdaptivePropRateBank(PropRateBank):
+    """Fluid PR(A): PropRate with the §6 target-adjustment rule.
+
+    The scalar :class:`~repro.core.adaptive.TargetAdjuster` semantics,
+    applied per flow as array operations: a tower buffer overflow is
+    this bank's loss-episode signal (with the same per-RTT hold-off as
+    :class:`CubicBank`), ``LOSS_EPISODES_TO_SHRINK`` consecutive
+    episodes within ``EPISODE_MEMORY`` cut the flow's target by
+    ``SHRINK_FACTOR`` (floored at ``min_target``), and after
+    ``RECOVERY_QUIET_TIME`` without a loss the target recovers by
+    ``RECOVERY_STEP`` per quiet interval, capped at the configured
+    target.  Every target move re-derives the flow's threshold/k_f/k_d
+    from :func:`repro.core.model.derive_parameters`, exactly as the
+    packet tier's ``retarget`` re-centres the feedback band.
+    """
+
+    kind = "adaptive-proprate"
+    loss_based = True
+
+    def __init__(self, index: Sequence[int], rtts: Sequence[float],
+                 starts: Sequence[float], dt: float,
+                 targets: Sequence[float],
+                 min_targets: Sequence[float]) -> None:
+        super().__init__(index, rtts, starts, dt, targets)
+        self.configured_target = self.target.copy()
+        self.min_target = np.asarray(min_targets, dtype=np.float64)
+        if bool((self.min_target <= 0).any()) or bool(
+            (self.min_target > self.configured_target).any()
+        ):
+            raise ValueError("min_target must be in (0, target]")
+        #: §6 episode bookkeeping (TargetAdjuster state, vectorized).
+        self.consecutive = np.zeros(self.n, dtype=np.int64)
+        self.last_episode_at = np.full(self.n, -np.inf)
+        self.last_loss_at = np.zeros(self.n)
+        self.last_recovery_at = np.full(self.n, -np.inf)
+        self.last_loss = np.full(self.n, -np.inf)
+        self.target_adjustments = np.zeros(self.n, dtype=np.int64)
+
+    def _apply_targets(self, mask: np.ndarray,
+                       proposed: np.ndarray) -> None:
+        """Move targets for ``mask`` flows (1 ns dead-band, re-derive)."""
+        clamped = np.minimum(self.configured_target,
+                             np.maximum(self.min_target, proposed))
+        changed = mask & (np.abs(clamped - self.target) >= 1e-9)
+        if not bool(changed.any()):
+            return
+        self.target = np.where(changed, clamped, self.target)
+        for i in np.nonzero(changed)[0]:
+            params = derive_parameters(float(self.target[i]),
+                                       float(self.rtt[i]))
+            self.threshold[i] = params.threshold
+            self.kf[i] = params.kf
+            self.kd[i] = params.kd
+        self.target_adjustments += changed
+
+    def rates(self, t: float, observed: np.ndarray, tbuff_now: np.ndarray,
+              delivered: np.ndarray, active: np.ndarray) -> np.ndarray:
+        # Quiet-time recovery first (the per-ACK on_quiet probe): one
+        # additive step per RECOVERY_QUIET_TIME of loss-free progress.
+        quiet = (
+            active
+            & (t - self.last_loss_at >= RECOVERY_QUIET_TIME)
+            & (t - self.last_recovery_at >= RECOVERY_QUIET_TIME)
+            & (self.target < self.configured_target)
+        )
+        if bool(quiet.any()):
+            self.last_recovery_at = np.where(quiet, t, self.last_recovery_at)
+            self._apply_targets(quiet, self.target + RECOVERY_STEP)
+        return super().rates(t, observed, tbuff_now, delivered, active)
+
+    def on_overflow(self, t: float, hit: np.ndarray) -> int:
+        react = hit & (t - self.last_loss > self.rtt)
+        if not bool(react.any()):
+            return 0
+        self.last_loss = np.where(react, t, self.last_loss)
+        self.last_loss_at = np.where(react, t, self.last_loss_at)
+        # Consecutive-episode counting: an episode within EPISODE_MEMORY
+        # of the previous one (inclusive boundary) extends the streak.
+        linked = react & (t - self.last_episode_at <= EPISODE_MEMORY)
+        self.consecutive = np.where(
+            react, np.where(linked, self.consecutive + 1, 1),
+            self.consecutive,
+        )
+        self.last_episode_at = np.where(react, t, self.last_episode_at)
+        shrink = react & (self.consecutive >= LOSS_EPISODES_TO_SHRINK)
+        if bool(shrink.any()):
+            self.consecutive = np.where(shrink, 0, self.consecutive)
+            self._apply_targets(shrink, self.target * SHRINK_FACTOR)
+        self.loss_epochs += react
+        return int(react.sum())
+
+
 class CubicBank(ControllerBank):
     """Fluid CUBIC: the real-time window curve driven by loss epochs."""
 
@@ -222,33 +342,117 @@ class CubicBank(ControllerBank):
         return int(react.sum())
 
 
+class PolicyBank(ControllerBank):
+    """Externally driven rates: the fluid face of :mod:`repro.env`.
+
+    ``policy`` is called once per engine step with the simulated time
+    and the fleet's observation arrays (local order) and returns the
+    per-flow send-rate action array (bytes/s) — one vectorized
+    step/observe/act round for the whole bank, mirroring
+    :meth:`repro.env.CcEnv.step` at fleet scale.  The observation dict
+    carries ``observed_tbuff`` (feedback-lagged buffer delay),
+    ``tbuff`` (current delay at the flow's tower), ``delivered``
+    (delivered rate last step), ``active``, ``rtt``, and
+    ``loss_epochs`` (overflow episodes registered so far, per-RTT
+    hold-off applied).  Returned rates are floored at zero and masked
+    to active flows.
+    """
+
+    kind = "policy"
+    loss_based = True
+
+    def __init__(self, index: Sequence[int], rtts: Sequence[float],
+                 starts: Sequence[float], dt: float,
+                 policy: Callable[[float, Dict[str, np.ndarray]],
+                                  np.ndarray]) -> None:
+        super().__init__(index, rtts, starts, dt)
+        self.policy = policy
+        self.last_loss = np.full(self.n, -np.inf)
+
+    def rates(self, t: float, observed: np.ndarray, tbuff_now: np.ndarray,
+              delivered: np.ndarray, active: np.ndarray) -> np.ndarray:
+        actions = np.asarray(
+            self.policy(t, {
+                "observed_tbuff": observed,
+                "tbuff": tbuff_now,
+                "delivered": delivered,
+                "active": active,
+                "rtt": self.rtt,
+                "loss_epochs": self.loss_epochs,
+            }),
+            dtype=np.float64,
+        )
+        if actions.shape != (self.n,):
+            raise ValueError(
+                f"policy returned shape {actions.shape}; "
+                f"expected ({self.n},)"
+            )
+        return np.where(active, np.maximum(actions, 0.0), 0.0)
+
+    def on_overflow(self, t: float, hit: np.ndarray) -> int:
+        react = hit & (t - self.last_loss > self.rtt)
+        if not bool(react.any()):
+            return 0
+        self.last_loss = np.where(react, t, self.last_loss)
+        self.loss_epochs += react
+        return int(react.sum())
+
+
 def build_banks(specs: Sequence, dt: float) -> List[ControllerBank]:
     """Group :class:`FluidFlowSpec`s into controller banks.
 
     ``specs`` is the engine's flow list; flows keep their global index
     through each bank's ``index`` array, so engine arrays scatter and
-    gather with plain fancy indexing.
+    gather with plain fancy indexing.  ``"policy"`` flows are grouped
+    per distinct policy callable, each group its own
+    :class:`PolicyBank`.
     """
     pr_idx, pr_rtt, pr_start, pr_target = [], [], [], []
+    ad_idx, ad_rtt, ad_start, ad_target, ad_floor = [], [], [], [], []
     cu_idx, cu_rtt, cu_start = [], [], []
+    po_groups: Dict[int, list] = {}
     for i, spec in enumerate(specs):
         if spec.controller == "proprate":
             pr_idx.append(i)
             pr_rtt.append(spec.rtt)
             pr_start.append(spec.start)
             pr_target.append(spec.target_tbuff)
+        elif spec.controller == "adaptive-proprate":
+            ad_idx.append(i)
+            ad_rtt.append(spec.rtt)
+            ad_start.append(spec.start)
+            ad_target.append(spec.target_tbuff)
+            ad_floor.append(spec.min_target)
         elif spec.controller == "cubic":
             cu_idx.append(i)
             cu_rtt.append(spec.rtt)
             cu_start.append(spec.start)
+        elif spec.controller == "policy":
+            if spec.policy is None:
+                raise ValueError(
+                    "controller 'policy' needs a policy= callable"
+                )
+            group = po_groups.setdefault(id(spec.policy),
+                                         [spec.policy, [], [], []])
+            group[1].append(i)
+            group[2].append(spec.rtt)
+            group[3].append(spec.start)
         else:
             raise ValueError(
                 f"unknown fluid controller {spec.controller!r}; "
-                "have 'proprate' and 'cubic'"
+                "have 'proprate', 'adaptive-proprate', 'cubic', and "
+                "'policy'"
             )
     banks: List[ControllerBank] = []
     if pr_idx:
         banks.append(PropRateBank(pr_idx, pr_rtt, pr_start, dt, pr_target))
+    if ad_idx:
+        banks.append(
+            AdaptivePropRateBank(ad_idx, ad_rtt, ad_start, dt,
+                                 ad_target, ad_floor)
+        )
     if cu_idx:
         banks.append(CubicBank(cu_idx, cu_rtt, cu_start, dt))
+    for policy, idx, rtts, starts in po_groups.values():
+        banks.append(PolicyBank(idx, rtts, starts, dt, policy))
     return banks

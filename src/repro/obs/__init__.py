@@ -18,6 +18,8 @@ from repro.obs.events import (
     CC_RECOVERY,
     CC_RTO,
     CC_STATE,
+    ENV_EPISODE,
+    ENV_STEP,
     FLUID_END,
     FLUID_HANDOVER,
     FLUID_LOSS,
@@ -63,6 +65,11 @@ from repro.obs.sampling import (
     resolve_sampling,
     sampling_spec,
 )
+from repro.obs.net import (
+    SocketStreamSink,
+    TcpLineServer,
+    parse_tcp_target,
+)
 from repro.obs.sink import (
     JsonlSink,
     RingSink,
@@ -88,14 +95,16 @@ __all__ = [
     "ALL_KINDS", "AUDIT_DUMP", "AUDIT_VIOLATION", "CC_EPOCH",
     "CC_ESTIMATOR", "CC_LOSS", "CC_LOSS_RUNS", "CC_NFL", "CC_RECOVERY",
     "CC_RTO",
-    "CC_STATE", "FLUID_END", "FLUID_HANDOVER", "FLUID_LOSS", "FLUID_RUN",
+    "CC_STATE", "ENV_EPISODE", "ENV_STEP",
+    "FLUID_END", "FLUID_HANDOVER", "FLUID_LOSS", "FLUID_RUN",
     "FLUID_TOWER", "FORMAT", "GRID_CELL", "LINK_BATCH", "LINK_HANDOVER", "LINK_OUTAGE",
     "LINK_RECOVER",
     "META", "METRICS", "QUEUE_SAMPLE", "RUN_END", "RUN_START",
     "SCHED_DISPATCH", "SCHED_OUTCOME", "SCHED_RETRY", "SCHED_TIMEOUT",
     "SCHED_WORKER_DEATH", "MetricsRegistry", "canonical_metrics",
     "flow_metrics_view", "merge_snapshots", "merge_value",
-    "JsonlSink", "RingSink", "Sink", "StreamSink",
+    "JsonlSink", "RingSink", "Sink", "SocketStreamSink", "StreamSink",
+    "TcpLineServer", "parse_tcp_target",
     "encode", "iter_trace_files", "QUEUE_SAMPLE_INTERVAL",
     "SAMPLE_ENV", "TELEMETRY_ENV", "Tracer", "activate", "current_tracer",
     "deactivate", "env_trace_path", "resolve_tracer", "tracing",

@@ -83,6 +83,13 @@ FLUID_LOSS = "fluid.loss"
 #: Fluid run finished (flows, jfi).
 FLUID_END = "fluid.end"
 
+# -- control-plane environment -----------------------------------------
+#: One env epoch: action applied, simulated interval integrated
+#: (step, action, reward, obs).
+ENV_STEP = "env.step"
+#: Episode finalized (episode, steps, obs_version, throughput).
+ENV_EPISODE = "env.episode"
+
 # -- parallel scheduler (wall-clock t, seconds since batch start) ------
 SCHED_DISPATCH = "sched.dispatch"
 SCHED_RETRY = "sched.retry"
@@ -97,6 +104,7 @@ ALL_KINDS = frozenset({
     LINK_BATCH, QUEUE_SAMPLE,
     AUDIT_VIOLATION, AUDIT_DUMP, RUN_START, RUN_END, METRICS, GRID_CELL,
     FLUID_RUN, FLUID_TOWER, FLUID_HANDOVER, FLUID_LOSS, FLUID_END,
+    ENV_STEP, ENV_EPISODE,
     SCHED_DISPATCH, SCHED_RETRY, SCHED_TIMEOUT, SCHED_WORKER_DEATH,
     SCHED_OUTCOME,
 })

@@ -11,6 +11,11 @@ Watching a run while it happens takes two pieces:
   when the coordinator merges them back into the base trace the
   follower skips the re-appearing copies, so every record is yielded
   exactly once whether it was seen live or post-merge.
+* :class:`StreamFollower` — the same ``poll()`` contract over a TCP
+  connection to a run serving its trace with ``--telemetry
+  tcp://host:port`` (:mod:`repro.obs.net`).  Record decoding is shared
+  with :class:`TraceFollower`, so both transports agree on what a
+  record is; only the byte source differs.
 * :class:`DashboardState` — a bounded reduction of the record stream
   into the panels the paper reasons with: the queue sawtooth per link,
   the CC state lane and loss marks per flow, scheduler progress
@@ -30,6 +35,7 @@ from __future__ import annotations
 import json
 import os
 import re
+import socket
 import sys
 import time
 from collections import defaultdict, deque
@@ -54,7 +60,7 @@ from repro.obs.events import (
 )
 from repro.obs.sink import iter_trace_files
 
-__all__ = ["TraceFollower", "DashboardState", "watch"]
+__all__ = ["TraceFollower", "StreamFollower", "DashboardState", "watch"]
 
 #: Retained samples per waveform — enough for one screenful at any
 #: plausible width while keeping a 1000-flow fluid run's memory flat.
@@ -186,6 +192,91 @@ class TraceFollower:
             self.decode_errors += 1
             return None
         return rec if isinstance(rec, dict) else None
+
+
+class StreamFollower:
+    """Incrementally read trace records from a TCP telemetry server.
+
+    ``poll()`` returns the records received since the previous poll,
+    oldest first — the same contract as :class:`TraceFollower`, so the
+    dashboard loop does not care which transport feeds it.  The
+    connection is dialled lazily and re-dialled on each poll until the
+    server appears, so ``repro watch --connect`` can be started before
+    the run it is watching.  When the server hangs up, :attr:`closed`
+    goes true and ``poll()`` returns nothing further.
+    """
+
+    def __init__(self, address: str, dial_timeout: float = 1.0) -> None:
+        host, sep, port = str(address).rpartition(":")
+        try:
+            port_no = int(port)
+        except ValueError:
+            sep = ""
+        if not sep:
+            raise ValueError(
+                f"bad connect address {address!r}; expected host:port")
+        self.address: Tuple[str, int] = (host or "127.0.0.1", port_no)
+        self._dial_timeout = dial_timeout
+        self._sock: Optional[socket.socket] = None
+        self._tail = b""
+        self.lines = 0
+        self.decode_errors = 0
+        self.closed = False
+
+    # Record decoding (and its lines/decode_errors counters) is shared
+    # with file tailing so both transports agree on what a record is.
+    _decode = TraceFollower._decode
+
+    def _dial(self) -> bool:
+        try:
+            sock = socket.create_connection(
+                self.address, timeout=self._dial_timeout)
+        except OSError:
+            return False
+        sock.setblocking(False)
+        self._sock = sock
+        return True
+
+    def _hangup(self) -> None:
+        self.closed = True
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def poll(self) -> List[Dict[str, Any]]:
+        if self.closed or (self._sock is None and not self._dial()):
+            return []
+        chunks: List[bytes] = []
+        assert self._sock is not None
+        while True:
+            try:
+                chunk = self._sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                break
+            except OSError:
+                chunk = b""
+            if chunk == b"":
+                self._hangup()
+                break
+            chunks.append(chunk)
+        data = self._tail + b"".join(chunks)
+        parts = data.split(b"\n")
+        self._tail = parts.pop()
+        records: List[Dict[str, Any]] = []
+        for raw in parts:
+            raw = raw.strip()
+            if not raw:
+                continue
+            rec = self._decode(raw.decode("utf-8", errors="replace"))
+            if rec is not None:
+                records.append(rec)
+        return records
+
+    def close(self) -> None:
+        self._hangup()
 
 
 class DashboardState:
@@ -450,21 +541,29 @@ class DashboardState:
         return out
 
 
-def watch(path: str, interval: float = 1.0, frames: Optional[int] = None,
+def watch(path: Optional[str] = None, interval: float = 1.0,
+          frames: Optional[int] = None,
           width: int = 100, height: int = 6, once: bool = False,
           out: Optional[TextIO] = None, clear: bool = True,
-          idle_exit: int = 3) -> str:
+          idle_exit: int = 3, connect: Optional[str] = None) -> str:
     """Follow a trace and render the live dashboard until it completes.
 
-    ``once`` drains whatever is on disk and renders a single frame (the
-    CI smoke mode).  Otherwise the dashboard refreshes every
-    ``interval`` seconds and exits on its own once the trace reports
-    completion and ``idle_exit`` consecutive polls saw no new records
-    (or after ``frames`` refreshes, if given).  Returns the final
-    rendered frame.
+    The source is either a trace file (``path``, tailed through
+    :class:`TraceFollower`) or a run serving its trace over TCP
+    (``connect="host:port"``, via :class:`StreamFollower`); exactly one
+    must be given.  ``once`` drains whatever is available and renders a
+    single frame (the CI smoke mode).  Otherwise the dashboard
+    refreshes every ``interval`` seconds and exits on its own once the
+    trace reports completion — or the server hangs up — and
+    ``idle_exit`` consecutive polls saw no new records (or after
+    ``frames`` refreshes, if given).  Returns the final rendered frame.
     """
+    if (path is None) == (connect is None):
+        raise ValueError("watch() needs exactly one of path or connect")
     stream = out if out is not None else sys.stdout
-    follower = TraceFollower(path)
+    follower = StreamFollower(connect) if connect is not None \
+        else TraceFollower(path)  # type: ignore[arg-type]
+    source = connect if connect is not None else path
     state = DashboardState()
     frame = ""
     drawn = 0
@@ -472,9 +571,11 @@ def watch(path: str, interval: float = 1.0, frames: Optional[int] = None,
     while True:
         fresh = state.ingest_all(follower.poll())
         idle = idle + 1 if fresh == 0 else 0
-        status = (f"watch {path}  records {state.records}"
+        gone = getattr(follower, "closed", False)
+        status = (f"watch {source}  records {state.records}"
                   f"  runs {len(state.runs_seen)}"
-                  f"{'  [complete]' if state.complete else ''}")
+                  f"{'  [complete]' if state.complete else ''}"
+                  f"{'  [disconnected]' if gone else ''}")
         frame = status + "\n" + state.render(width=width, height=height)
         if once:
             if fresh:
@@ -489,6 +590,6 @@ def watch(path: str, interval: float = 1.0, frames: Optional[int] = None,
         drawn += 1
         if frames is not None and drawn >= frames:
             return frame
-        if state.complete and idle >= idle_exit:
+        if (state.complete or gone) and idle >= idle_exit:
             return frame
         time.sleep(interval)

@@ -1,0 +1,152 @@
+"""Socket transport for the telemetry spine: JSONL over TCP.
+
+A run that writes its trace to a file can only be watched from the
+same filesystem.  This module adds the network leg:
+
+* :class:`TcpLineServer` — a broadcast server.  Clients connect with
+  anything that reads line-delimited JSON (``nc host port``, ``repro
+  watch --connect host:port``); every encoded record is pushed to all
+  connected clients as one line.  Slow or dead clients are dropped, not
+  waited on — telemetry must never stall the simulation.
+* :class:`SocketStreamSink` — a :class:`~repro.obs.sink.StreamSink`
+  bound to an owned server, so ``--telemetry tcp://host:port`` serves
+  the live trace instead of writing a file.  Closing the sink stops
+  the server.
+
+The wire format is exactly the file format (one compact JSON object
+per line, ``meta`` header first), so the follower side reuses the same
+decoding path as file tailing.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import List, Optional, Tuple
+
+from repro.obs.sink import StreamSink
+
+__all__ = ["TcpLineServer", "SocketStreamSink", "parse_tcp_target"]
+
+
+def parse_tcp_target(target: str) -> Optional[Tuple[str, int]]:
+    """``"tcp://host:port"`` → ``(host, port)``; None for other targets.
+
+    ``tcp://:port`` and ``tcp://port`` bind the loopback interface.
+    """
+    if not isinstance(target, str) or not target.startswith("tcp://"):
+        return None
+    spec = target[len("tcp://"):]
+    host, sep, port = spec.rpartition(":")
+    if not sep:
+        host, port = "", spec
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise ValueError(
+            f"bad tcp telemetry target {target!r}; expected tcp://host:port"
+        )
+
+
+class TcpLineServer:
+    """Broadcast line-delimited text to every connected TCP client.
+
+    A daemon thread accepts connections; :meth:`broadcast` fans one
+    line out to all of them, silently dropping clients whose sends
+    fail (closed or wedged).  ``port=0`` picks a free port — read the
+    bound address back from :attr:`address`.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 backlog: int = 8) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(backlog)
+        self.address: Tuple[str, int] = self._listener.getsockname()[:2]
+        self._clients: List[socket.socket] = []
+        self._lock = threading.Lock()
+        self._closed = False
+        self.dropped_clients = 0
+        self._accepter = threading.Thread(
+            target=self._accept_loop,
+            name=f"repro-obs-tcp-{self.address[1]}",
+            daemon=True,
+        )
+        self._accepter.start()
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            # Telemetry is advisory: never let one slow reader block
+            # the simulation inside broadcast().
+            client.settimeout(0.5)
+            with self._lock:
+                if self._closed:
+                    client.close()
+                    return
+                self._clients.append(client)
+
+    @property
+    def client_count(self) -> int:
+        with self._lock:
+            return len(self._clients)
+
+    def broadcast(self, line: str) -> None:
+        """Send ``line`` (no trailing newline) to every client."""
+        payload = (line + "\n").encode("utf-8")
+        with self._lock:
+            dead = []
+            for client in self._clients:
+                try:
+                    client.sendall(payload)
+                except OSError:
+                    dead.append(client)
+            for client in dead:
+                self._clients.remove(client)
+                self.dropped_clients += 1
+                try:
+                    client.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            for client in self._clients:
+                try:
+                    client.close()
+                except OSError:
+                    pass
+            self._clients.clear()
+
+
+class SocketStreamSink(StreamSink):
+    """A :class:`StreamSink` serving the trace over an owned TCP server.
+
+    The ``meta`` header is replayed to the broadcast immediately, but a
+    client that connects mid-run simply starts at the next record —
+    live watching tolerates a truncated prefix exactly as tailing a
+    rotated file does.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 header: bool = True) -> None:
+        self.server = TcpLineServer(host, port)
+        super().__init__(self.server.broadcast, header=header)
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def close(self) -> None:
+        self.server.close()

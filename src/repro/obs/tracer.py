@@ -10,7 +10,9 @@ context manager for hand-built simulations.
 
 Resolution order for a run (``resolve_tracer``):
 
-1. an explicit ``telemetry=`` argument (path or ``Tracer``);
+1. an explicit ``telemetry=`` argument (path, ``tcp://host:port`` to
+   serve the trace to ``repro watch --connect`` clients, or a
+   ``Tracer``);
 2. the already-active ambient tracer (nested runs share it);
 3. the ``REPRO_TELEMETRY`` environment variable: ``1``/``true`` writes
    ``telemetry/trace-<pid>-<n>.jsonl`` under the working directory, any
@@ -49,6 +51,19 @@ _OFF = ("", "0", "false")
 QUEUE_SAMPLE_INTERVAL = 0.010
 
 _env_seq = itertools.count()
+
+
+def _open_sink(target: Union[str, Path]) -> Sink:
+    """Sink for a string target: a JSONL file, or — for
+    ``tcp://host:port`` — a broadcast server streaming the trace to
+    connected ``repro watch --connect`` clients."""
+    spec = str(target)
+    if spec.startswith("tcp://"):
+        from repro.obs.net import SocketStreamSink, parse_tcp_target
+
+        host, port = parse_tcp_target(spec)  # type: ignore[misc]
+        return SocketStreamSink(host, port)
+    return JsonlSink(spec)
 
 
 class Tracer:
@@ -134,7 +149,7 @@ def tracing(target: Union[str, Path, Tracer],
     """
     owned = not isinstance(target, Tracer)
     if owned:
-        tracer = Tracer(JsonlSink(str(target)),
+        tracer = Tracer(_open_sink(target),
                         sampling=_effective_sampling(sampling))
     else:
         tracer = target
@@ -172,7 +187,7 @@ def resolve_tracer(telemetry: Union[str, Path, Tracer, None],
     if telemetry is not None:
         if isinstance(telemetry, Tracer):
             return telemetry, False
-        return Tracer(JsonlSink(str(telemetry)),
+        return Tracer(_open_sink(telemetry),
                       sampling=_effective_sampling(sampling)), True
     ambient = current_tracer()
     if ambient is not None:

@@ -20,7 +20,23 @@ once ``produced(t) > i``.
 
 from __future__ import annotations
 
+from fractions import Fraction
 from typing import Optional
+
+
+def _floor_segments(seconds: float, rate: float, segment_bytes: int) -> int:
+    """Exact ``floor(seconds · rate / segment_bytes)``.
+
+    The float product drifts at large ``seconds``: once
+    ``seconds * rate`` needs more than 53 bits, rounding can land just
+    below an integer boundary and the truncation loses (or gains) a
+    segment, so a long-running CBR source's cumulative count diverges
+    from the closed form — and can even step backwards between two
+    nearby ``now`` values.  Rational arithmetic over the exact binary
+    values of the inputs keeps the count closed-form and monotone for
+    arbitrarily large ``now``.
+    """
+    return int(Fraction(seconds) * Fraction(rate) / segment_bytes)
 
 
 class Application:
@@ -85,12 +101,12 @@ class ConstantBitrateApplication(Application):
         horizon = now - self.start
         if self.duration is not None:
             horizon = min(horizon, self.duration)
-        return int(horizon * self.rate / self.segment_bytes)
+        return _floor_segments(horizon, self.rate, self.segment_bytes)
 
     def total(self) -> Optional[int]:
         if self.duration is None:
             return None
-        return int(self.duration * self.rate / self.segment_bytes)
+        return _floor_segments(self.duration, self.rate, self.segment_bytes)
 
 
 class OnOffApplication(Application):
@@ -130,7 +146,9 @@ class OnOffApplication(Application):
         return whole * self.on_seconds + min(within, self.on_seconds)
 
     def produced(self, now: float) -> Optional[int]:
-        return int(self._on_time_elapsed(now) * self.rate / self.segment_bytes)
+        return _floor_segments(
+            self._on_time_elapsed(now), self.rate, self.segment_bytes
+        )
 
 
 class TraceApplication(Application):

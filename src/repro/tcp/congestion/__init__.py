@@ -31,6 +31,11 @@ from repro.tcp.congestion.base import (
     WindowCongestionControl,
 )
 from repro.tcp.congestion.bbr import Bbr
+from repro.tcp.congestion.policy import (
+    PolicyDriven,
+    WindowPolicyDriven,
+    policy_adapter,
+)
 from repro.tcp.congestion.cubic import Cubic
 from repro.tcp.congestion.ledbat import Ledbat
 from repro.tcp.congestion.pcc import Pcc
@@ -50,6 +55,7 @@ __all__ = [
     "Ledbat",
     "NewReno",
     "Pcc",
+    "PolicyDriven",
     "Proteus",
     "RateCongestionControl",
     "Rre",
@@ -57,5 +63,7 @@ __all__ = [
     "Vegas",
     "Verus",
     "WindowCongestionControl",
+    "WindowPolicyDriven",
     "Westwood",
+    "policy_adapter",
 ]

@@ -381,6 +381,19 @@ class TcpSender:
                 event.cancel()
                 self._tick_event = None
 
+    def wake(self) -> None:
+        """Resume a suspended pacing tick after an out-of-band control
+        change.
+
+        ACKs and RTOs — the two native resume points — cover every way
+        a *native* algorithm can raise its rate from idle.  An external
+        policy (:mod:`repro.tcp.congestion.policy`) can do it between
+        ACKs, so its actions call here; the phase-exact reschedule in
+        :meth:`_resume_tick` keeps the run bit-identical to one where
+        the tick never suspended.
+        """
+        self._resume_tick()
+
     def _resume_tick(self) -> None:
         """Reschedule a suspended pacing tick at its next phase point.
 

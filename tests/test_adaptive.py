@@ -4,8 +4,13 @@ import pytest
 
 from repro.core.adaptive import (
     AdaptivePropRate,
+    EPISODE_MEMORY,
     LOSS_EPISODES_TO_SHRINK,
+    RECOVERY_QUIET_TIME,
+    RECOVERY_STEP,
     SHRINK_FACTOR,
+    TargetAdjuster,
+    retarget,
 )
 from repro.core.proprate import PropRate
 from repro.experiments.runner import FlowSpec, cellular_path_config, run_experiment
@@ -76,6 +81,94 @@ class TestTargetRecovery:
         cc, feeder = _adaptive()
         feeder.run(500, dt=0.05)
         assert cc.target_buffer_delay <= cc.configured_target + 1e-12
+
+
+class TestTargetAdjusterEdges:
+    """Boundary semantics of the pure decision core — the same rule the
+    env policy and the fluid bank replay, so the edges are pinned here
+    once."""
+
+    def test_episodes_exactly_memory_apart_are_consecutive(self):
+        # The memory boundary is inclusive: a second episode exactly
+        # EPISODE_MEMORY after the first still extends the streak.
+        adj = TargetAdjuster(0.080, 0.005)
+        assert adj.on_loss(1.0, 0.080) is None
+        out = adj.on_loss(1.0 + EPISODE_MEMORY, 0.080)
+        assert out == pytest.approx(0.080 * SHRINK_FACTOR)
+
+    def test_episodes_just_past_memory_restart_streak(self):
+        adj = TargetAdjuster(0.080, 0.005)
+        assert adj.on_loss(1.0, 0.080) is None
+        assert adj.on_loss(1.0 + EPISODE_MEMORY + 1e-9, 0.080) is None
+
+    def test_shrink_resets_streak(self):
+        adj = TargetAdjuster(0.080, 0.005)
+        assert adj.on_loss(1.0, 0.080) is None
+        assert adj.on_loss(2.0, 0.080) is not None
+        # The trigger consumed the streak: the next episode starts a new
+        # count of one, not an immediate second shrink.
+        assert adj.on_loss(3.0, 0.080 * SHRINK_FACTOR) is None
+
+    def test_recovery_ceiling_is_configured_target(self):
+        adj = TargetAdjuster(0.080, 0.005)
+        adj.on_loss(1.0, 0.080)
+        target = adj.on_loss(2.0, 0.080)
+        now = 2.0
+        for _ in range(50):
+            now += RECOVERY_QUIET_TIME
+            out = adj.on_quiet(now, target)
+            if out is not None:
+                target = out
+        assert target == pytest.approx(0.080)
+        # At the ceiling, quiet time proposes nothing further.
+        assert adj.on_quiet(now + RECOVERY_QUIET_TIME, target) is None
+
+    def test_recovery_rate_limited_per_quiet_interval(self):
+        adj = TargetAdjuster(0.080, 0.005)
+        adj.on_loss(1.0, 0.080)
+        target = adj.on_loss(2.0, 0.080)
+        now = 2.0 + RECOVERY_QUIET_TIME
+        stepped = adj.on_quiet(now, target)
+        assert stepped == pytest.approx(target + RECOVERY_STEP)
+        # A beat later (same quiet interval) → no second step.
+        assert adj.on_quiet(now + 0.1, stepped) is None
+
+    def test_min_target_floor_on_loss_and_rto(self):
+        adj = TargetAdjuster(0.080, 0.050)
+        target = 0.080
+        now = 0.0
+        for _ in range(10):
+            now += 1.0
+            out = adj.on_loss(now, target)
+            if out is not None:
+                target = out
+        assert target == pytest.approx(0.050)
+        assert adj.on_rto(target) == pytest.approx(0.050)
+
+    def test_ctor_validation(self):
+        with pytest.raises(ValueError, match="min_target"):
+            TargetAdjuster(0.040, 0.0)
+        with pytest.raises(ValueError, match="min_target"):
+            TargetAdjuster(0.040, 0.080)
+
+
+class TestRetarget:
+    def test_dead_band_is_a_noop(self):
+        cc = PropRate(0.040)
+        threshold = cc.feedback.threshold
+        assert retarget(cc, 0.040 + 1e-12) is False
+        assert cc.target_buffer_delay == 0.040
+        assert cc.feedback.threshold == threshold
+
+    def test_recentres_feedback_band(self):
+        cc = PropRate(0.040)
+        assert retarget(cc, 0.100) is True
+        assert cc.target_buffer_delay == pytest.approx(0.100)
+        assert cc.feedback.target == pytest.approx(0.100)
+        assert cc.feedback.min_threshold == pytest.approx(0.050)
+        assert cc.feedback.max_threshold == pytest.approx(0.150)
+        assert (cc.feedback.min_threshold <= cc.feedback.threshold
+                <= cc.feedback.max_threshold)
 
 
 class TestValidation:

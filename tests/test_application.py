@@ -61,6 +61,41 @@ class TestConstantBitrate:
         app = ConstantBitrateApplication(rate=123_456.0)
         assert app.produced(t) <= app.produced(t + 1.0)
 
+    def test_no_float_drift_at_large_now(self):
+        """Regression: the float product ``now · rate / segment`` drifts
+        past 2^53 and over-counts — e.g. 1.5 MB/s at t = 100000.036 s
+        used to report 100000036 segments where the closed form floors
+        to ...035.  The count must match the exact floor at any t."""
+        from fractions import Fraction
+
+        for rate, t in [
+            (1_500_000.0, 100_000.036),
+            (1_500_000.0, 200_000.004),
+            (2_400_000.0, 100_000.06),
+            (300_000.0, 1_000_000.08),
+        ]:
+            app = ConstantBitrateApplication(rate=rate, segment_bytes=1500)
+            exact = int(Fraction(t) * Fraction(rate) / 1500)
+            assert app.produced(t) == exact
+
+    @given(st.floats(min_value=1e5, max_value=1e7))
+    @settings(max_examples=100, deadline=None)
+    def test_closed_form_at_large_now(self, t):
+        from fractions import Fraction
+
+        app = ConstantBitrateApplication(rate=1_500_000.0, segment_bytes=1500)
+        assert app.produced(t) == int(Fraction(t) * 1_500_000 / 1500)
+        # Monotone across the tick granularity that exposed the drift.
+        assert app.produced(t) <= app.produced(t + 0.004)
+
+    def test_onoff_no_float_drift_at_large_now(self):
+        from fractions import Fraction
+
+        app = OnOffApplication(rate=2_400_000.0, on_seconds=1.0,
+                               off_seconds=0.0, segment_bytes=1500)
+        t = 100_000.06
+        assert app.produced(t) == int(Fraction(t) * 2_400_000 / 1500)
+
 
 class TestOnOff:
     def test_on_period_produces(self):

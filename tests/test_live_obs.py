@@ -16,6 +16,7 @@ The contracts under test:
 import io
 import json
 import os
+import time
 
 import pytest
 
@@ -365,3 +366,172 @@ class TestDashboard:
                           if r["kind"] == "metrics"]
         assert metrics_rec["metrics"][
             "run.timing.prof.fluid.integrate.calls"] >= 1
+
+
+# ----------------------------------------------------------------------
+# Socket transport: tcp:// telemetry targets + watch --connect
+# ----------------------------------------------------------------------
+class TestSocketTransport:
+    def _await_clients(self, server, n, deadline=5.0):
+        import time as _time
+
+        end = _time.monotonic() + deadline
+        while server.client_count < n and _time.monotonic() < end:
+            _time.sleep(0.005)
+        assert server.client_count >= n
+
+    def test_server_broadcasts_lines_and_drops_dead_clients(self):
+        import socket as socketlib
+
+        from repro.obs.net import TcpLineServer
+
+        server = TcpLineServer()
+        try:
+            host, port = server.address
+            a = socketlib.create_connection((host, port), timeout=5.0)
+            b = socketlib.create_connection((host, port), timeout=5.0)
+            self._await_clients(server, 2)
+            server.broadcast('{"i":1}')
+            for client in (a, b):
+                assert client.makefile("rb").readline() == b'{"i":1}\n'
+            b.close()
+            # The dead client is discovered on a later broadcast and
+            # silently dropped; the live one keeps receiving.
+            for _ in range(20):
+                server.broadcast('{"i":2}')
+            assert a.makefile("rb").readline() == b'{"i":2}\n'
+            a.close()
+        finally:
+            server.close()
+
+    def test_stream_follower_round_trip_and_hangup(self):
+        from repro.obs.live import StreamFollower
+        from repro.obs.net import SocketStreamSink
+
+        sink = SocketStreamSink()
+        try:
+            host, port = sink.address
+            follower = StreamFollower(f"{host}:{port}")
+            follower.poll()  # dials
+            self._await_clients(sink.server, 1)
+            for i in range(5):
+                sink.write({"t": float(i), "kind": "x", "i": i})
+            seen = []
+            deadline = 50
+            while len(seen) < 5 and deadline:
+                seen.extend(r for r in follower.poll()
+                            if r.get("kind") == "x")
+                deadline -= 1
+                time.sleep(0.01)
+            assert [r["i"] for r in seen] == list(range(5))
+        finally:
+            sink.close()
+        # Server gone: the follower notices and stops polling.
+        deadline = 50
+        while not follower.closed and deadline:
+            follower.poll()
+            deadline -= 1
+            time.sleep(0.01)
+        assert follower.closed
+        assert follower.poll() == []
+
+    def test_follower_rejects_bad_address(self):
+        from repro.obs.live import StreamFollower
+
+        with pytest.raises(ValueError, match="host:port"):
+            StreamFollower("no-port-here")
+
+    def test_parse_tcp_target(self):
+        from repro.obs.net import parse_tcp_target
+
+        assert parse_tcp_target("trace.jsonl") is None
+        assert parse_tcp_target("tcp://0.0.0.0:9000") == ("0.0.0.0", 9000)
+        assert parse_tcp_target("tcp://:9000") == ("127.0.0.1", 9000)
+        with pytest.raises(ValueError, match="tcp://host:port"):
+            parse_tcp_target("tcp://nope")
+
+    def test_tcp_telemetry_target_streams_a_run(self):
+        from repro.obs.live import StreamFollower
+        from repro.obs.net import SocketStreamSink
+
+        tracer, owned = obs.resolve_tracer("tcp://127.0.0.1:0")
+        assert owned and isinstance(tracer.sink, SocketStreamSink)
+        try:
+            host, port = tracer.sink.address
+            follower = StreamFollower(f"{host}:{port}")
+            follower.poll()
+            self._await_clients(tracer.sink.server, 1)
+            run_single_flow(PropRate, _down(), duration=3.0,
+                            measure_start=1.0, telemetry=tracer)
+            records = []
+            deadline = 100
+            while deadline and not any(
+                    r.get("kind") == "run.end" for r in records):
+                records.extend(follower.poll())
+                deadline -= 1
+                time.sleep(0.01)
+            kinds = {r.get("kind") for r in records}
+            assert {"run.start", "queue.sample", "run.end"} <= kinds
+        finally:
+            tracer.close()
+
+    def test_watch_connect_exits_on_completion(self):
+        import threading
+
+        from repro.obs.live import watch
+        from repro.obs.net import TcpLineServer
+
+        server = TcpLineServer()
+        host, port = server.address
+
+        def feed():
+            self._await_clients(server, 1)
+            for i in range(8):
+                server.broadcast(obs.encode(
+                    {"t": 0.1 * i, "kind": "queue.sample", "link": "down",
+                     "len": i}))
+            server.broadcast(obs.encode({"t": 1.0, "kind": "run.end"}))
+
+        feeder = threading.Thread(target=feed, daemon=True)
+        feeder.start()
+        try:
+            buf = io.StringIO()
+            frame = watch(connect=f"{host}:{port}", interval=0.01,
+                          width=60, out=buf, clear=False)
+            assert "[complete]" in frame
+            assert "buffering delay" in frame
+        finally:
+            server.close()
+        feeder.join(timeout=5.0)
+
+    def test_watch_connect_exits_on_hangup(self):
+        import threading
+
+        from repro.obs.live import watch
+        from repro.obs.net import TcpLineServer
+
+        server = TcpLineServer()
+        host, port = server.address
+
+        def hang_up():
+            # No completion record ever: the server just goes away once
+            # the watcher has connected, and watch must still exit.
+            self._await_clients(server, 1)
+            server.close()
+
+        closer = threading.Thread(target=hang_up, daemon=True)
+        closer.start()
+        buf = io.StringIO()
+        frame = watch(connect=f"{host}:{port}", interval=0.01, width=60,
+                      out=buf, clear=False)
+        assert "[disconnected]" in frame
+        closer.join(timeout=5.0)
+
+    def test_watch_cli_requires_exactly_one_source(self, tmp_path):
+        from repro.__main__ import main
+
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["watch"])
+        with pytest.raises(SystemExit, match="exactly one"):
+            main(["watch", str(tmp_path / "t.jsonl"),
+                  "--connect", "127.0.0.1:1"])
